@@ -1,0 +1,271 @@
+package repro
+
+// Benchmarks regenerating the paper's evaluation (one benchmark family per
+// figure), plus ablations for the design choices DESIGN.md calls out and
+// microbenchmarks of the substrates. The figure benchmarks report
+// experiment seconds via b.ReportMetric, so `go test -bench .` prints the
+// same quantities the paper plots (at reduced N; use cmd/youtopia-bench
+// for full-size runs).
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/entangle"
+	"repro/internal/eq"
+	"repro/internal/harness"
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+func benchCfg(n int) harness.Config {
+	return harness.Config{N: n, Users: 600, StmtLatency: 100 * time.Microsecond, Seed: 1}
+}
+
+// BenchmarkFigure6a sweeps the six workloads over connection counts
+// (Figure 6(a): time inversely proportional to connections; Entangled-T
+// overhead ≈ query-evaluation overhead).
+func BenchmarkFigure6a(b *testing.B) {
+	for _, kind := range []workload.Kind{
+		workload.NoSocialT, workload.SocialT, workload.EntangledT,
+		workload.NoSocialQ, workload.SocialQ, workload.EntangledQ,
+	} {
+		for _, conns := range []int{10, 50, 100} {
+			b.Run(fmt.Sprintf("%s/conns=%d", kind, conns), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					secs, err := harness.MeasureWorkload(benchCfg(200), kind, conns)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(secs, "exp-seconds")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6b sweeps pending-transaction counts against run
+// frequencies (Figure 6(b): time linear in p, steeper at higher run
+// frequency).
+func BenchmarkFigure6b(b *testing.B) {
+	for _, f := range []int{1, 10, 50} {
+		for _, p := range []int{10, 50} {
+			b.Run(fmt.Sprintf("f=%d/p=%d", f, p), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					secs, err := harness.MeasurePending(benchCfg(100), p, f)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(secs, "exp-seconds")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6c sweeps coordinating-set sizes for both structures
+// (Figure 6(c): small slope in k).
+func BenchmarkFigure6c(b *testing.B) {
+	for _, s := range []workload.Structure{workload.SpokeHub, workload.Cycle} {
+		for _, k := range []int{2, 5, 10} {
+			for _, f := range []int{10, 50} {
+				b.Run(fmt.Sprintf("%s/k=%d/f=%d", s, k, f), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						secs, err := harness.MeasureStructure(benchCfg(60), s, k, f)
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.ReportMetric(secs, "exp-seconds")
+					}
+				})
+			}
+		}
+	}
+}
+
+// --- ablations ----------------------------------------------------------
+
+func ablationDB(b *testing.B, iso entangle.Isolation) (*entangle.DB, *workload.Dataset) {
+	b.Helper()
+	d, err := workload.NewDataset(workload.Config{Users: 600, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := entangle.Open(entangle.Options{
+		Isolation:      iso,
+		RunFrequency:   20,
+		DefaultTimeout: time.Minute,
+		RetryInterval:  5 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	if err := d.Setup(db); err != nil {
+		b.Fatal(err)
+	}
+	return db, d
+}
+
+// BenchmarkAblationIsolation compares entangled-pair throughput across
+// isolation levels: FullEntangled (group commit + quasi-read locks),
+// RelaxedReads (early lock release, no quasi-read locks), NoWidowGuard (no
+// group commit) — the §3.3/§4 trade-off between isolation and concurrency.
+func BenchmarkAblationIsolation(b *testing.B) {
+	for _, iso := range []entangle.Isolation{
+		entangle.FullEntangled, entangle.RelaxedReads, entangle.NoWidowGuard,
+	} {
+		b.Run(iso.String(), func(b *testing.B) {
+			db, d := ablationDB(b, iso)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				progs := d.Batch(workload.EntangledT, 20)
+				handles := make([]*entangle.Handle, len(progs))
+				for j, p := range progs {
+					handles[j] = db.Submit(p)
+				}
+				for _, h := range handles {
+					if o := h.Wait(); o.Status != entangle.StatusCommitted {
+						b.Fatalf("outcome %+v", o)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRunFrequency isolates the §4 scheduling knob: cost of a
+// fixed workload under different run frequencies.
+func BenchmarkAblationRunFrequency(b *testing.B) {
+	for _, f := range []int{1, 5, 20} {
+		b.Run(fmt.Sprintf("f=%d", f), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				secs, err := harness.MeasurePending(benchCfg(60), 10, f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(secs, "exp-seconds")
+			}
+		})
+	}
+}
+
+// --- microbenchmarks of the substrates -----------------------------------
+
+func BenchmarkEQEvaluatePair(b *testing.B) {
+	db := eq.MapReader{
+		"Flights": {
+			{types.Int(122), types.Str("LA")},
+			{types.Int(123), types.Str("LA")},
+			{types.Int(124), types.Str("LA")},
+		},
+	}
+	mk := func(me, them string) *eq.Query {
+		return &eq.Query{
+			Head:   []eq.Atom{eq.NewAtom("R", eq.CStr(me), eq.V("f"))},
+			Post:   []eq.Atom{eq.NewAtom("R", eq.CStr(them), eq.V("f"))},
+			Body:   []eq.Atom{eq.NewAtom("Flights", eq.V("f"), eq.V("d"))},
+			Where:  []eq.Constraint{{Left: eq.V("d"), Op: eq.OpEq, Right: eq.CStr("LA")}},
+			Choose: 1,
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := eq.Evaluate([]eq.Pending{
+			{ID: 1, Query: mk("A", "B"), Reader: db},
+			{ID: 2, Query: mk("B", "A"), Reader: db},
+		}, eq.EvalOptions{})
+		if res.Answers[1].Status != eq.Answered {
+			b.Fatal("not answered")
+		}
+	}
+}
+
+func BenchmarkEQEvaluateCycle10(b *testing.B) {
+	reader := eq.MapReader{"Slots": {{types.Int(1)}, {types.Int(2)}}}
+	var pending []eq.Pending
+	const k = 10
+	for i := 0; i < k; i++ {
+		me := fmt.Sprintf("u%d", i)
+		next := fmt.Sprintf("u%d", (i+1)%k)
+		pending = append(pending, eq.Pending{ID: i, Query: &eq.Query{
+			Head:   []eq.Atom{eq.NewAtom("R", eq.CStr(me), eq.V("v"))},
+			Post:   []eq.Atom{eq.NewAtom("R", eq.CStr(next), eq.V("v"))},
+			Body:   []eq.Atom{eq.NewAtom("Slots", eq.V("v"))},
+			Choose: 1,
+		}, Reader: reader})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := eq.Evaluate(pending, eq.EvalOptions{})
+		if res.Answers[0].Status != eq.Answered {
+			b.Fatal("cycle not answered")
+		}
+	}
+}
+
+func BenchmarkStorageInsertLookup(b *testing.B) {
+	schema := types.NewSchema(
+		types.Column{Name: "id", Type: types.KindInt},
+		types.Column{Name: "town", Type: types.KindString},
+	)
+	tbl := storage.NewTable("T", schema)
+	tbl.CreateIndex("by_town", "town")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl.Insert(types.Tuple{types.Int(int64(i)), types.Str("LA")})
+		if i%16 == 0 {
+			tbl.Lookup([]string{"town"}, types.Tuple{types.Str("LA")})
+		}
+	}
+}
+
+func BenchmarkLockAcquireRelease(b *testing.B) {
+	m := lock.New(0)
+	obj := lock.TableRow{Table: "T", Row: lock.AllRows}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := uint64(i + 1)
+		if err := m.Acquire(tx, obj, lock.S); err != nil {
+			b.Fatal(err)
+		}
+		m.ReleaseAll(tx)
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.wal")
+	log, err := wal.Open(path, wal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	row := types.Tuple{types.Int(1), types.Str("LA")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := log.Append(wal.Insert(wal.TxID(i), "T", storage.RowID(i), row)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnginePairEndToEnd(b *testing.B) {
+	db, d := ablationDB(b, entangle.FullEntangled)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := d.NextPair()
+		h1 := db.Submit(d.Entangled(workload.EntangledT, u, v))
+		h2 := db.Submit(d.Entangled(workload.EntangledT, v, u))
+		if o := h1.Wait(); o.Status != entangle.StatusCommitted {
+			b.Fatalf("outcome %+v", o)
+		}
+		if o := h2.Wait(); o.Status != entangle.StatusCommitted {
+			b.Fatalf("outcome %+v", o)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command youtopia-gen inspects the synthetic workload generator: it
+// prints the social graph's degree distribution (the Slashdot substitute —
+// see DESIGN.md §3), the coordination-pair pool, and sample programs of
+// each workload kind.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"repro/internal/social"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		users = flag.Int("users", 1000, "users in the graph")
+		m     = flag.Int("m", 3, "preferential-attachment parameter")
+		seed  = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	g, err := social.Generate(*users, *m, *seed)
+	if err != nil {
+		fmt.Println("youtopia-gen:", err)
+		return
+	}
+	fmt.Printf("social graph: %d users, %d edges, max degree %d\n",
+		g.N(), len(g.Edges()), g.MaxDegree())
+
+	hist := g.DegreeHistogram()
+	degrees := make([]int, 0, len(hist))
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	fmt.Println("\ndegree distribution (log-binned):")
+	binTop := 4
+	count := 0
+	for _, d := range degrees {
+		for d > binTop {
+			if count > 0 {
+				fmt.Printf("  degree <= %4d: %5d users\n", binTop, count)
+				count = 0
+			}
+			binTop *= 2
+		}
+		count += hist[d]
+	}
+	if count > 0 {
+		fmt.Printf("  degree <= %4d: %5d users\n", binTop, count)
+	}
+
+	d, err := workload.NewDataset(workload.Config{Users: *users, AttachM: *m, Seed: *seed})
+	if err != nil {
+		fmt.Println("youtopia-gen:", err)
+		return
+	}
+	cfg := d.Config()
+	fmt.Printf("\ndataset: %d cities, %d destinations, %d flights\n",
+		cfg.Cities, cfg.Destinations, cfg.Cities*cfg.Destinations)
+	fmt.Println("\nsample coordination pairs (vertex-disjoint, same hometown):")
+	for i := 0; i < 5; i++ {
+		u, v := d.NextPair()
+		fmt.Printf("  user %4d <-> user %4d (hometown %s)\n", u, v, workload.CityName(d.Hometown[u]))
+	}
+	fmt.Println("\nworkload kinds:")
+	for _, k := range []workload.Kind{
+		workload.NoSocialT, workload.SocialT, workload.EntangledT,
+		workload.NoSocialQ, workload.SocialQ, workload.EntangledQ,
+	} {
+		fmt.Printf("  %-12s entangled=%v autocommit=%v\n", k, k.Entangled(), k.Autocommit())
+	}
+}

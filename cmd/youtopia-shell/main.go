@@ -1,0 +1,159 @@
+// Command youtopia-shell is a small interactive shell over the entangled
+// transaction engine: classical SQL executes immediately; scripts between
+// BEGIN TRANSACTION and COMMIT/ROLLBACK are submitted to the run scheduler,
+// so two shells (or one shell with \async) can coordinate through
+// entangled queries.
+//
+// Meta commands:
+//
+//	\tables          list tables
+//	\stats           engine counters
+//	\async           submit the next BEGIN...COMMIT block without waiting
+//	\wait            wait for all outstanding async transactions
+//	\quit            exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/entangle"
+)
+
+func main() {
+	var (
+		walPath = flag.String("wal", "", "write-ahead log path (empty = in-memory)")
+		freq    = flag.Int("f", 1, "run frequency (arrivals per run)")
+	)
+	flag.Parse()
+
+	db, err := entangle.Open(entangle.Options{Path: *walPath, RunFrequency: *freq})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "youtopia-shell:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	fmt.Println("Youtopia entangled-transaction shell. \\quit to exit.")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+
+	// Classical statements run through an interactive session, so host
+	// variables persist across statements. Transactions containing
+	// entangled queries must be entered as whole BEGIN...COMMIT blocks,
+	// which are submitted to the run scheduler.
+	interactive := db.Interactive()
+	defer interactive.Close()
+
+	var (
+		buf      strings.Builder
+		inTxn    bool
+		async    bool
+		pending  []*entangle.Handle
+		pendName []string
+	)
+	prompt := func() {
+		if inTxn {
+			fmt.Print("   ...> ")
+		} else {
+			fmt.Print("youtopia> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			prompt()
+			continue
+		case strings.HasPrefix(line, "\\"):
+			switch strings.Fields(line)[0] {
+			case "\\quit", "\\q":
+				return
+			case "\\tables":
+				for _, name := range db.Catalog().Names() {
+					tbl, _ := db.Catalog().Get(name)
+					fmt.Printf("  %s %s (%d rows)\n", name, tbl.Schema(), tbl.Len())
+				}
+			case "\\stats":
+				fmt.Printf("  %+v\n", db.Stats())
+			case "\\async":
+				async = true
+				fmt.Println("  next transaction will be submitted asynchronously")
+			case "\\wait":
+				for i, h := range pending {
+					o := h.Wait()
+					fmt.Printf("  [%s] %v (attempts=%d, err=%v)\n", pendName[i], o.Status, o.Attempts, o.Err)
+				}
+				pending, pendName = nil, nil
+			default:
+				fmt.Println("  unknown meta command", line)
+			}
+			prompt()
+			continue
+		}
+
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		upper := strings.ToUpper(line)
+		if strings.HasPrefix(upper, "BEGIN") {
+			inTxn = true
+		}
+		terminated := strings.HasSuffix(strings.TrimSuffix(strings.TrimSpace(line), ";"), "COMMIT") ||
+			strings.HasSuffix(strings.TrimSuffix(strings.TrimSpace(line), ";"), "ROLLBACK")
+		if inTxn && !terminated {
+			prompt()
+			continue
+		}
+		if !inTxn && !strings.HasSuffix(line, ";") {
+			prompt()
+			continue
+		}
+		script := buf.String()
+		buf.Reset()
+		wasTxn := inTxn
+		inTxn = false
+
+		if wasTxn {
+			h, err := db.SubmitScript(script)
+			if err != nil {
+				fmt.Println("  error:", err)
+			} else if async {
+				pending = append(pending, h)
+				pendName = append(pendName, fmt.Sprintf("txn-%d", len(pending)))
+				fmt.Println("  submitted asynchronously; \\wait to collect")
+			} else {
+				o := h.Wait()
+				fmt.Printf("  %v (attempts=%d)\n", o.Status, o.Attempts)
+				if o.Err != nil {
+					fmt.Println("  error:", o.Err)
+				}
+			}
+			async = false
+		} else {
+			res, err := interactive.Exec(script)
+			switch {
+			case err != nil:
+				fmt.Println("  error:", err)
+			case res != nil && len(res.Columns) > 0:
+				fmt.Println("  " + strings.Join(res.Columns, " | "))
+				for _, row := range res.Rows {
+					cells := make([]string, len(row))
+					for i, v := range row {
+						cells[i] = v.String()
+					}
+					fmt.Println("  " + strings.Join(cells, " | "))
+				}
+				fmt.Printf("  (%d rows)\n", len(res.Rows))
+			case res != nil:
+				fmt.Printf("  ok (%d rows affected)\n", res.RowsAffected)
+			default:
+				fmt.Println("  ok")
+			}
+		}
+		prompt()
+	}
+}

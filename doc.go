@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "Entangled
+// Transactions" (Gupta, Nikolic, Roy, Bender, Kot, Gehrke, Koch; PVLDB
+// 4(7), 2011).
+//
+// The public API lives in repro/entangle; this root package holds the
+// benchmark harness (bench_test.go) that regenerates every figure of the
+// paper's evaluation. See README.md, DESIGN.md, and EXPERIMENTS.md.
+package repro

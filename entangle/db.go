@@ -1,0 +1,277 @@
+// Package entangle is the public API of the entangled-transactions engine —
+// a from-scratch Go implementation of "Entangled Transactions" (Gupta,
+// Nikolic, Roy, Bender, Kot, Gehrke, Koch; PVLDB 4(7), 2011).
+//
+// A DB bundles the full stack: heap storage with hash indexes, a
+// hierarchical lock manager (Strict 2PL), a write-ahead log with
+// entanglement-aware crash recovery, classical ACID transactions, the
+// entangled-query evaluator, and the run-based entangled transaction
+// scheduler with group commit.
+//
+// Quick start:
+//
+//	db, _ := entangle.Open(entangle.Options{})
+//	defer db.Close()
+//	db.ExecDDL(`CREATE TABLE Flights (fno INT, fdate DATE, dest VARCHAR)`)
+//	db.Exec(`INSERT INTO Flights VALUES (122, '2011-05-03', 'LA')`)
+//
+//	h1, _ := db.SubmitScript(mickeyScript)  // BEGIN ... INTO ANSWER ... COMMIT
+//	h2, _ := db.SubmitScript(minnieScript)
+//	fmt.Println(h1.Wait().Status, h2.Wait().Status)
+//
+// Programs can also be written directly in Go against core.Tx via Submit.
+package entangle
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eq"
+	"repro/internal/lock"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// Re-exported names so that typical applications only import this package
+// (plus internal/eq and internal/types for hand-built queries and values).
+type (
+	// Program is an entangled transaction body with its timeout.
+	Program = core.Program
+	// Tx is the handle a program body uses for data access.
+	Tx = core.Tx
+	// Handle awaits a submitted program's outcome.
+	Handle = core.Handle
+	// Outcome is a program's final disposition.
+	Outcome = core.Outcome
+	// Stats are the engine counters.
+	Stats = core.Stats
+	// Isolation selects the entangled isolation level.
+	Isolation = core.Isolation
+)
+
+// Isolation levels and statuses, re-exported.
+const (
+	FullEntangled = core.FullEntangled
+	RelaxedReads  = core.RelaxedReads
+	NoWidowGuard  = core.NoWidowGuard
+
+	StatusCommitted  = core.StatusCommitted
+	StatusRolledBack = core.StatusRolledBack
+	StatusTimedOut   = core.StatusTimedOut
+	StatusFailed     = core.StatusFailed
+)
+
+// Options configures Open.
+type Options struct {
+	// Path is the write-ahead log file. Empty disables durability (pure
+	// in-memory engine, as used by benchmarks).
+	Path string
+	// SyncWAL fsyncs commit records.
+	SyncWAL bool
+	// Isolation is the entangled isolation level (default FullEntangled).
+	Isolation Isolation
+	// RunFrequency f: start a run per f arrivals (§5.2.2; default 1).
+	RunFrequency int
+	// Connections bounds concurrently executing transactions (default 100,
+	// the paper's default).
+	Connections int
+	// DefaultTimeout for programs without one (default 10s).
+	DefaultTimeout time.Duration
+	// RetryInterval for re-running pooled transactions (default 25ms).
+	RetryInterval time.Duration
+	// LockWaitTimeout bounds lock waits, like innodb_lock_wait_timeout
+	// (default 2s).
+	LockWaitTimeout time.Duration
+	// StmtLatency simulates the per-statement client-DBMS round trip.
+	StmtLatency time.Duration
+	// GroundLatency simulates the per-query grounding round trip during
+	// entangled-query evaluation.
+	GroundLatency time.Duration
+	// Trace receives schedule events (e.g. *isolation.Recorder).
+	Trace core.TraceSink
+}
+
+// DB is an open database.
+type DB struct {
+	cat    *storage.Catalog
+	locks  *lock.Manager
+	log    *wal.Log
+	txm    *txn.Manager
+	engine *core.Engine
+	path   string
+}
+
+// Open creates (or recovers) a database. When Options.Path names an
+// existing log/snapshot, the committed state — including the §4
+// entanglement-aware group-rollback rule — is recovered before the engine
+// starts.
+func Open(opts Options) (*DB, error) {
+	cat := storage.NewCatalog()
+	lockTimeout := opts.LockWaitTimeout
+	if lockTimeout <= 0 {
+		lockTimeout = 2 * time.Second
+	}
+	locks := lock.New(lockTimeout)
+	var log *wal.Log
+	if opts.Path != "" {
+		if _, err := wal.RecoverAll(opts.Path, cat); err != nil {
+			return nil, fmt.Errorf("entangle: recovery: %w", err)
+		}
+		var err error
+		log, err = wal.Open(opts.Path, wal.Options{Sync: opts.SyncWAL})
+		if err != nil {
+			return nil, err
+		}
+	}
+	txm := txn.NewManager(cat, locks, log)
+	engine := core.NewEngine(txm, core.Options{
+		Isolation:      opts.Isolation,
+		RunFrequency:   opts.RunFrequency,
+		Connections:    opts.Connections,
+		DefaultTimeout: opts.DefaultTimeout,
+		RetryInterval:  opts.RetryInterval,
+		StmtLatency:    opts.StmtLatency,
+		GroundLatency:  opts.GroundLatency,
+		Trace:          opts.Trace,
+	})
+	return &DB{cat: cat, locks: locks, log: log, txm: txm, engine: engine, path: opts.Path}, nil
+}
+
+// Close stops the engine and closes the log. Pending transactions fail
+// with ErrEngineClosed.
+func (db *DB) Close() error {
+	db.engine.Close()
+	if db.log != nil {
+		return db.log.Close()
+	}
+	return nil
+}
+
+// Engine exposes the entangled transaction engine.
+func (db *DB) Engine() *core.Engine { return db.engine }
+
+// Catalog exposes the table catalog.
+func (db *DB) Catalog() *storage.Catalog { return db.cat }
+
+// Stats returns engine counters.
+func (db *DB) Stats() Stats { return db.engine.Stats() }
+
+// ExecDDL runs CREATE TABLE / CREATE INDEX statements (semicolon-separated
+// script allowed).
+func (db *DB) ExecDDL(script string) error {
+	stmts, err := sql.Parse(script)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		if err := sql.ExecDDL(db.txm, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is a query result.
+type Result = sql.Result
+
+// Exec runs a single classical statement (or bare script) directly,
+// outside the run scheduler, and returns the last statement's result.
+// INSERT/UPDATE/DELETE statements each commit individually (autocommit),
+// matching a direct client connection.
+func (db *DB) Exec(script string) (*Result, error) {
+	stmts, err := sql.Parse(script)
+	if err != nil {
+		return nil, err
+	}
+	session := sql.NewSession()
+	var last *Result
+	for _, st := range stmts {
+		switch st.(type) {
+		case *sql.CreateTableStmt, *sql.CreateIndexStmt:
+			if err := sql.ExecDDL(db.txm, st); err != nil {
+				return nil, err
+			}
+			continue
+		case *sql.EntangledSelectStmt:
+			return nil, fmt.Errorf("entangle: entangled queries require SubmitScript")
+		}
+		stmt := st
+		var res *Result
+		o := db.engine.RunDirect(core.Program{Body: func(tx *core.Tx) error {
+			var err error
+			res, err = session.Exec(tx, db.cat, stmt)
+			return err
+		}})
+		if o.Status != core.StatusCommitted {
+			if o.Err != nil {
+				return nil, o.Err
+			}
+			return nil, fmt.Errorf("entangle: statement %v", o.Status)
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// Query runs a single SELECT and returns its rows.
+func (db *DB) Query(src string) (*Result, error) { return db.Exec(src) }
+
+// Submit queues a Go-level entangled transaction.
+func (db *DB) Submit(p Program) *Handle { return db.engine.Submit(p) }
+
+// RunDirect executes a non-entangled program immediately (the classical
+// path).
+func (db *DB) RunDirect(p Program) Outcome { return db.engine.RunDirect(p) }
+
+// SubmitScript compiles a SQL script and routes it appropriately: scripts
+// wrapped in BEGIN TRANSACTION go through the entangled scheduler; bare
+// scripts run as autocommit programs through the scheduler too (so their
+// entangled queries, if any, can coordinate).
+func (db *DB) SubmitScript(script string) (*Handle, error) {
+	prog, err := sql.BuildProgram(db.cat, script)
+	if err != nil {
+		return nil, err
+	}
+	return db.engine.Submit(prog), nil
+}
+
+// Checkpoint snapshots the database and truncates the log (quiescent
+// checkpoint; call between runs).
+func (db *DB) Checkpoint() error {
+	if db.log == nil {
+		return fmt.Errorf("entangle: no WAL configured")
+	}
+	return wal.Checkpoint(db.log, db.cat)
+}
+
+// Flush synchronously executes one scheduling run (deterministic testing).
+func (db *DB) Flush() { db.engine.Flush() }
+
+// Convenience re-exports for building programs in Go.
+
+// Values constructs a tuple.
+func Values(vs ...types.Value) types.Tuple { return types.Tuple(vs) }
+
+// Int, Str, Date, Bool build values.
+func Int(v int64) types.Value   { return types.Int(v) }
+func Str(v string) types.Value  { return types.Str(v) }
+func Date(s string) types.Value { return types.MustDate(s) }
+func Bool(v bool) types.Value   { return types.Bool(v) }
+
+// Query builders for hand-written entangled queries.
+
+// Atom builds an ANSWER or database atom; use Var and Const for terms.
+func Atom(rel string, args ...eq.Term) eq.Atom { return eq.Atom{Rel: rel, Args: args} }
+
+// Var is a query variable term.
+func Var(name string) eq.Term { return eq.V(name) }
+
+// Const is a constant term.
+func Const(v types.Value) eq.Term { return eq.C(v) }
+
+// EQ is the entangled query type, re-exported.
+type EQ = eq.Query

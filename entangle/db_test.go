@@ -1,0 +1,195 @@
+package entangle
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eq"
+)
+
+func openTest(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.ExecDDL(`
+		CREATE TABLE Flights (fno INT, fdate DATE, dest VARCHAR);
+		CREATE TABLE Bookings (name VARCHAR, fno INT, fdate DATE);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	seed := []string{
+		"INSERT INTO Flights VALUES (122, '2011-05-03', 'LA')",
+		"INSERT INTO Flights VALUES (123, '2011-05-04', 'LA')",
+	}
+	for _, s := range seed {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func pairScript(me, them string) string {
+	return fmt.Sprintf(`
+	BEGIN TRANSACTION WITH TIMEOUT 2 SECONDS;
+	SELECT '%s', fno AS @fno, fdate AS @fdate INTO ANSWER FlightRes
+	WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA')
+	AND ('%s', fno, fdate) IN ANSWER FlightRes
+	CHOOSE 1;
+	INSERT INTO Bookings VALUES ('%s', @fno, @fdate);
+	COMMIT;`, me, them, me)
+}
+
+func TestOpenExecQuery(t *testing.T) {
+	db := openTest(t, Options{})
+	res, err := db.Query("SELECT fno FROM Flights WHERE dest='LA'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSubmitScriptPairCommits(t *testing.T) {
+	db := openTest(t, Options{RunFrequency: 2})
+	h1, err := db.SubmitScript(pairScript("Mickey", "Minnie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := db.SubmitScript(pairScript("Minnie", "Mickey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := h1.Wait(); o.Status != StatusCommitted {
+		t.Fatalf("Mickey: %+v", o)
+	}
+	if o := h2.Wait(); o.Status != StatusCommitted {
+		t.Fatalf("Minnie: %+v", o)
+	}
+	res, _ := db.Query("SELECT name, fno FROM Bookings")
+	if len(res.Rows) != 2 || !res.Rows[0][1].Equal(res.Rows[1][1]) {
+		t.Fatalf("bookings = %v", res.Rows)
+	}
+	if st := db.Stats(); st.GroupCommits != 1 {
+		t.Errorf("GroupCommits = %d", st.GroupCommits)
+	}
+}
+
+func TestDurabilityAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.wal")
+	db, err := Open(Options{Path: path, RunFrequency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ExecDDL(`
+		CREATE TABLE Flights (fno INT, fdate DATE, dest VARCHAR);
+		CREATE TABLE Bookings (name VARCHAR, fno INT, fdate DATE);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	db.Exec("INSERT INTO Flights VALUES (122, '2011-05-03', 'LA')")
+	h1, _ := db.SubmitScript(pairScript("Mickey", "Minnie"))
+	h2, _ := db.SubmitScript(pairScript("Minnie", "Mickey"))
+	if o := h1.Wait(); o.Status != StatusCommitted {
+		t.Fatalf("Mickey: %+v", o)
+	}
+	if o := h2.Wait(); o.Status != StatusCommitted {
+		t.Fatalf("Minnie: %+v", o)
+	}
+	db.Close()
+
+	// Reopen: recovery replays DDL + committed group.
+	db2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res, err := db2.Query("SELECT name FROM Bookings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("recovered bookings = %v", res.Rows)
+	}
+}
+
+func TestCheckpointAndRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.wal")
+	db, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.ExecDDL("CREATE TABLE T (a INT)")
+	db.Exec("INSERT INTO T VALUES (1)")
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Exec("INSERT INTO T VALUES (2)")
+	db.Close()
+
+	db2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res, _ := db2.Query("SELECT a FROM T")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestExecRejectsEntangled(t *testing.T) {
+	db := openTest(t, Options{})
+	if _, err := db.Exec("SELECT 'x', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM Flights) CHOOSE 1"); err == nil {
+		t.Fatal("entangled query through Exec accepted")
+	}
+}
+
+func TestGoProgramAPI(t *testing.T) {
+	db := openTest(t, Options{RunFrequency: 2})
+	prog := func(me, them string) Program {
+		return Program{
+			Name:    me,
+			Timeout: 2 * time.Second,
+			Body: func(tx *Tx) error {
+				a := tx.Entangle(&EQ{
+					Head:   []eq.Atom{Atom("R", Const(Str(me)), Var("f"))},
+					Post:   []eq.Atom{Atom("R", Const(Str(them)), Var("f"))},
+					Body:   []eq.Atom{Atom("Flights", Var("f"), Var("d"), Var("dest"))},
+					Choose: 1,
+				})
+				if a.Status != eq.Answered {
+					return fmt.Errorf("status %v", a.Status)
+				}
+				_, err := tx.Insert("Bookings", Values(Str(me), a.Bindings["f"], a.Bindings["d"]))
+				return err
+			},
+		}
+	}
+	h1 := db.Submit(prog("A", "B"))
+	h2 := db.Submit(prog("B", "A"))
+	if o := h1.Wait(); o.Status != StatusCommitted {
+		t.Fatalf("A: %+v", o)
+	}
+	if o := h2.Wait(); o.Status != StatusCommitted {
+		t.Fatalf("B: %+v", o)
+	}
+}
+
+func TestRunDirect(t *testing.T) {
+	db := openTest(t, Options{})
+	o := db.RunDirect(Program{Body: func(tx *Tx) error {
+		_, err := tx.Insert("Bookings", Values(Str("solo"), Int(122), Date("2011-05-03")))
+		return err
+	}})
+	if o.Status != core.StatusCommitted {
+		t.Fatalf("outcome = %+v", o)
+	}
+}

@@ -1,0 +1,127 @@
+package entangle_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/entangle"
+	"repro/internal/eq"
+)
+
+// Example reproduces the paper's §2 scenario: Mickey and Minnie coordinate
+// on a flight to LA through entangled SQL, and both bookings commit
+// atomically as a group.
+func Example() {
+	db, err := entangle.Open(entangle.Options{RunFrequency: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	db.ExecDDL(`
+		CREATE TABLE Flights (fno INT, fdate DATE, dest VARCHAR);
+		CREATE TABLE Bookings (name VARCHAR, fno INT);
+	`)
+	db.Exec(`INSERT INTO Flights VALUES (122, '2011-05-03', 'LA')`)
+
+	script := func(me, them string) string {
+		return fmt.Sprintf(`
+		BEGIN TRANSACTION WITH TIMEOUT 5 SECONDS;
+		SELECT '%s', fno AS @fno INTO ANSWER FlightRes
+		WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA')
+		AND ('%s', fno) IN ANSWER FlightRes
+		CHOOSE 1;
+		INSERT INTO Bookings VALUES ('%s', @fno);
+		COMMIT;`, me, them, me)
+	}
+	h1, _ := db.SubmitScript(script("Mickey", "Minnie"))
+	h2, _ := db.SubmitScript(script("Minnie", "Mickey"))
+	fmt.Println("Mickey:", h1.Wait().Status)
+	fmt.Println("Minnie:", h2.Wait().Status)
+
+	res, _ := db.Query("SELECT name, fno FROM Bookings WHERE name='Mickey'")
+	fmt.Println("Mickey booked flight", res.Rows[0][1])
+	// Output:
+	// Mickey: COMMITTED
+	// Minnie: COMMITTED
+	// Mickey booked flight 122
+}
+
+// ExampleDB_Submit shows an entangled transaction written directly in Go:
+// two parties coordinate on a common value chosen from a table.
+func ExampleDB_Submit() {
+	db, _ := entangle.Open(entangle.Options{RunFrequency: 2})
+	defer db.Close()
+	db.ExecDDL(`CREATE TABLE Slots (t INT)`)
+	db.Exec(`INSERT INTO Slots VALUES (15)`)
+
+	meet := func(me, them string) entangle.Program {
+		return entangle.Program{
+			Timeout: 2 * time.Second,
+			Body: func(tx *entangle.Tx) error {
+				a := tx.Entangle(&entangle.EQ{
+					Head:   []eq.Atom{entangle.Atom("Meet", entangle.Const(entangle.Str(me)), entangle.Var("t"))},
+					Post:   []eq.Atom{entangle.Atom("Meet", entangle.Const(entangle.Str(them)), entangle.Var("t"))},
+					Body:   []eq.Atom{entangle.Atom("Slots", entangle.Var("t"))},
+					Choose: 1,
+				})
+				if a.Status != eq.Answered {
+					return fmt.Errorf("no meeting: %v", a.Status)
+				}
+				fmt.Printf("%s meets at %s\n", me, a.Bindings["t"])
+				return nil
+			},
+		}
+	}
+	h1 := db.Submit(meet("alice", "bob"))
+	h2 := db.Submit(meet("bob", "alice"))
+	h1.Wait()
+	h2.Wait()
+	// Unordered output:
+	// alice meets at 15
+	// bob meets at 15
+}
+
+// ExampleDB_Interactive shows the statement-at-a-time classical session.
+func ExampleDB_Interactive() {
+	db, _ := entangle.Open(entangle.Options{})
+	defer db.Close()
+	db.ExecDDL(`CREATE TABLE T (a INT)`)
+
+	s := db.Interactive()
+	defer s.Close()
+	s.Exec("BEGIN TRANSACTION")
+	s.Exec("INSERT INTO T VALUES (1)")
+	s.Exec("SET @x = 1 + 1")
+	s.Exec("INSERT INTO T VALUES (@x)")
+	s.Exec("COMMIT")
+	res, _ := s.Exec("SELECT a FROM T WHERE a >= 1")
+	fmt.Println("rows:", len(res.Rows))
+	// Output:
+	// rows: 2
+}
+
+// ExampleDB_Submit_timeout shows the §3.1 timeout: a transaction whose
+// entanglement partner never arrives leaves the system with a timeout.
+func ExampleDB_Submit_timeout() {
+	db, _ := entangle.Open(entangle.Options{RetryInterval: 5 * time.Millisecond})
+	defer db.Close()
+	db.ExecDDL(`CREATE TABLE Slots (t INT)`)
+	db.Exec(`INSERT INTO Slots VALUES (9)`)
+
+	h := db.Submit(entangle.Program{
+		Timeout: 100 * time.Millisecond,
+		Body: func(tx *entangle.Tx) error {
+			tx.Entangle(&entangle.EQ{
+				Head:   []eq.Atom{entangle.Atom("Meet", entangle.Const(entangle.Str("donald")), entangle.Var("t"))},
+				Post:   []eq.Atom{entangle.Atom("Meet", entangle.Const(entangle.Str("daffy")), entangle.Var("t"))},
+				Body:   []eq.Atom{entangle.Atom("Slots", entangle.Var("t"))},
+				Choose: 1,
+			})
+			return nil
+		},
+	})
+	fmt.Println(h.Wait().Status)
+	// Output:
+	// TIMED-OUT
+}

@@ -1,0 +1,165 @@
+package entangle
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInteractiveAutocommit(t *testing.T) {
+	db := openTest(t, Options{})
+	s := db.Interactive()
+	defer s.Close()
+	if _, err := s.Exec("INSERT INTO Bookings VALUES ('solo', 122, '2011-05-03')"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec("SELECT name FROM Bookings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestInteractiveTransactionBlock(t *testing.T) {
+	db := openTest(t, Options{})
+	s := db.Interactive()
+	defer s.Close()
+	if _, err := s.Exec("BEGIN TRANSACTION"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.InTransaction() {
+		t.Fatal("not in transaction after BEGIN")
+	}
+	if _, err := s.Exec("INSERT INTO Bookings VALUES ('a', 122, '2011-05-03')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("SET @f = 123"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO Bookings VALUES ('b', @f, '2011-05-04')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query("SELECT name, fno FROM Bookings")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestInteractiveRollback(t *testing.T) {
+	db := openTest(t, Options{})
+	s := db.Interactive()
+	defer s.Close()
+	s.Exec("BEGIN TRANSACTION")
+	s.Exec("INSERT INTO Bookings VALUES ('x', 1, '2011-05-03')")
+	if _, err := s.Exec("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query("SELECT name FROM Bookings")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rollback leaked: %v", res.Rows)
+	}
+}
+
+func TestInteractiveStatementErrorPoisonsBlock(t *testing.T) {
+	db := openTest(t, Options{})
+	s := db.Interactive()
+	defer s.Close()
+	s.Exec("BEGIN TRANSACTION")
+	s.Exec("INSERT INTO Bookings VALUES ('x', 1, '2011-05-03')")
+	if _, err := s.Exec("INSERT INTO Nope VALUES (1)"); err == nil {
+		t.Fatal("statement against missing table accepted")
+	}
+	if s.InTransaction() {
+		t.Fatal("failed statement should end the block")
+	}
+	res, _ := db.Query("SELECT name FROM Bookings")
+	if len(res.Rows) != 0 {
+		t.Fatalf("poisoned block leaked writes: %v", res.Rows)
+	}
+}
+
+func TestInteractiveHoldsLocksUntilCommit(t *testing.T) {
+	db := openTest(t, Options{})
+	s := db.Interactive()
+	defer s.Close()
+	s.Exec("BEGIN TRANSACTION")
+	if _, err := s.Exec("SELECT fno FROM Flights"); err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent writer must block until the interactive reader commits
+	// (Strict 2PL, table read locks).
+	done := make(chan Outcome, 1)
+	go func() {
+		done <- db.RunDirect(Program{Body: func(tx *Tx) error {
+			_, err := tx.Insert("Flights", Values(Int(999), Date("2011-06-01"), Str("SF")))
+			return err
+		}})
+	}()
+	select {
+	case o := <-done:
+		t.Fatalf("writer proceeded against interactive reader: %+v", o)
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.Exec("COMMIT")
+	if o := <-done; o.Status != StatusCommitted {
+		t.Fatalf("writer = %+v", o)
+	}
+}
+
+func TestInteractiveRejectsEntangled(t *testing.T) {
+	db := openTest(t, Options{})
+	s := db.Interactive()
+	defer s.Close()
+	_, err := s.Exec(`SELECT 'a', fno INTO ANSWER R
+		WHERE fno IN (SELECT fno FROM Flights) CHOOSE 1`)
+	if !errors.Is(err, ErrInteractiveEntangle) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInteractiveErrors(t *testing.T) {
+	db := openTest(t, Options{})
+	s := db.Interactive()
+	defer s.Close()
+	if _, err := s.Exec("COMMIT"); err == nil {
+		t.Error("COMMIT outside block accepted")
+	}
+	if _, err := s.Exec("ROLLBACK"); err == nil {
+		t.Error("ROLLBACK outside block accepted")
+	}
+	s.Exec("BEGIN TRANSACTION")
+	if _, err := s.Exec("BEGIN TRANSACTION"); err == nil {
+		t.Error("nested BEGIN accepted")
+	}
+	if _, err := s.Exec("CREATE TABLE T2 (a INT)"); err == nil {
+		t.Error("DDL inside block accepted")
+	}
+	// Close rolls back the open block.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.InTransaction() {
+		t.Error("still in transaction after Close")
+	}
+}
+
+func TestInteractiveDDLOutsideBlock(t *testing.T) {
+	db := openTest(t, Options{})
+	s := db.Interactive()
+	defer s.Close()
+	if _, err := s.Exec("CREATE TABLE Extra (a INT); CREATE INDEX ex_a ON Extra (a)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO Extra VALUES (7)"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query("SELECT a FROM Extra WHERE a = 7")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}

@@ -1,0 +1,125 @@
+// Auction: a circular swap — the Cyclic coordination structure of §5.2.2
+// in an auction/trading setting ([10] in the paper's intro motivates
+// expressive auctions). Three collectors each give one card and want
+// another, forming a cycle: the trade happens only if all three
+// transactions coordinate, and group commit makes the three-way swap
+// atomic.
+//
+//	go run ./examples/auction
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/entangle"
+	"repro/internal/eq"
+	"repro/internal/types"
+)
+
+func main() {
+	db, err := entangle.Open(entangle.Options{RunFrequency: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db.ExecDDL(`
+		CREATE TABLE Cards (owner VARCHAR, card VARCHAR);
+		CREATE TABLE Venues (vid INT, city VARCHAR);
+		CREATE TABLE Trades (owner VARCHAR, gives VARCHAR, venue INT);
+		CREATE INDEX cards_owner ON Cards (owner);
+	`))
+	_, err = db.Exec(`
+		INSERT INTO Cards VALUES ('Ann', 'Charizard');
+		INSERT INTO Cards VALUES ('Ben', 'Blastoise');
+		INSERT INTO Cards VALUES ('Cyn', 'Venusaur');
+		INSERT INTO Venues VALUES (1, 'Ithaca');
+		INSERT INTO Venues VALUES (2, 'Seattle');
+	`)
+	must(err)
+
+	// Each trader's entangled query: "I will meet at venue ?v if the next
+	// trader in the ring also meets at ?v." The ring Ann -> Ben -> Cyn ->
+	// Ann means all three must choose the same venue — a cyclic
+	// coordinating set.
+	meet := func(me, next string) *entangle.EQ {
+		return &entangle.EQ{
+			Head:   []eq.Atom{entangle.Atom("Swap", entangle.Const(entangle.Str(me)), entangle.Var("v"))},
+			Post:   []eq.Atom{entangle.Atom("Swap", entangle.Const(entangle.Str(next)), entangle.Var("v"))},
+			Body:   []eq.Atom{entangle.Atom("Venues", entangle.Var("v"), entangle.Var("city"))},
+			Choose: 1,
+		}
+	}
+
+	trade := func(me, next, gives string) entangle.Program {
+		return entangle.Program{
+			Name:    "trade-" + me,
+			Timeout: 3 * time.Second,
+			Body: func(tx *entangle.Tx) error {
+				a := tx.Entangle(meet(me, next))
+				if a.Status != eq.Answered {
+					return fmt.Errorf("%s found no swap ring: %v", me, a.Status)
+				}
+				venue := a.Bindings["v"]
+				// Hand over the card: indexed point lookup (row-granular
+				// locks, so the three traders do not contend on the Cards
+				// table), delete, record the trade.
+				ids, rows, err := tx.LookupIDs("Cards", []string{"owner"}, entangle.Values(types.Str(me)))
+				if err != nil {
+					return err
+				}
+				for i, row := range rows {
+					if row[1].Str64() == gives {
+						if err := tx.Delete("Cards", ids[i]); err != nil {
+							return err
+						}
+						break
+					}
+				}
+				_, err = tx.Insert("Trades", entangle.Values(
+					types.Str(me), types.Str(gives), venue))
+				return err
+			},
+		}
+	}
+
+	fmt.Println("== Three-way card swap: Ann -> Ben -> Cyn -> Ann ==")
+	h1 := db.Submit(trade("Ann", "Ben", "Charizard"))
+	h2 := db.Submit(trade("Ben", "Cyn", "Blastoise"))
+	h3 := db.Submit(trade("Cyn", "Ann", "Venusaur"))
+	fmt.Println("Ann:", h1.Wait().Status)
+	fmt.Println("Ben:", h2.Wait().Status)
+	fmt.Println("Cyn:", h3.Wait().Status)
+
+	res, _ := db.Query("SELECT owner, gives, venue FROM Trades")
+	venue := ""
+	for _, row := range res.Rows {
+		fmt.Printf("  %s gives %s at venue %s\n", row[0], row[1], row[2])
+		if venue == "" {
+			venue = row[2].String()
+		} else if venue != row[2].String() {
+			log.Fatal("traders chose different venues!")
+		}
+	}
+	left, _ := db.Query("SELECT owner FROM Cards")
+	fmt.Printf("cards left unswapped: %d (must be 0 — the swap is atomic)\n\n", len(left.Rows))
+
+	fmt.Println("== Broken ring: Dee waits on Eve, who never arrives ==")
+	_, err = db.Exec("INSERT INTO Cards VALUES ('Dee', 'Mewtwo')")
+	must(err)
+	h4 := db.Submit(trade("Dee", "Eve", "Mewtwo"))
+	o := h4.Wait()
+	fmt.Printf("Dee: %v after %d attempts — and her card is still hers:\n", o.Status, o.Attempts)
+	left, _ = db.Query("SELECT owner, card FROM Cards")
+	for _, row := range left.Rows {
+		fmt.Printf("  %s still owns %s\n", row[0], row[1])
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Giftmatch: charity donation matching — one of the coordination domains
+// the paper's introduction cites ([3], Conitzer & Sandholm). A donor
+// pledges to a charity only if a matcher pledges the same amount; both
+// pledges land atomically (group commit) or not at all.
+//
+// This example uses the Go program API rather than SQL, and demonstrates
+// the EmptyAnswer outcome (partners present but no agreeable amount).
+//
+//	go run ./examples/giftmatch
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/entangle"
+	"repro/internal/eq"
+	"repro/internal/types"
+)
+
+func main() {
+	db, err := entangle.Open(entangle.Options{RunFrequency: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db.ExecDDL(`
+		CREATE TABLE Charities (cid INT, name VARCHAR);
+		CREATE TABLE Tiers (cid INT, amount INT);
+		CREATE TABLE Pledges (donor VARCHAR, cid INT, amount INT);
+	`))
+	_, err = db.Exec(`
+		INSERT INTO Charities VALUES (1, 'Clean Water Fund');
+		INSERT INTO Tiers VALUES (1, 50);
+		INSERT INTO Tiers VALUES (1, 100);
+		INSERT INTO Tiers VALUES (1, 250);
+	`)
+	must(err)
+
+	// matchQuery: donor pledges ?amount to charity cid provided partner
+	// pledges the same ?amount to the same charity; the tier table bounds
+	// the choices, and maxAmount caps this donor's budget.
+	matchQuery := func(donor, partner string, cid, maxAmount int64) *entangle.EQ {
+		return &entangle.EQ{
+			Head: []eq.Atom{entangle.Atom("GiftMatch",
+				entangle.Const(entangle.Str(donor)), entangle.Const(entangle.Int(cid)), entangle.Var("amount"))},
+			Post: []eq.Atom{entangle.Atom("GiftMatch",
+				entangle.Const(entangle.Str(partner)), entangle.Const(entangle.Int(cid)), entangle.Var("amount"))},
+			Body: []eq.Atom{entangle.Atom("Tiers", entangle.Var("c"), entangle.Var("amount"))},
+			Where: []eq.Constraint{
+				{Left: entangle.Var("c"), Op: eq.OpEq, Right: entangle.Const(entangle.Int(cid))},
+				{Left: entangle.Var("amount"), Op: eq.OpLe, Right: entangle.Const(entangle.Int(maxAmount))},
+			},
+			Choose: 1,
+		}
+	}
+
+	pledge := func(donor, partner string, cid, budget int64) entangle.Program {
+		return entangle.Program{
+			Name:    "pledge-" + donor,
+			Timeout: 3 * time.Second,
+			Body: func(tx *entangle.Tx) error {
+				a := tx.Entangle(matchQuery(donor, partner, cid, budget))
+				switch a.Status {
+				case eq.Answered:
+					amount := a.Bindings["amount"]
+					fmt.Printf("  %s matched at $%s\n", donor, amount)
+					_, err := tx.Insert("Pledges", entangle.Values(
+						types.Str(donor), types.Int(cid), amount))
+					return err
+				case eq.EmptyAnswer:
+					// Partner present but no mutually agreeable tier — the
+					// Appendix B "success with empty answer": proceed
+					// without pledging.
+					fmt.Printf("  %s: no agreeable amount, no pledge made\n", donor)
+					return nil
+				default:
+					return fmt.Errorf("%s: %v", donor, a.Status)
+				}
+			},
+		}
+	}
+
+	fmt.Println("== Alice ($250 budget) and Bob ($100 budget) match a gift ==")
+	h1 := db.Submit(pledge("Alice", "Bob", 1, 250))
+	h2 := db.Submit(pledge("Bob", "Alice", 1, 100))
+	fmt.Println("Alice:", h1.Wait().Status)
+	fmt.Println("Bob:  ", h2.Wait().Status)
+
+	res, _ := db.Query("SELECT donor, amount FROM Pledges")
+	total := int64(0)
+	for _, row := range res.Rows {
+		total += row[1].Int64()
+	}
+	fmt.Printf("pledged: %d rows, $%d total (amounts must match)\n\n", len(res.Rows), total)
+
+	fmt.Println("== Carol ($25 budget) and Dave ($30): no tier fits both ==")
+	h3 := db.Submit(pledge("Carol", "Dave", 1, 25))
+	h4 := db.Submit(pledge("Dave", "Carol", 1, 30))
+	fmt.Println("Carol:", h3.Wait().Status)
+	fmt.Println("Dave: ", h4.Wait().Status)
+	res, _ = db.Query("SELECT donor FROM Pledges WHERE donor='Carol'")
+	fmt.Printf("Carol's pledges: %d (empty answer, no pledge — but the transaction committed)\n", len(res.Rows))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

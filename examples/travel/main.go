@@ -1,0 +1,144 @@
+// Travel: the paper's running example in full — the Figure 2 transaction
+// with two entangled queries (flight, then hotel with @ArrivalDay and
+// @StayLength host variables), the Figure 4 scheduling run (Donald waits
+// for Daffy and times out), and a widowed-transaction scenario showing
+// group commit keeping the database consistent.
+//
+//	go run ./examples/travel
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/entangle"
+	"repro/internal/eq"
+)
+
+func main() {
+	db, err := entangle.Open(entangle.Options{
+		RunFrequency:  3,
+		RetryInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	setup(db)
+
+	fmt.Println("== Figure 2: flight + hotel coordination (two entangled queries) ==")
+	h1, err := db.SubmitScript(travelScript("Mickey", "Minnie"))
+	must(err)
+	h2, err := db.SubmitScript(travelScript("Minnie", "Mickey"))
+	must(err)
+	// Donald wants to travel with Daffy, who never shows up (Figure 4).
+	h3, err := db.SubmitScript(flightOnlyScript("Donald", "Daffy", "2 SECONDS"))
+	must(err)
+
+	fmt.Println("Mickey:", h1.Wait().Status)
+	fmt.Println("Minnie:", h2.Wait().Status)
+	o3 := h3.Wait()
+	fmt.Printf("Donald: %v after %d attempts (no partner, as in Figure 4)\n", o3.Status, o3.Attempts)
+
+	showBookings(db)
+
+	fmt.Println("\n== Widow prevention: Goofy aborts mid-booking; Pluto must not commit ==")
+	h4, err := db.SubmitScript(flightOnlyScript("Pluto", "Goofy", "1 SECOND"))
+	must(err)
+	// Goofy coordinates, then hits an application error and rolls back.
+	h5 := db.Submit(entangle.Program{
+		Name:    "goofy",
+		Timeout: time.Second,
+		Body: func(tx *entangle.Tx) error {
+			a := tx.Entangle(&entangle.EQ{
+				Head:   []eq.Atom{entangle.Atom("FlightRes", entangle.Const(entangle.Str("Goofy")), entangle.Var("fno"), entangle.Var("fdate"))},
+				Post:   []eq.Atom{entangle.Atom("FlightRes", entangle.Const(entangle.Str("Pluto")), entangle.Var("fno"), entangle.Var("fdate"))},
+				Body:   []eq.Atom{entangle.Atom("Flights", entangle.Var("fno"), entangle.Var("fdate"), entangle.Var("dest"))},
+				Where:  []eq.Constraint{{Left: entangle.Var("dest"), Op: eq.OpEq, Right: entangle.Const(entangle.Str("LA"))}},
+				Choose: 1,
+			})
+			if a.Status != eq.Answered {
+				return fmt.Errorf("no flight: %v", a.Status)
+			}
+			fmt.Println("  Goofy coordinated on flight", a.Bindings["fno"], "- but his card is declined!")
+			tx.Rollback()
+			return nil
+		},
+	})
+	fmt.Println("Goofy:", h5.Wait().Status)
+	o4 := h4.Wait()
+	fmt.Printf("Pluto: %v (group commit prevented a widowed booking)\n", o4.Status)
+
+	res, _ := db.Query("SELECT name FROM FlightBookings WHERE name='Pluto'")
+	fmt.Printf("Pluto's bookings in the database: %d (must be 0)\n", len(res.Rows))
+}
+
+func setup(db *entangle.DB) {
+	must(db.ExecDDL(`
+		CREATE TABLE Flights (fno INT, fdate DATE, dest VARCHAR);
+		CREATE TABLE Hotels (hid INT, location VARCHAR);
+		CREATE TABLE FlightBookings (name VARCHAR, fno INT, fdate DATE);
+		CREATE TABLE HotelBookings (name VARCHAR, hid INT, arrival DATE, nights INT);
+	`))
+	_, err := db.Exec(`
+		INSERT INTO Flights VALUES (122, '2011-05-03', 'LA');
+		INSERT INTO Flights VALUES (123, '2011-05-04', 'LA');
+		INSERT INTO Flights VALUES (124, '2011-05-03', 'LA');
+		INSERT INTO Flights VALUES (235, '2011-05-05', 'Paris');
+		INSERT INTO Hotels VALUES (7, 'LA');
+		INSERT INTO Hotels VALUES (8, 'LA');
+	`)
+	must(err)
+}
+
+// travelScript is the Figure 2 transaction: coordinate on a flight, book
+// it, derive the stay length, coordinate on a hotel, book it.
+func travelScript(me, them string) string {
+	return fmt.Sprintf(`
+	BEGIN TRANSACTION WITH TIMEOUT 5 SECONDS;
+	SELECT '%[1]s', fno AS @fno, fdate AS @ArrivalDay
+	INTO ANSWER FlightRes
+	WHERE fno, fdate IN
+		(SELECT fno, fdate FROM Flights WHERE dest='LA')
+	AND ('%[2]s', fno, fdate) IN ANSWER FlightRes
+	CHOOSE 1;
+	INSERT INTO FlightBookings VALUES ('%[1]s', @fno, @ArrivalDay);
+	SET @StayLength = '2011-05-06' - @ArrivalDay;
+	SELECT '%[1]s', hid AS @hid, @ArrivalDay, @StayLength
+	INTO ANSWER HotelRes
+	WHERE hid IN
+		(SELECT hid FROM Hotels WHERE location='LA')
+	AND ('%[2]s', hid, @ArrivalDay, @StayLength) IN ANSWER HotelRes
+	CHOOSE 1;
+	INSERT INTO HotelBookings VALUES ('%[1]s', @hid, @ArrivalDay, @StayLength);
+	COMMIT;`, me, them)
+}
+
+func flightOnlyScript(me, them, timeout string) string {
+	return fmt.Sprintf(`
+	BEGIN TRANSACTION WITH TIMEOUT %[3]s;
+	SELECT '%[1]s', fno AS @fno, fdate AS @fdate INTO ANSWER FlightRes
+	WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA')
+	AND ('%[2]s', fno, fdate) IN ANSWER FlightRes
+	CHOOSE 1;
+	INSERT INTO FlightBookings VALUES ('%[1]s', @fno, @fdate);
+	COMMIT;`, me, them, timeout)
+}
+
+func showBookings(db *entangle.DB) {
+	flights, _ := db.Query("SELECT name, fno, fdate FROM FlightBookings")
+	for _, row := range flights.Rows {
+		fmt.Printf("  flight: %-8s #%s on %s\n", row[0], row[1], row[2])
+	}
+	hotels, _ := db.Query("SELECT name, hid, arrival, nights FROM HotelBookings")
+	for _, row := range hotels.Rows {
+		fmt.Printf("  hotel:  %-8s hotel %s from %s for %s nights\n", row[0], row[1], row[2], row[3])
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

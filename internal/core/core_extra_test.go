@@ -1,0 +1,314 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/eq"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Additional engine coverage: failure injection, retry dynamics, scheduler
+// policy, and randomized soak testing.
+
+// TestBodyPanicPropagates: a program body that panics with a non-sentinel
+// value must crash loudly (programming error), not be swallowed.
+func TestBodyPanicPropagates(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	defer func() {
+		// The panic happens on the member goroutine; RunDirect runs the
+		// body on this goroutine, so recover here.
+		if r := recover(); r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+	}()
+	e.RunDirect(Program{Body: func(tx *Tx) error {
+		panic("user bug")
+	}})
+}
+
+// TestDeadlockedPairRetriesAndCommits: two entangled partners whose
+// post-entanglement bookings write each other's rows in opposite order
+// deadlock; both must retry as a group and eventually commit.
+func TestDeadlockedPairRetriesAndCommits(t *testing.T) {
+	e := newTestEngine(t, Options{RunFrequency: 2, RetryInterval: 5 * time.Millisecond})
+	seedRows := func() (a, b int64) {
+		tx, _ := e.BeginClassical()
+		ida, _ := tx.Insert("Reservations", types.Tuple{types.Str("slotA"), types.Int(0), types.Date(0)})
+		idb, _ := tx.Insert("Reservations", types.Tuple{types.Str("slotB"), types.Int(0), types.Date(0)})
+		tx.Commit()
+		return int64(ida), int64(idb)
+	}
+	rowA, rowB := seedRows()
+	gate := make(chan struct{})
+	var once sync.Once
+	prog := func(me, them string, first, second int64) Program {
+		return Program{
+			Name:    me,
+			Timeout: 5 * time.Second,
+			Body: func(tx *Tx) error {
+				a := tx.Entangle(flightQuery(me, them))
+				if a.Status != eq.Answered {
+					return fmt.Errorf("%s: %v", me, a.Status)
+				}
+				// Attempt conflicting updates in opposite orders on the
+				// first attempt only; later attempts go one way.
+				if tx.Attempt() == 1 {
+					once.Do(func() { close(gate) })
+					<-gate
+					if err := tx.Update("Reservations", intToRowID(first),
+						types.Tuple{types.Str(me), a.Bindings["fno"], a.Bindings["fdate"]}); err != nil {
+						return err
+					}
+					time.Sleep(30 * time.Millisecond) // let the partner grab its first row
+					return tx.Update("Reservations", intToRowID(second),
+						types.Tuple{types.Str(me), a.Bindings["fno"], a.Bindings["fdate"]})
+				}
+				return tx.Update("Reservations", intToRowID(first),
+					types.Tuple{types.Str(me), a.Bindings["fno"], a.Bindings["fdate"]})
+			},
+		}
+	}
+	h1 := e.Submit(prog("Mickey", "Minnie", rowA, rowB))
+	h2 := e.Submit(prog("Minnie", "Mickey", rowB, rowA))
+	o1, o2 := h1.Wait(), h2.Wait()
+	if o1.Status != StatusCommitted || o2.Status != StatusCommitted {
+		t.Fatalf("outcomes: %+v / %+v", o1, o2)
+	}
+	// At least one of them needed more than one attempt (deadlock victim
+	// aborts the group).
+	if o1.Attempts == 1 && o2.Attempts == 1 {
+		t.Log("warning: expected at least one retry from the deadlock")
+	}
+}
+
+func intToRowID(v int64) storage.RowID { return storage.RowID(v) }
+
+// TestRunFrequencyControlsRunCount: f arrivals per run, strictly.
+func TestRunFrequencyControlsRunCount(t *testing.T) {
+	e := newTestEngine(t, Options{RunFrequency: 4, RetryInterval: time.Hour})
+	var handles []*Handle
+	for i := 0; i < 8; i++ {
+		me := fmt.Sprintf("u%d", i^1) // pair (0,1), (2,3), ...
+		_ = me
+		a := fmt.Sprintf("u%d", i)
+		b := fmt.Sprintf("u%d", i^1)
+		handles = append(handles, e.Submit(bookFlightProg(a, b, 5*time.Second)))
+	}
+	for i, h := range handles {
+		if o := h.Wait(); o.Status != StatusCommitted {
+			t.Fatalf("tx %d: %+v", i, o)
+		}
+	}
+	if st := e.Stats(); st.Runs != 2 {
+		t.Errorf("runs = %d, want exactly 2 (8 arrivals / f=4)", st.Runs)
+	}
+}
+
+// TestMultiQueryPartnersAccumulate: a transaction entangling with two
+// different partners in sequence groups all three for commit.
+func TestMultiQueryPartnersAccumulate(t *testing.T) {
+	e := newTestEngine(t, Options{RunFrequency: 3})
+	hub := Program{
+		Name:    "hub",
+		Timeout: 3 * time.Second,
+		Body: func(tx *Tx) error {
+			for _, q := range []*eq.Query{
+				flightQuery("hub", "s1"), hotelQuery("hub", "s2", types.MustDate("2011-05-03"), 3),
+			} {
+				if a := tx.Entangle(q); a.Status != eq.Answered {
+					return fmt.Errorf("hub: %v", a.Status)
+				}
+			}
+			return nil
+		},
+	}
+	spoke1 := Program{
+		Name:    "s1",
+		Timeout: 3 * time.Second,
+		Body: func(tx *Tx) error {
+			if a := tx.Entangle(flightQuery("s1", "hub")); a.Status != eq.Answered {
+				return fmt.Errorf("s1: %v", a.Status)
+			}
+			return nil
+		},
+	}
+	spoke2 := Program{
+		Name:    "s2",
+		Timeout: 3 * time.Second,
+		Body: func(tx *Tx) error {
+			if a := tx.Entangle(hotelQuery("s2", "hub", types.MustDate("2011-05-03"), 3)); a.Status != eq.Answered {
+				return fmt.Errorf("s2: %v", a.Status)
+			}
+			return nil
+		},
+	}
+	h1 := e.Submit(hub)
+	h2 := e.Submit(spoke1)
+	h3 := e.Submit(spoke2)
+	for i, h := range []*Handle{h1, h2, h3} {
+		if o := h.Wait(); o.Status != StatusCommitted {
+			t.Fatalf("tx %d: %+v", i, o)
+		}
+	}
+	// One transitive group of three: exactly one group commit.
+	if st := e.Stats(); st.GroupCommits != 1 {
+		t.Errorf("GroupCommits = %d, want 1 (transitive hub group)", st.GroupCommits)
+	}
+}
+
+// TestHubFailureAbortsWholeTransitiveGroup: if the hub rolls back after
+// entangling with both spokes, neither spoke may commit.
+func TestHubFailureAbortsWholeTransitiveGroup(t *testing.T) {
+	e := newTestEngine(t, Options{RunFrequency: 3, RetryInterval: 10 * time.Millisecond})
+	hub := Program{
+		Name:    "hub",
+		Timeout: 400 * time.Millisecond,
+		Body: func(tx *Tx) error {
+			if a := tx.Entangle(flightQuery("hub", "s1")); a.Status != eq.Answered {
+				return fmt.Errorf("hub q1: %v", a.Status)
+			}
+			if a := tx.Entangle(hotelQuery("hub", "s2", types.MustDate("2011-05-03"), 3)); a.Status != eq.Answered {
+				return fmt.Errorf("hub q2: %v", a.Status)
+			}
+			tx.Rollback()
+			return nil
+		},
+	}
+	spoke := func(name string, q *eq.Query) Program {
+		return Program{
+			Name:    name,
+			Timeout: 400 * time.Millisecond,
+			Body: func(tx *Tx) error {
+				a := tx.Entangle(q)
+				if a.Status != eq.Answered {
+					return fmt.Errorf("%s: %v", name, a.Status)
+				}
+				_, err := tx.Insert("Reservations", types.Tuple{types.Str(name), a.Bindings["fno"], types.Date(0)})
+				if err != nil && q.Head[0].Rel == "HotelRes" {
+					// hotel query binds hid, not fno
+					_, err = tx.Insert("Reservations", types.Tuple{types.Str(name), a.Bindings["hid"], types.Date(0)})
+				}
+				return err
+			},
+		}
+	}
+	h1 := e.Submit(hub)
+	h2 := e.Submit(spoke("s1", flightQuery("s1", "hub")))
+	h3 := e.Submit(spoke("s2", hotelQuery("s2", "hub", types.MustDate("2011-05-03"), 3)))
+	if o := h1.Wait(); o.Status != StatusRolledBack {
+		t.Fatalf("hub: %+v", o)
+	}
+	for _, h := range []*Handle{h2, h3} {
+		if o := h.Wait(); o.Status == StatusCommitted {
+			t.Fatalf("spoke committed despite hub rollback: %+v", o)
+		}
+	}
+	if rows := scanAll(t, e, "Reservations"); len(rows) != 0 {
+		t.Fatalf("writes leaked: %v", rows)
+	}
+}
+
+// TestEntangledQueryErrorSurfacesToBody: a malformed query (validation
+// failure) returns an Errored answer rather than blocking.
+func TestEntangledQueryErrorSurfacesToBody(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	h := e.Submit(Program{
+		Timeout: time.Second,
+		Body: func(tx *Tx) error {
+			a := tx.Entangle(&eq.Query{}) // no head, no body
+			if a.Status != eq.Errored || a.Err == nil {
+				return fmt.Errorf("answer = %+v", a)
+			}
+			return errors.New("saw the validation error")
+		},
+	})
+	o := h.Wait()
+	if o.Status != StatusFailed || o.Err == nil {
+		t.Fatalf("outcome = %+v", o)
+	}
+}
+
+// TestSoakRandomizedPairsAndSingles mixes entangled pairs, classical
+// programs, rollbacks, and loners under randomized timing, then checks
+// bookkeeping invariants.
+func TestSoakRandomizedPairsAndSingles(t *testing.T) {
+	e := newTestEngine(t, Options{RunFrequency: 5, RetryInterval: 5 * time.Millisecond, Connections: 8})
+	rng := rand.New(rand.NewSource(99))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := map[Status]int{}
+	record := func(o Outcome) {
+		mu.Lock()
+		counts[o.Status]++
+		mu.Unlock()
+	}
+	const pairs = 15
+	for i := 0; i < pairs; i++ {
+		a := fmt.Sprintf("p%da", i)
+		b := fmt.Sprintf("p%db", i)
+		delay := time.Duration(rng.Intn(20)) * time.Millisecond
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			record(e.Submit(bookFlightProg(a, b, 5*time.Second)).Wait())
+		}()
+		go func() {
+			defer wg.Done()
+			time.Sleep(delay)
+			record(e.Submit(bookFlightProg(b, a, 5*time.Second)).Wait())
+		}()
+	}
+	// Classical traffic interleaved.
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			record(e.RunDirect(Program{Body: func(tx *Tx) error {
+				_, err := tx.Scan("Flights")
+				return err
+			}}))
+		}(i)
+	}
+	// A loner that must time out.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		record(e.Submit(bookFlightProg("loner", "ghost", 200*time.Millisecond)).Wait())
+	}()
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if counts[StatusCommitted] != 2*pairs+10 {
+		t.Errorf("committed = %d, want %d (counts %v)", counts[StatusCommitted], 2*pairs+10, counts)
+	}
+	if counts[StatusTimedOut] != 1 {
+		t.Errorf("timeouts = %d (counts %v)", counts[StatusTimedOut], counts)
+	}
+	rows := scanAll(t, e, "Reservations")
+	if len(rows) != 2*pairs {
+		t.Errorf("reservations = %d, want %d", len(rows), 2*pairs)
+	}
+	// Pair coordination invariant: each pair booked one flight.
+	byName := map[string]types.Tuple{}
+	for _, r := range rows {
+		byName[r[0].Str64()] = r
+	}
+	for i := 0; i < pairs; i++ {
+		ra := byName[fmt.Sprintf("p%da", i)]
+		rb := byName[fmt.Sprintf("p%db", i)]
+		if ra == nil || rb == nil || !ra[1].Equal(rb[1]) {
+			t.Errorf("pair %d inconsistent: %v vs %v", i, ra, rb)
+		}
+	}
+	st := e.Stats()
+	if st.Commits != int64(counts[StatusCommitted]) {
+		t.Errorf("stats.Commits = %d vs observed %d", st.Commits, counts[StatusCommitted])
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/txn"
+)
+
+// ErrDirectEntangle is returned when a directly-run program poses an
+// entangled query — coordination requires the run scheduler.
+var ErrDirectEntangle = errors.New("core: entangled queries require Submit, not RunDirect")
+
+// RunDirect executes a program immediately on the calling goroutine,
+// bypassing the run scheduler — the classical path: the paper's prototype
+// sends non-entangled transactions straight to the DBMS. Retryable aborts
+// (deadlock victims) are retried until the program timeout. Programs run
+// this way must not pose entangled queries.
+//
+// With Program.Autocommit set this is the paper's non-transactional -Q
+// mode: every statement commits individually.
+func (e *Engine) RunDirect(p Program) Outcome {
+	timeout := p.Timeout
+	if timeout <= 0 {
+		timeout = e.opts.DefaultTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	ent := &pending{prog: p, deadline: deadline}
+
+	for {
+		ent.attempts++
+		r := &run{e: e, direct: true}
+		r.cond = sync.NewCond(&r.mu)
+		r.active = 1
+		m := &member{
+			run:      r,
+			entry:    ent,
+			answerCh: make(chan answerMsg, 1),
+			partners: make(map[*member]bool),
+		}
+		r.members = []*member{m}
+
+		e.acquireConn()
+		var beginErr error
+		if !p.Autocommit {
+			m.tx, beginErr = e.txm.Begin(levelFor(e.opts.Isolation))
+		}
+		var err error
+		if beginErr != nil {
+			err = beginErr
+		} else {
+			err = runBody(m)
+		}
+		e.releaseConn()
+
+		switch {
+		case err == nil:
+			if m.tx != nil {
+				if cerr := m.tx.Commit(); cerr != nil {
+					e.bumpStat(func(s *Stats) { s.Failures++ })
+					return Outcome{Status: StatusFailed, Err: cerr, Attempts: ent.attempts}
+				}
+			}
+			e.bumpStat(func(s *Stats) { s.Commits++ })
+			return Outcome{Status: StatusCommitted, Attempts: ent.attempts}
+		case errors.Is(err, errRetrySentinel):
+			if m.tx != nil {
+				m.tx.Abort()
+			}
+			if time.Now().After(deadline) {
+				e.bumpStat(func(s *Stats) { s.Timeouts++ })
+				return Outcome{Status: StatusTimedOut, Err: ErrTimeout, Attempts: ent.attempts}
+			}
+			e.bumpStat(func(s *Stats) { s.Requeues++ })
+			continue
+		case errors.Is(err, errRollbackSentinel):
+			if m.tx != nil {
+				m.tx.Abort()
+			}
+			e.bumpStat(func(s *Stats) { s.Rollbacks++ })
+			return Outcome{Status: StatusRolledBack, Err: ErrRolledBack, Attempts: ent.attempts}
+		default:
+			if m.tx != nil {
+				m.tx.Abort()
+			}
+			e.bumpStat(func(s *Stats) { s.Failures++ })
+			return Outcome{Status: StatusFailed, Err: err, Attempts: ent.attempts}
+		}
+	}
+}
+
+func (e *Engine) bumpStat(f func(*Stats)) {
+	e.statsMu.Lock()
+	f(&e.stats)
+	e.statsMu.Unlock()
+}
+
+// Begin/Commit helpers for code that wants a bare classical transaction
+// without the Program wrapper (the SQL shell uses this).
+func (e *Engine) BeginClassical() (*txn.Txn, error) {
+	return e.txm.Begin(levelFor(e.opts.Isolation))
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/txn"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Isolation is the entangled isolation level (default FullEntangled).
+	Isolation Isolation
+	// RunFrequency f: start a new run once f new transactions have arrived
+	// (§5.2.2). Default 1 — a run per arrival, the paper's most eager
+	// policy.
+	RunFrequency int
+	// Connections bounds concurrently executing transactions, modelling the
+	// DBMS connection limit the paper identifies as the concurrency cap.
+	// Default 100, the paper's default.
+	Connections int
+	// DefaultTimeout applies to programs that do not set one. Default 10s.
+	DefaultTimeout time.Duration
+	// RetryInterval triggers a run when transactions are pooled but too few
+	// arrivals have accumulated, so pending transactions are retried and
+	// timeouts expire. Default 25ms.
+	RetryInterval time.Duration
+	// StmtLatency simulates the per-statement client-DBMS round trip of the
+	// paper's middle-tier-over-MySQL deployment. Zero for tests; the
+	// benchmark harness sets it so that throughput is connection-bound, as
+	// in Figure 6(a). Applied to every Tx operation.
+	StmtLatency time.Duration
+	// GroundLatency simulates the per-query grounding round trip to the
+	// DBMS during entangled-query evaluation (in the paper's prototype
+	// each grounding is a SQL query against MySQL, and evaluation is
+	// serialized in the middle tier — so per-run cost grows linearly with
+	// the number of pending queries, the effect Figure 6(b) measures).
+	// Zero disables the simulation.
+	GroundLatency time.Duration
+	// MaxGroundings bounds grounding enumeration per query.
+	MaxGroundings int
+	// Trace receives schedule events (nil disables tracing).
+	Trace TraceSink
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.RunFrequency <= 0 {
+		out.RunFrequency = 1
+	}
+	if out.Connections <= 0 {
+		out.Connections = 100
+	}
+	if out.DefaultTimeout <= 0 {
+		out.DefaultTimeout = 10 * time.Second
+	}
+	if out.RetryInterval <= 0 {
+		out.RetryInterval = 25 * time.Millisecond
+	}
+	return out
+}
+
+// Stats are cumulative engine counters.
+type Stats struct {
+	Submitted     int64 // programs submitted
+	Runs          int64 // runs executed
+	EvalRounds    int64 // entangled-query evaluation rounds across runs
+	Commits       int64 // programs finally committed
+	GroupCommits  int64 // entanglement groups committed atomically
+	EntangleOps   int64 // entanglement operations performed
+	Requeues      int64 // aborts that returned a transaction to the pool
+	Timeouts      int64 // programs expired by their timeout
+	Rollbacks     int64 // program-requested rollbacks
+	Failures      int64 // programs failed with a non-retryable error
+	WidowsAverted int64 // ready transactions aborted because a group member could not commit
+}
+
+// pending is a pooled program awaiting (re)execution.
+type pending struct {
+	prog     Program
+	deadline time.Time
+	handle   *Handle
+	attempts int
+}
+
+// Engine is the entangled transaction manager.
+type Engine struct {
+	txm  *txn.Manager
+	opts Options
+
+	conns chan struct{} // connection-pool semaphore
+
+	mu     sync.Mutex
+	closed bool
+
+	// arrivalq carries submitted programs to the scheduler, which ingests
+	// them one at a time between runs — every RunFrequency-th ingested
+	// arrival triggers a run synchronously, so runs cannot coalesce and the
+	// §5.2.2 run-frequency knob behaves as in the paper.
+	arrivalq chan *pending
+	// pool is the dormant transaction pool; scheduler-goroutine local.
+	pool     []*pending
+	arrivals int
+
+	wake  chan struct{}
+	flush chan chan struct{}
+	stop  chan struct{}
+	done  chan struct{}
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	groundingMu sync.Mutex
+	grounding   map[uint64]bool // transactions currently grounding (RG attribution)
+
+	nextOp uint64 // entanglement operation ids (guarded by statsMu)
+}
+
+// NewEngine builds an engine over a transaction manager.
+func NewEngine(txm *txn.Manager, opts Options) *Engine {
+	o := opts.withDefaults()
+	e := &Engine{
+		txm:       txm,
+		opts:      o,
+		conns:     make(chan struct{}, o.Connections),
+		arrivalq:  make(chan *pending, 1<<16),
+		wake:      make(chan struct{}, 1),
+		flush:     make(chan chan struct{}),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		grounding: make(map[uint64]bool),
+	}
+	if o.Trace != nil {
+		txm.SetObserver(&traceObserver{e: e})
+	}
+	go e.loop()
+	return e
+}
+
+// Txm exposes the substrate transaction manager (DDL, direct access).
+func (e *Engine) Txm() *txn.Manager { return e.txm }
+
+// Stats returns a copy of the cumulative counters.
+func (e *Engine) Stats() Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats
+}
+
+// Submit queues an entangled transaction for execution and returns a
+// handle to await its outcome.
+func (e *Engine) Submit(p Program) *Handle {
+	h := newHandle()
+	timeout := p.Timeout
+	if timeout <= 0 {
+		timeout = e.opts.DefaultTimeout
+	}
+	ent := &pending{prog: p, deadline: time.Now().Add(timeout), handle: h}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		h.done <- Outcome{Status: StatusFailed, Err: ErrEngineClosed}
+		return h
+	}
+	e.mu.Unlock()
+	e.statsMu.Lock()
+	e.stats.Submitted++
+	e.statsMu.Unlock()
+	select {
+	case e.arrivalq <- ent:
+	case <-e.done:
+		h.done <- Outcome{Status: StatusFailed, Err: ErrEngineClosed}
+		return h
+	}
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+	return h
+}
+
+// Flush synchronously executes one run over the currently pooled
+// transactions (if any) and returns when it completes. Tests use it for
+// deterministic scheduling.
+func (e *Engine) Flush() {
+	reply := make(chan struct{})
+	select {
+	case e.flush <- reply:
+		<-reply
+	case <-e.done:
+	}
+}
+
+// Close stops the scheduler. Pooled transactions fail with
+// ErrEngineClosed. Close waits for the scheduler goroutine to exit.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		<-e.done
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.stop)
+	<-e.done
+}
+
+// loop is the scheduler: it forms runs per the run-frequency policy,
+// retries pooled transactions on a timer, and expires timeouts.
+func (e *Engine) loop() {
+	defer close(e.done)
+	ticker := time.NewTicker(e.opts.RetryInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			pool := e.pool
+			e.pool = nil
+			for {
+				select {
+				case ent := <-e.arrivalq:
+					pool = append(pool, ent)
+					continue
+				default:
+				}
+				break
+			}
+			for _, ent := range pool {
+				ent.handle.done <- Outcome{Status: StatusFailed, Err: ErrEngineClosed, Attempts: ent.attempts}
+			}
+			return
+		case reply := <-e.flush:
+			e.runIfDue(true)
+			reply <- struct{}{}
+		case <-e.wake:
+			e.runIfDue(false)
+		case <-ticker.C:
+			e.runIfDue(true)
+		}
+	}
+}
+
+// runIfDue is the scheduler core. It ingests queued arrivals one at a
+// time; every RunFrequency-th ingested arrival triggers a run, executed
+// synchronously before further ingestion — so runs cannot coalesce and the
+// f knob of §5.2.2 directly controls how many runs a stream of arrivals
+// pays for. Each run drains the entire dormant pool (new arrivals plus
+// transactions returned by earlier runs), per §4: "include in a run all
+// transactions present in the dormant pool". force (retry tick, Flush)
+// runs the pool even without enough arrivals, so pending transactions are
+// retried and timeouts expire.
+//
+// The pool is only touched from the scheduler goroutine.
+func (e *Engine) runIfDue(force bool) {
+	for {
+		trigger := false
+	ingest:
+		for !trigger {
+			select {
+			case ent := <-e.arrivalq:
+				e.pool = append(e.pool, ent)
+				e.arrivals++
+				if e.arrivals >= e.opts.RunFrequency {
+					e.arrivals -= e.opts.RunFrequency
+					trigger = true
+				}
+			default:
+				break ingest
+			}
+		}
+		// Expire timeouts — §3.1: a transaction whose entangled query
+		// cannot succeed before the timeout expires cannot complete.
+		now := time.Now()
+		kept := e.pool[:0]
+		for _, ent := range e.pool {
+			if now.After(ent.deadline) {
+				e.statsMu.Lock()
+				e.stats.Timeouts++
+				e.statsMu.Unlock()
+				ent.handle.done <- Outcome{Status: StatusTimedOut, Err: ErrTimeout, Attempts: ent.attempts}
+			} else {
+				kept = append(kept, ent)
+			}
+		}
+		e.pool = kept
+		if !trigger && force && len(e.pool) > 0 {
+			trigger = true
+		}
+		force = false
+		if !trigger || len(e.pool) == 0 {
+			return
+		}
+		batch := e.pool
+		e.pool = nil
+		e.executeRun(batch)
+	}
+}
+
+// requeue returns an entry to the pool (or expires it).
+func (e *Engine) requeue(ent *pending) {
+	if time.Now().After(ent.deadline) {
+		e.statsMu.Lock()
+		e.stats.Timeouts++
+		e.statsMu.Unlock()
+		ent.handle.done <- Outcome{Status: StatusTimedOut, Err: ErrTimeout, Attempts: ent.attempts}
+		return
+	}
+	e.statsMu.Lock()
+	e.stats.Requeues++
+	e.statsMu.Unlock()
+	// Called from the scheduler goroutine (finalizeRun), so appending to
+	// the pool directly is safe.
+	e.pool = append(e.pool, ent)
+}
+
+func (e *Engine) nextOpID() uint64 {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	e.nextOp++
+	e.stats.EntangleOps++
+	return e.nextOp
+}
+
+func (e *Engine) setGrounding(txIDs []uint64, on bool) {
+	e.groundingMu.Lock()
+	for _, id := range txIDs {
+		if on {
+			e.grounding[id] = true
+		} else {
+			delete(e.grounding, id)
+		}
+	}
+	e.groundingMu.Unlock()
+}
+
+func (e *Engine) isGrounding(tx uint64) bool {
+	e.groundingMu.Lock()
+	defer e.groundingMu.Unlock()
+	return e.grounding[tx]
+}

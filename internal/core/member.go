@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/eq"
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// Member operation implementations backing the Tx API. Two modes:
+//
+//   - transactional (default): operations run on the member's substrate
+//     transaction under Strict 2PL; retryable lock failures (deadlock,
+//     lock-wait timeout) unwind the body so the transaction aborts and
+//     retries in a later run.
+//   - autocommit (-Q workloads): every operation is its own short
+//     transaction, committed immediately — the paper's non-transactional
+//     comparison point.
+
+// retryable reports whether an error warrants abort-and-requeue rather
+// than permanent failure.
+func retryable(err error) bool {
+	return errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrTimeout)
+}
+
+// check returns nil-able errors to the body but unwinds on retryable ones.
+func (m *member) check(err error) error {
+	if err == nil {
+		return nil
+	}
+	if retryable(err) {
+		panic(unwindRetry)
+	}
+	return err
+}
+
+// simulateLatency models the per-statement round trip (Options.StmtLatency)
+// with time.Sleep. The kernel rounds small sleeps up, but it does so
+// consistently across workloads and — unlike spin-waiting — sleeping does
+// not consume CPU, so the connection-scaling shape of Figure 6(a) is
+// preserved beyond the machine's core count.
+func (m *member) simulateLatency() {
+	d := m.run.e.opts.StmtLatency
+	if d <= 0 || m.entry.prog.NoLatency {
+		return
+	}
+	time.Sleep(d)
+}
+
+// autocommitTxn runs fn inside a fresh single-statement transaction.
+func (m *member) autocommitTxn(fn func(t *txn.Txn) error) error {
+	t, err := m.run.e.txm.Begin(txn.Serializable)
+	if err != nil {
+		return err
+	}
+	if err := fn(t); err != nil {
+		t.Abort()
+		return err
+	}
+	return t.Commit()
+}
+
+func (m *member) opScan(table string) ([]types.Tuple, error) {
+	m.simulateLatency()
+	if m.entry.prog.Autocommit {
+		var rows []types.Tuple
+		err := m.autocommitTxn(func(t *txn.Txn) error {
+			var e error
+			rows, e = t.Scan(table)
+			return e
+		})
+		return rows, m.check(err)
+	}
+	rows, err := m.tx.Scan(table)
+	return rows, m.check(err)
+}
+
+func (m *member) opScanIDs(table string) ([]storage.RowID, []types.Tuple, error) {
+	m.simulateLatency()
+	if m.entry.prog.Autocommit {
+		var ids []storage.RowID
+		var rows []types.Tuple
+		err := m.autocommitTxn(func(t *txn.Txn) error {
+			var e error
+			ids, rows, e = t.ScanIDs(table)
+			return e
+		})
+		return ids, rows, m.check(err)
+	}
+	ids, rows, err := m.tx.ScanIDs(table)
+	return ids, rows, m.check(err)
+}
+
+func (m *member) opLookup(table string, columns []string, key types.Tuple) ([]types.Tuple, error) {
+	_, rows, err := m.opLookupIDs(table, columns, key)
+	return rows, err
+}
+
+func (m *member) opLookupIDs(table string, columns []string, key types.Tuple) ([]storage.RowID, []types.Tuple, error) {
+	m.simulateLatency()
+	if m.entry.prog.Autocommit {
+		var ids []storage.RowID
+		var rows []types.Tuple
+		err := m.autocommitTxn(func(t *txn.Txn) error {
+			var e error
+			ids, rows, e = t.LookupIDs(table, columns, key)
+			return e
+		})
+		return ids, rows, m.check(err)
+	}
+	ids, rows, err := m.tx.LookupIDs(table, columns, key)
+	return ids, rows, m.check(err)
+}
+
+func (m *member) opInsert(table string, row types.Tuple) (storage.RowID, error) {
+	m.simulateLatency()
+	if m.entry.prog.Autocommit {
+		var id storage.RowID
+		err := m.autocommitTxn(func(t *txn.Txn) error {
+			var e error
+			id, e = t.Insert(table, row)
+			return e
+		})
+		return id, m.check(err)
+	}
+	id, err := m.tx.Insert(table, row)
+	return id, m.check(err)
+}
+
+func (m *member) opUpdate(table string, id storage.RowID, row types.Tuple) error {
+	m.simulateLatency()
+	if m.entry.prog.Autocommit {
+		return m.check(m.autocommitTxn(func(t *txn.Txn) error {
+			return t.Update(table, id, row)
+		}))
+	}
+	return m.check(m.tx.Update(table, id, row))
+}
+
+func (m *member) opDelete(table string, id storage.RowID) error {
+	m.simulateLatency()
+	if m.entry.prog.Autocommit {
+		return m.check(m.autocommitTxn(func(t *txn.Txn) error {
+			return t.Delete(table, id)
+		}))
+	}
+	return m.check(m.tx.Delete(table, id))
+}
+
+// opEntangle blocks the member on an entangled query. The §3.1 semantics:
+// the call does not return until the query is answered in some evaluation
+// round; if the run ends first, the transaction aborts and is requeued —
+// the body unwinds and never observes the failed attempt.
+func (m *member) opEntangle(q *eq.Query) *eq.Answer {
+	m.simulateLatency()
+	if err := q.Validate(); err != nil {
+		return &eq.Answer{Status: eq.Errored, Err: err}
+	}
+	r := m.run
+	if r.direct {
+		return &eq.Answer{Status: eq.Errored, Err: ErrDirectEntangle}
+	}
+	r.mu.Lock()
+	m.query = q
+	m.state = stateBlocked
+	r.active--
+	r.cond.Broadcast()
+	r.mu.Unlock()
+
+	// A blocked transaction does not occupy a connection: the run-based
+	// scheduler exists precisely so waiting transactions do not tie up
+	// system resources (§4, Scheduling).
+	r.e.releaseConn()
+	msg := <-m.answerCh
+	r.e.acquireConn()
+
+	if msg.abortRun {
+		panic(unwindRetry)
+	}
+	return msg.answer
+}

@@ -1,0 +1,478 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/eq"
+	"repro/internal/txn"
+)
+
+// memberState is the lifecycle of one transaction within a run, matching
+// §4: executing, blocked on an entangled query, ready to commit, or
+// aborted.
+type memberState int
+
+const (
+	stateRunning      memberState = iota
+	stateBlocked                  // waiting for an entangled-query answer
+	stateReady                    // body returned nil; commit pending group decision
+	stateAbortedRetry             // aborted; return to the dormant pool
+	stateRolledBack               // program-requested rollback (final)
+	stateAbortedFinal             // non-retryable error (final)
+)
+
+// member is one transaction participating in a run.
+type member struct {
+	run   *run
+	entry *pending
+	tx    *txn.Txn // nil in autocommit (-Q) mode
+
+	state    memberState
+	query    *eq.Query // pending entangled query when stateBlocked
+	answerCh chan answerMsg
+	partners map[*member]bool // entanglement partners accumulated this run
+	finalErr error
+}
+
+type answerMsg struct {
+	answer   *eq.Answer
+	abortRun bool // run ended without an answer: abort and requeue
+}
+
+// run executes one §4 scheduling run.
+type run struct {
+	e       *Engine
+	direct  bool // RunDirect: no scheduler, entangled queries rejected
+	mu      sync.Mutex
+	cond    *sync.Cond
+	active  int // members in stateRunning
+	members []*member
+	wg      sync.WaitGroup
+}
+
+// sentinels classifying how a body unwound.
+var (
+	errRetrySentinel    = errors.New("core: retryable abort")
+	errRollbackSentinel = errors.New("core: rollback")
+)
+
+func levelFor(iso Isolation) txn.IsolationLevel {
+	if iso == RelaxedReads {
+		return txn.ReadCommitted
+	}
+	return txn.Serializable
+}
+
+// executeRun runs a batch of pooled transactions to quiescence: start all
+// members, alternate member execution with entangled-query evaluation
+// rounds, then commit/abort per the group-commit rules.
+func (e *Engine) executeRun(batch []*pending) {
+	r := &run{e: e}
+	r.cond = sync.NewCond(&r.mu)
+	for _, ent := range batch {
+		ent.attempts++
+		m := &member{
+			run:      r,
+			entry:    ent,
+			answerCh: make(chan answerMsg, 1),
+			partners: make(map[*member]bool),
+		}
+		r.members = append(r.members, m)
+	}
+	r.active = len(r.members)
+	for _, m := range r.members {
+		r.wg.Add(1)
+		go r.runMember(m)
+	}
+
+	// Evaluation rounds: once every member is blocked, ready, or aborted,
+	// evaluate all pending entangled queries together; resume the answered
+	// transactions; repeat until a round answers nobody (Figure 4's "the
+	// system recognizes that no-one can proceed further").
+	for {
+		r.waitQuiescent()
+		blocked := r.blockedMembers()
+		if len(blocked) == 0 {
+			break
+		}
+		if e.evaluateQueries(r, blocked) == 0 {
+			break
+		}
+	}
+
+	// Abort members still blocked: they return to the dormant pool.
+	for _, m := range r.blockedMembers() {
+		r.mu.Lock()
+		m.state = stateRunning // resumes only to unwind into abortedRetry
+		r.active++
+		r.mu.Unlock()
+		m.answerCh <- answerMsg{abortRun: true}
+	}
+	r.wg.Wait()
+	e.finalizeRun(r)
+}
+
+func (r *run) waitQuiescent() {
+	r.mu.Lock()
+	for r.active > 0 {
+		r.cond.Wait()
+	}
+	r.mu.Unlock()
+}
+
+func (r *run) blockedMembers() []*member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*member
+	for _, m := range r.members {
+		if m.state == stateBlocked {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// runMember executes one member's body on its own goroutine.
+func (r *run) runMember(m *member) {
+	defer r.wg.Done()
+	e := r.e
+	e.acquireConn()
+	defer e.releaseConn()
+
+	if !m.entry.prog.Autocommit {
+		tx, err := e.txm.Begin(levelFor(e.opts.Isolation))
+		if err != nil {
+			m.finalErr = err
+			r.setDone(m, stateAbortedFinal)
+			return
+		}
+		m.tx = tx
+	}
+
+	err := runBody(m)
+	var st memberState
+	switch {
+	case err == nil:
+		st = stateReady
+	case errors.Is(err, errRetrySentinel):
+		st = stateAbortedRetry
+	case errors.Is(err, errRollbackSentinel):
+		st = stateRolledBack
+		m.finalErr = ErrRolledBack
+	default:
+		st = stateAbortedFinal
+		m.finalErr = err
+	}
+	if st != stateReady && m.tx != nil {
+		m.tx.Abort()
+	}
+	r.setDone(m, st)
+}
+
+// runBody invokes the program body, converting unwind panics into
+// sentinel errors.
+func runBody(m *member) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if u, ok := p.(unwind); ok {
+				if u == unwindRetry {
+					err = errRetrySentinel
+				} else {
+					err = errRollbackSentinel
+				}
+				return
+			}
+			panic(p)
+		}
+	}()
+	return m.entry.prog.Body(&Tx{m: m})
+}
+
+// setDone records a terminal member state and wakes the scheduler.
+func (r *run) setDone(m *member, st memberState) {
+	r.mu.Lock()
+	m.state = st
+	r.active--
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+func (e *Engine) acquireConn() { e.conns <- struct{}{} }
+func (e *Engine) releaseConn() { <-e.conns }
+
+// evaluateQueries runs one entangled-query evaluation round over the
+// blocked members and resumes everyone who received an answer (including
+// empty answers, per Appendix B). It returns the number of resumed members.
+func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
+	e.statsMu.Lock()
+	e.stats.EvalRounds++
+	e.statsMu.Unlock()
+
+	// Build the pending set. Autocommit (-Q) members ground through a
+	// short-lived transaction whose locks are released right after the
+	// round — "entangled queries outside a transaction block".
+	pendings := make([]eq.Pending, len(blocked))
+	groundTxns := make(map[int]*txn.Txn)
+	var groundingIDs []uint64
+	for i, m := range blocked {
+		var reader eq.Reader
+		if m.tx != nil {
+			reader = m.tx
+			groundingIDs = append(groundingIDs, m.tx.ID())
+		} else {
+			gt, err := e.txm.Begin(txn.Serializable)
+			if err == nil {
+				reader = gt
+				groundTxns[i] = gt
+				groundingIDs = append(groundingIDs, gt.ID())
+			}
+		}
+		pendings[i] = eq.Pending{ID: i, Query: m.query, Reader: reader}
+	}
+	// Simulated grounding round trips: one per pending query, serialized,
+	// as in the paper's middle tier evaluating against MySQL.
+	if e.opts.GroundLatency > 0 {
+		time.Sleep(time.Duration(len(pendings)) * e.opts.GroundLatency)
+	}
+	e.setGrounding(groundingIDs, true)
+	res := eq.Evaluate(pendings, eq.EvalOptions{MaxGroundings: e.opts.MaxGroundings})
+	e.setGrounding(groundingIDs, false)
+	for _, gt := range groundTxns {
+		gt.Commit()
+	}
+
+	// Entanglement components: answered members connected by partner edges
+	// form one entanglement operation each.
+	parent := make([]int, len(blocked))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(b)] = find(a) }
+	answered := make([]bool, len(blocked))
+	for i := range blocked {
+		if a := res.Answers[i]; a != nil && a.Status == eq.Answered {
+			answered[i] = true
+			for _, j := range res.Partners[i] {
+				union(i, j)
+			}
+		}
+	}
+	components := make(map[int][]int)
+	for i := range blocked {
+		if answered[i] {
+			root := find(i)
+			components[root] = append(components[root], i)
+		}
+	}
+
+	aborted := make(map[int]bool) // members whose quasi-read locks failed
+	for _, comp := range components {
+		opID := e.nextOpID()
+		var txIDs []uint64
+		for _, i := range comp {
+			if blocked[i].tx != nil {
+				txIDs = append(txIDs, blocked[i].tx.ID())
+			}
+		}
+		if len(txIDs) > 0 {
+			if err := e.txm.LogEntangle(opID, txIDs); err != nil {
+				for _, i := range comp {
+					aborted[i] = true
+				}
+				continue
+			}
+		}
+		// Record mutual partnership for group commit.
+		for _, i := range comp {
+			for _, j := range comp {
+				if i != j {
+					blocked[i].partners[blocked[j]] = true
+				}
+			}
+		}
+		// Quasi-read locks (§3.3.3): at full isolation every participant
+		// takes shared locks on the tables its partners grounded on, making
+		// quasi-reads repeatable under Strict 2PL.
+		if e.opts.Isolation != RelaxedReads {
+			for _, i := range comp {
+				m := blocked[i]
+				if m.tx == nil {
+					continue
+				}
+				for _, j := range comp {
+					if i == j {
+						continue
+					}
+					for _, table := range res.GroundTables[j] {
+						if err := m.tx.LockTableShared(table); err != nil {
+							aborted[i] = true
+						}
+						if sink := e.opts.Trace; sink != nil && !aborted[i] {
+							sink.QuasiRead(m.tx.ID(), table)
+						}
+					}
+				}
+			}
+		}
+		if sink := e.opts.Trace; sink != nil {
+			sink.Entangle(opID, txIDs)
+		}
+	}
+
+	// Deliver. Empty answers resume the transaction too; NoPartner and
+	// Errored members stay blocked for the next round or the end of the
+	// run.
+	resumed := 0
+	for i, m := range blocked {
+		a := res.Answers[i]
+		if a == nil {
+			continue
+		}
+		if aborted[i] {
+			r.mu.Lock()
+			m.state = stateRunning // will unwind to abortedRetry
+			r.active++
+			r.mu.Unlock()
+			m.answerCh <- answerMsg{abortRun: true}
+			resumed++ // progress: the member leaves the blocked set
+			continue
+		}
+		switch a.Status {
+		case eq.Answered, eq.EmptyAnswer:
+			r.mu.Lock()
+			m.state = stateRunning
+			m.query = nil
+			r.active++
+			r.mu.Unlock()
+			m.answerCh <- answerMsg{answer: a}
+			resumed++
+		}
+	}
+	return resumed
+}
+
+// finalizeRun applies the §4 end-of-run rules: entanglement groups commit
+// atomically iff every member is ready; everyone else aborts and is
+// requeued (or finalized if rolled back, failed, or timed out).
+func (e *Engine) finalizeRun(r *run) {
+	e.statsMu.Lock()
+	e.stats.Runs++
+	e.statsMu.Unlock()
+
+	// Union-find groups over the accumulated partner edges. Autocommit
+	// members are excluded: they have no commit to coordinate.
+	idx := make(map[*member]int, len(r.members))
+	for i, m := range r.members {
+		idx[m] = i
+	}
+	parent := make([]int, len(r.members))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	widowGuard := e.opts.Isolation != NoWidowGuard
+	if widowGuard {
+		for i, m := range r.members {
+			if m.tx == nil {
+				continue
+			}
+			for p := range m.partners {
+				if p.tx != nil {
+					parent[find(idx[p])] = find(i)
+				}
+			}
+		}
+	}
+	groups := make(map[int][]*member)
+	for i, m := range r.members {
+		groups[find(i)] = append(groups[find(i)], m)
+	}
+
+	for _, group := range groups {
+		allReady := true
+		for _, m := range group {
+			if m.state != stateReady {
+				allReady = false
+				break
+			}
+		}
+		if allReady {
+			var txns []*txn.Txn
+			for _, m := range group {
+				if m.tx != nil {
+					txns = append(txns, m.tx)
+				}
+			}
+			var commitErr error
+			switch {
+			case len(txns) == 1:
+				commitErr = txns[0].Commit()
+			case len(txns) > 1:
+				commitErr = e.txm.CommitGroup(txns)
+				if commitErr == nil {
+					e.statsMu.Lock()
+					e.stats.GroupCommits++
+					e.statsMu.Unlock()
+				}
+			}
+			for _, m := range group {
+				if commitErr != nil {
+					m.entry.handle.done <- Outcome{Status: StatusFailed, Err: commitErr, Attempts: m.entry.attempts}
+					e.statsMu.Lock()
+					e.stats.Failures++
+					e.statsMu.Unlock()
+					continue
+				}
+				m.entry.handle.done <- Outcome{Status: StatusCommitted, Attempts: m.entry.attempts}
+				e.statsMu.Lock()
+				e.stats.Commits++
+				e.statsMu.Unlock()
+			}
+			continue
+		}
+		// Group cannot commit: every member aborts. Ready members are the
+		// averted widows — they roll back because a partner could not
+		// commit.
+		for _, m := range group {
+			switch m.state {
+			case stateReady:
+				if m.tx != nil {
+					m.tx.Abort()
+				}
+				if m.tx != nil || !m.entry.prog.Autocommit {
+					e.statsMu.Lock()
+					e.stats.WidowsAverted++
+					e.statsMu.Unlock()
+				}
+				e.requeue(m.entry)
+			case stateAbortedRetry:
+				e.requeue(m.entry)
+			case stateRolledBack:
+				e.statsMu.Lock()
+				e.stats.Rollbacks++
+				e.statsMu.Unlock()
+				m.entry.handle.done <- Outcome{Status: StatusRolledBack, Err: ErrRolledBack, Attempts: m.entry.attempts}
+			case stateAbortedFinal:
+				e.statsMu.Lock()
+				e.stats.Failures++
+				e.statsMu.Unlock()
+				m.entry.handle.done <- Outcome{Status: StatusFailed, Err: m.finalErr, Attempts: m.entry.attempts}
+			}
+		}
+	}
+}

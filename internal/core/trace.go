@@ -1,0 +1,85 @@
+package core
+
+// TraceSink receives the schedule events of §3.3 / Appendix C as the engine
+// executes: ordinary reads and writes, grounding reads (RG), quasi-reads
+// (RQ), entanglement operations (E), commits, and aborts. The isolation
+// checker (internal/isolation) consumes these to verify that the engine
+// produces entangled-isolated schedules at the full isolation level — and
+// detectably anomalous ones when the guards are switched off.
+//
+// Objects are identified at the engine's locking granularity: table name
+// for reads (table-level read locks), "table/rowID" for writes.
+// Implementations must be safe for concurrent use.
+type TraceSink interface {
+	Read(tx uint64, obj string)
+	GroundingRead(tx uint64, obj string)
+	QuasiRead(tx uint64, obj string)
+	Write(tx uint64, obj string)
+	Entangle(op uint64, txs []uint64)
+	Commit(tx uint64)
+	Abort(tx uint64)
+}
+
+// traceObserver adapts txn.Observer events into TraceSink events,
+// reclassifying reads performed during entangled-query evaluation as
+// grounding reads.
+type traceObserver struct {
+	e *Engine
+}
+
+func (t *traceObserver) OnRead(tx uint64, table string, row int64) {
+	sink := t.e.opts.Trace
+	if sink == nil {
+		return
+	}
+	if t.e.isGrounding(tx) {
+		sink.GroundingRead(tx, table)
+	} else {
+		sink.Read(tx, table)
+	}
+}
+
+func (t *traceObserver) OnWrite(tx uint64, table string, row int64) {
+	if sink := t.e.opts.Trace; sink != nil {
+		sink.Write(tx, writeObj(table, row))
+	}
+}
+
+func (t *traceObserver) OnCommit(tx uint64) {
+	if sink := t.e.opts.Trace; sink != nil {
+		sink.Commit(tx)
+	}
+}
+
+func (t *traceObserver) OnAbort(tx uint64) {
+	if sink := t.e.opts.Trace; sink != nil {
+		sink.Abort(tx)
+	}
+}
+
+// writeObj renders the write-granularity object identifier.
+func writeObj(table string, row int64) string {
+	return table + "/" + itoa(row)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

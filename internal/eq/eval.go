@@ -1,0 +1,195 @@
+package eq
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Status classifies the outcome of one query in an evaluation round,
+// following the Appendix B dichotomy.
+type Status int
+
+// Evaluation outcomes.
+const (
+	// Answered: the query received an answer — a grounding of it is in the
+	// coordinating set.
+	Answered Status = iota
+	// EmptyAnswer: a combined query could be formulated (a partner is
+	// present) and was evaluated, but no grounding of this query was
+	// selected. Per Appendix B this is query success with an empty result;
+	// the transaction proceeds.
+	EmptyAnswer
+	// NoPartner: no combined query including this query could be
+	// formulated (no pending query produces its postcondition relations).
+	// This is true query failure: the transaction waits for the query to be
+	// retried.
+	NoPartner
+	// Errored: grounding failed (lock timeout, missing relation, ...).
+	Errored
+)
+
+func (s Status) String() string {
+	switch s {
+	case Answered:
+		return "ANSWERED"
+	case EmptyAnswer:
+		return "EMPTY"
+	case NoPartner:
+		return "NO-PARTNER"
+	case Errored:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Pending is one query awaiting evaluation, paired with the Reader (the
+// posing transaction) its grounding reads go through.
+type Pending struct {
+	// ID is a caller-chosen identifier, unique within the round.
+	ID int
+	// Query is the entangled query.
+	Query *Query
+	// Reader supplies the grounding reads. If nil, evaluation fails with
+	// Errored.
+	Reader Reader
+}
+
+// Answer is the result delivered to one query.
+type Answer struct {
+	Status Status
+	// Tuples are the query's own head atoms instantiated by the chosen
+	// grounding — its contribution to the ANSWER relation(s).
+	Tuples []GroundAtom
+	// Bindings maps the query's Bind variables (and in fact all body
+	// variables of the chosen grounding) to their values, for AS @var
+	// host-variable binding.
+	Bindings map[string]types.Value
+	// Err holds the grounding error when Status == Errored.
+	Err error
+}
+
+// Result is the outcome of one evaluation round.
+type Result struct {
+	// Answers maps Pending.ID to the query's answer.
+	Answers map[int]*Answer
+	// Partners maps Pending.ID to the IDs of the other queries whose chosen
+	// groundings produced atoms this query's postcondition consumed, or
+	// whose postconditions this query's head satisfied — the entanglement
+	// operation membership used for group commit and quasi-reads.
+	Partners map[int][]int
+	// GroundTables maps Pending.ID to the tables its grounding read — the
+	// quasi-read targets for its partners.
+	GroundTables map[int][]string
+}
+
+// EvalOptions tunes evaluation.
+type EvalOptions struct {
+	// MaxGroundings bounds grounding enumeration per query (0 = default
+	// 10000).
+	MaxGroundings int
+}
+
+// Evaluate runs one round of entangled query answering over the pending
+// set, per Appendix A: ground every query, search for a coordinating set,
+// and classify every query's outcome. The underlying database must not
+// change during the round; the caller (the run scheduler) guarantees this
+// by evaluating only when every transaction in the run is blocked and by
+// holding grounding locks through the posing transactions.
+func Evaluate(pending []Pending, opts EvalOptions) *Result {
+	maxG := opts.MaxGroundings
+	if maxG == 0 {
+		maxG = 10000
+	}
+	res := &Result{
+		Answers:      make(map[int]*Answer, len(pending)),
+		Partners:     make(map[int][]int),
+		GroundTables: make(map[int][]string),
+	}
+	queries := make([]*Query, len(pending))
+	groundings := make([][]*Grounding, len(pending))
+	errored := make(map[int]error)
+	for i, p := range pending {
+		queries[i] = p.Query
+		if p.Reader == nil {
+			errored[i] = fmt.Errorf("eq: query %d has no reader", p.ID)
+			continue
+		}
+		gs, err := Ground(p.Query, p.Reader, maxG)
+		if err != nil {
+			errored[i] = err
+			continue
+		}
+		groundings[i] = gs
+		res.GroundTables[p.ID] = p.Query.BodyTables()
+	}
+
+	chosen := Solve(groundings)
+
+	// Entanglement membership: queries whose chosen groundings exchange
+	// atoms. Build atom -> producer query and atom -> consumer queries maps
+	// over the chosen groundings only.
+	producerOf := make(map[string][]int)
+	for i, gi := range chosen {
+		if gi < 0 {
+			continue
+		}
+		for _, h := range groundings[i][gi].Head {
+			producerOf[h.Key()] = append(producerOf[h.Key()], i)
+		}
+	}
+	partnerSets := make([]map[int]bool, len(pending))
+	for i := range partnerSets {
+		partnerSets[i] = make(map[int]bool)
+	}
+	for i, gi := range chosen {
+		if gi < 0 {
+			continue
+		}
+		for _, p := range groundings[i][gi].Post {
+			for _, j := range producerOf[p.Key()] {
+				if j != i {
+					partnerSets[i][j] = true
+					partnerSets[j][i] = true
+				}
+			}
+		}
+	}
+
+	formable := FormableSet(queries)
+	for i, p := range pending {
+		if err, bad := errored[i]; bad {
+			res.Answers[p.ID] = &Answer{Status: Errored, Err: err}
+			continue
+		}
+		gi := chosen[i]
+		if gi >= 0 {
+			g := groundings[i][gi]
+			bindings := make(map[string]types.Value, len(g.Val))
+			for k, v := range g.Val {
+				bindings[k] = v
+			}
+			res.Answers[p.ID] = &Answer{Status: Answered, Tuples: g.Head, Bindings: bindings}
+			for j := range partnerSets[i] {
+				res.Partners[p.ID] = append(res.Partners[p.ID], pending[j].ID)
+			}
+			sortInts(res.Partners[p.ID])
+			continue
+		}
+		if formable[i] {
+			res.Answers[p.ID] = &Answer{Status: EmptyAnswer}
+		} else {
+			res.Answers[p.ID] = &Answer{Status: NoPartner}
+		}
+	}
+	return res
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package eq
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Reader is the view of the database a query grounds against. The posing
+// transaction's handle satisfies this interface, so grounding reads take
+// shared locks on behalf of that transaction — the attribution Appendix C.1
+// prescribes ("we associate grounding reads with the transaction posing the
+// entangled query").
+type Reader interface {
+	Scan(table string) ([]types.Tuple, error)
+}
+
+// MapReader is a trivial in-memory Reader for tests and offline evaluation.
+type MapReader map[string][]types.Tuple
+
+// Scan returns the named relation's rows.
+func (m MapReader) Scan(table string) ([]types.Tuple, error) {
+	rows, ok := m[table]
+	if !ok {
+		return nil, fmt.Errorf("eq: no such relation %s", table)
+	}
+	return rows, nil
+}
+
+// Ground enumerates the groundings of q against r: every valuation of the
+// body (nested-loop join with eager constraint application), instantiated
+// into head and postcondition atoms. Groundings are deduplicated by their
+// (head, post) identity and returned in enumeration order, which is
+// deterministic for deterministic readers — the determinism assumption of
+// Appendix C.1.
+//
+// maxGroundings bounds the enumeration (0 = unlimited) as a safety valve
+// against runaway cross products.
+func Ground(q *Query, r Reader, maxGroundings int) ([]*Grounding, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	// Fetch each body relation once.
+	tables := make(map[string][]types.Tuple)
+	for _, rel := range q.BodyTables() {
+		rows, err := r.Scan(rel)
+		if err != nil {
+			return nil, fmt.Errorf("eq: grounding read of %s: %w", rel, err)
+		}
+		tables[rel] = rows
+	}
+
+	var out []*Grounding
+	seen := make(map[string]bool)
+	val := make(Valuation)
+
+	var join func(i int) error
+	join = func(i int) error {
+		if maxGroundings > 0 && len(out) >= maxGroundings {
+			return nil
+		}
+		if i == len(q.Body) {
+			// All constraints must hold (unbound ones indicate a constraint
+			// over non-body variables, rejected by Validate).
+			for _, c := range q.Where {
+				ok, err := c.eval(val)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+			g := &Grounding{Val: val.clone()}
+			for _, a := range q.Head {
+				ga, err := a.instantiate(val)
+				if err != nil {
+					return err
+				}
+				g.Head = append(g.Head, ga)
+			}
+			for _, a := range q.Post {
+				ga, err := a.instantiate(val)
+				if err != nil {
+					return err
+				}
+				g.Post = append(g.Post, ga)
+			}
+			if k := g.key(); !seen[k] {
+				seen[k] = true
+				out = append(out, g)
+			}
+			return nil
+		}
+		atom := q.Body[i]
+		rows := tables[atom.Rel]
+		for _, row := range rows {
+			if len(row) != len(atom.Args) {
+				return fmt.Errorf("eq: atom %s has arity %d but relation has arity %d", atom, len(atom.Args), len(row))
+			}
+			bound := make([]string, 0, len(atom.Args))
+			ok := true
+			for j, t := range atom.Args {
+				if t.IsVar {
+					if existing, isBound := val[t.Name]; isBound {
+						if !existing.Equal(row[j]) {
+							ok = false
+							break
+						}
+					} else {
+						val[t.Name] = row[j]
+						bound = append(bound, t.Name)
+					}
+				} else if !t.Value.Equal(row[j]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				// Eagerly apply constraints that just became fully bound.
+				for _, c := range q.Where {
+					if c.bound(val) {
+						holds, err := c.eval(val)
+						if err != nil {
+							return err
+						}
+						if !holds {
+							ok = false
+							break
+						}
+					}
+				}
+			}
+			if ok {
+				if err := join(i + 1); err != nil {
+					return err
+				}
+			}
+			for _, name := range bound {
+				delete(val, name)
+			}
+		}
+		return nil
+	}
+	if err := join(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package eq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is an entangled query in the intermediate representation {C} H ⇐ B.
+//
+// The SQL form
+//
+//	SELECT 'Mickey', fno, fdate INTO ANSWER Reservation
+//	WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA')
+//	  AND ('Minnie', fno, fdate) IN ANSWER Reservation
+//	CHOOSE 1
+//
+// compiles to
+//
+//	Head: Reservation(Mickey, ?fno, ?fdate)
+//	Post: Reservation(Minnie, ?fno, ?fdate)
+//	Body: Flights(?fno, ?fdate, ?dest)   Where: ?dest = 'LA'
+type Query struct {
+	// Head is the query's own contribution to the ANSWER relation(s).
+	Head []Atom
+	// Post is the postcondition: atoms that must be present in the ANSWER
+	// relation(s) — contributed by entanglement partners.
+	Post []Atom
+	// Body is the database part of the WHERE clause (select-project-join).
+	Body []Atom
+	// Where holds comparison constraints over body variables.
+	Where []Constraint
+	// Bind names the variables whose values the transaction wants back as
+	// host variables (the AS @var syntax). May be empty.
+	Bind []string
+	// Choose limits the number of groundings selected for this query; the
+	// paper fixes it to 1 and so do we (0 is treated as 1).
+	Choose int
+}
+
+// Validate checks the query's static well-formedness: non-empty head and
+// body, range restriction (every variable in Head, Post, or Bind appears in
+// the Body), and positive Choose.
+func (q *Query) Validate() error {
+	if len(q.Head) == 0 {
+		return fmt.Errorf("eq: query has no head atoms")
+	}
+	if len(q.Body) == 0 {
+		return fmt.Errorf("eq: query has no body atoms")
+	}
+	if q.Choose < 0 || q.Choose > 1 {
+		return fmt.Errorf("eq: CHOOSE %d unsupported (only CHOOSE 1)", q.Choose)
+	}
+	bodyVars := make(map[string]bool)
+	for _, a := range q.Body {
+		a.vars(bodyVars)
+	}
+	check := func(where string, vars map[string]bool) error {
+		for v := range vars {
+			if !bodyVars[v] {
+				return fmt.Errorf("eq: range restriction violated: variable %s in %s does not appear in the body", v, where)
+			}
+		}
+		return nil
+	}
+	headVars := make(map[string]bool)
+	for _, a := range q.Head {
+		a.vars(headVars)
+	}
+	if err := check("head", headVars); err != nil {
+		return err
+	}
+	postVars := make(map[string]bool)
+	for _, a := range q.Post {
+		a.vars(postVars)
+	}
+	if err := check("postcondition", postVars); err != nil {
+		return err
+	}
+	for _, b := range q.Bind {
+		if !bodyVars[b] {
+			return fmt.Errorf("eq: bind variable @%s does not appear in the body", b)
+		}
+	}
+	return nil
+}
+
+// BodyTables returns the distinct database relations the body grounds on,
+// in first-mention order. These are the grounding-read targets — the tables
+// the transaction (and, via quasi-reads, its entanglement partners) must
+// see a stable view of.
+func (q *Query) BodyTables() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, a := range q.Body {
+		if !seen[a.Rel] {
+			seen[a.Rel] = true
+			out = append(out, a.Rel)
+		}
+	}
+	return out
+}
+
+// AnswerRelations returns the distinct ANSWER relations mentioned by head
+// and postcondition, in first-mention order.
+func (q *Query) AnswerRelations() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, a := range append(append([]Atom{}, q.Head...), q.Post...) {
+		if !seen[a.Rel] {
+			seen[a.Rel] = true
+			out = append(out, a.Rel)
+		}
+	}
+	return out
+}
+
+// String renders the query in the paper's {C} H ⇐ B notation.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("{")
+	for i, a := range q.Post {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteString("} ")
+	for i, a := range q.Head {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteString(" ⇐ ")
+	for i, a := range q.Body {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteString(a.String())
+	}
+	for _, c := range q.Where {
+		b.WriteString(" ∧ ")
+		b.WriteString(c.String())
+	}
+	return b.String()
+}
+
+// Grounding is one valuation of a query's body: the instantiated head and
+// postcondition atoms plus the valuation itself (for host-variable
+// binding).
+type Grounding struct {
+	Head []GroundAtom
+	Post []GroundAtom
+	Val  Valuation
+}
+
+// key is a canonical identity for deduplication.
+func (g *Grounding) key() string {
+	var b strings.Builder
+	for _, a := range g.Head {
+		b.WriteString(a.Key())
+		b.WriteByte('#')
+	}
+	b.WriteByte('|')
+	for _, a := range g.Post {
+		b.WriteString(a.Key())
+		b.WriteByte('#')
+	}
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package eq
+
+// Coordinating-set search: given the groundings of a set of pending
+// queries, select at most one grounding per query such that every chosen
+// postcondition atom appears among the chosen head atoms (Appendix A:
+// "the groundings in G′ can all mutually satisfy each other's
+// postconditions").
+//
+// The search is goal-directed: choosing a grounding g obliges us to cover
+// each of g's postcondition atoms; an uncovered atom is covered by choosing
+// a grounding of some other query whose head produces it, which recursively
+// adds obligations. This closure-based search visits producers per needed
+// atom (typically one in coordination workloads) rather than enumerating
+// the cross product of grounding lists, so pairs, spoke-hubs, and cycles of
+// the sizes in the paper's §5.2 evaluation all solve in microseconds.
+//
+// Queries are processed in submission order and groundings in enumeration
+// order, so evaluation is deterministic (Appendix C.1's determinism
+// assumption). The greedy order means we do not guarantee a maximum-size
+// answered set when coordination structures overlap and compete; for the
+// paper's workloads structures are disjoint, where greedy closure is exact.
+
+// solver holds the state of one evaluation round.
+type solver struct {
+	queries    []solveQuery
+	producers  map[string][]producer // ground head atom key -> producers
+	chosen     []int                 // per query: grounding index or -1
+	chosenHead map[string]int        // atom key -> refcount among chosen heads
+	steps      int
+	budget     int
+}
+
+type solveQuery struct {
+	groundings []*Grounding
+}
+
+type producer struct {
+	query, grounding int
+}
+
+const defaultBudget = 200000
+
+// Solve returns, for each query, the index of the chosen grounding (or -1
+// if the query is left unanswered this round).
+func Solve(groundings [][]*Grounding) []int {
+	s := &solver{
+		producers:  make(map[string][]producer),
+		chosenHead: make(map[string]int),
+		budget:     defaultBudget,
+	}
+	for qi, gs := range groundings {
+		s.queries = append(s.queries, solveQuery{groundings: gs})
+		for gi, g := range gs {
+			for _, h := range g.Head {
+				k := h.Key()
+				s.producers[k] = append(s.producers[k], producer{query: qi, grounding: gi})
+			}
+		}
+	}
+	s.chosen = make([]int, len(s.queries))
+	for i := range s.chosen {
+		s.chosen[i] = -1
+	}
+	// Answer queries in order; each closure keeps earlier selections.
+	for qi := range s.queries {
+		if s.chosen[qi] >= 0 {
+			continue
+		}
+		for gi := range s.queries[qi].groundings {
+			if s.tryClose(qi, gi) {
+				break
+			}
+		}
+	}
+	return s.chosen
+}
+
+// tryClose attempts to select grounding gi for query qi and transitively
+// satisfy every obligation. On failure all tentative selections are undone.
+func (s *solver) tryClose(qi, gi int) bool {
+	var trail []int // query indices tentatively selected, for rollback
+	ok := s.selectGrounding(qi, gi, &trail)
+	if !ok {
+		for i := len(trail) - 1; i >= 0; i-- {
+			s.unselect(trail[i])
+		}
+	}
+	return ok
+}
+
+// selectGrounding marks (qi, gi) chosen and recursively covers its
+// postconditions. The trail records selections for rollback.
+func (s *solver) selectGrounding(qi, gi int, trail *[]int) bool {
+	s.steps++
+	if s.steps > s.budget {
+		return false
+	}
+	g := s.queries[qi].groundings[gi]
+	s.chosen[qi] = gi
+	*trail = append(*trail, qi)
+	for _, h := range g.Head {
+		s.chosenHead[h.Key()]++
+	}
+	for _, p := range g.Post {
+		if !s.cover(p.Key(), trail) {
+			return false
+		}
+	}
+	return true
+}
+
+// cover ensures the ground atom key is among chosen heads, selecting a
+// producer if needed. Alternatives are tried with local backtracking.
+func (s *solver) cover(key string, trail *[]int) bool {
+	if s.chosenHead[key] > 0 {
+		return true
+	}
+	for _, p := range s.producers[key] {
+		if s.chosen[p.query] >= 0 {
+			// Already selected with a different grounding; its head did not
+			// contain key (else chosenHead would be positive), and a query
+			// may contribute at most one grounding.
+			continue
+		}
+		mark := len(*trail)
+		if s.selectGrounding(p.query, p.grounding, trail) {
+			return true
+		}
+		// Roll back the subtree this attempt selected.
+		for i := len(*trail) - 1; i >= mark; i-- {
+			s.unselect((*trail)[i])
+		}
+		*trail = (*trail)[:mark]
+	}
+	return false
+}
+
+// unselect reverses a selection.
+func (s *solver) unselect(qi int) {
+	gi := s.chosen[qi]
+	if gi < 0 {
+		return
+	}
+	for _, h := range s.queries[qi].groundings[gi].Head {
+		k := h.Key()
+		if s.chosenHead[k]--; s.chosenHead[k] == 0 {
+			delete(s.chosenHead, k)
+		}
+	}
+	s.chosen[qi] = -1
+}
+
+// FormableSet reports, for each pending query, whether a combined query
+// including it could be formulated from the pending set. The test is
+// database-independent, as Appendix B requires: every postcondition atom
+// must syntactically unify with a head atom of some other *formable*
+// pending query (same relation and arity; constants equal wherever both
+// sides are constant). The "formable" qualifier makes the condition a
+// greatest fixpoint: queries whose producers cannot themselves join a
+// combined query are pruned, so a partially-arrived cycle waits for its
+// missing members rather than receiving a premature empty answer.
+//
+// Donald's postcondition FlightRes('Daffy', x, y) unifies with no head
+// produced by Mickey's or Minnie's queries (constant mismatch in the name
+// position) on any database, so Donald's query fails and his transaction
+// waits — whereas a query whose posts all have unifiable, transitively
+// formable producers but whose combined evaluation selects nothing gets an
+// empty answer and its transaction proceeds.
+func FormableSet(queries []*Query) []bool {
+	alive := make([]bool, len(queries))
+	for i := range alive {
+		alive[i] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for qi, q := range queries {
+			if !alive[qi] {
+				continue
+			}
+			for _, p := range q.Post {
+				if !hasUnifiableProducer(queries, alive, qi, p) {
+					alive[qi] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return alive
+}
+
+// CanFormCombined is FormableSet for a single query.
+func CanFormCombined(queries []*Query, qi int) bool {
+	return FormableSet(queries)[qi]
+}
+
+// hasUnifiableProducer reports whether any other alive pending query has a
+// head atom unifiable with post atom p of query qi.
+func hasUnifiableProducer(queries []*Query, alive []bool, qi int, p Atom) bool {
+	for qj, q := range queries {
+		if qj == qi || !alive[qj] {
+			continue
+		}
+		for _, h := range q.Head {
+			if atomsUnify(p, h) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// atomsUnify reports syntactic unifiability of two atoms: same relation and
+// arity, and wherever both arguments are constants they must be equal.
+// (Variables unify with anything; repeated-variable consistency is not
+// checked — this is the conservative, database-independent test.)
+func atomsUnify(a, b Atom) bool {
+	if a.Rel != b.Rel || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !a.Args[i].IsVar && !b.Args[i].IsVar && !a.Args[i].Value.Equal(b.Args[i].Value) {
+			return false
+		}
+	}
+	return true
+}

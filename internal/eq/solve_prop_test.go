@@ -1,0 +1,196 @@
+package eq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// Property tests on the coordinating-set solver: whatever Solve selects
+// must actually be a coordinating set (Appendix A) — at most one grounding
+// per query, and every chosen postcondition atom covered by a chosen head
+// atom. We also check determinism and that complete pair/cycle structures
+// are always fully answered.
+
+// checkCoordinatingSet verifies the mutual-satisfaction invariant.
+func checkCoordinatingSet(t *testing.T, groundings [][]*Grounding, chosen []int) {
+	t.Helper()
+	heads := make(map[string]bool)
+	for qi, gi := range chosen {
+		if gi < 0 {
+			continue
+		}
+		if gi >= len(groundings[qi]) {
+			t.Fatalf("query %d: chosen index %d out of range", qi, gi)
+		}
+		for _, h := range groundings[qi][gi].Head {
+			heads[h.Key()] = true
+		}
+	}
+	for qi, gi := range chosen {
+		if gi < 0 {
+			continue
+		}
+		for _, p := range groundings[qi][gi].Post {
+			if !heads[p.Key()] {
+				t.Fatalf("query %d grounding %d: postcondition %s not covered by chosen heads", qi, gi, p)
+			}
+		}
+	}
+}
+
+// randomQueries builds a random mix of pairs, cycles, and loner queries
+// over a shared value domain, with some queries mentioning partners that
+// do not exist.
+func randomQueries(rng *rand.Rand) ([]*Query, MapReader) {
+	nVals := 1 + rng.Intn(3)
+	rows := make([]types.Tuple, nVals)
+	for i := range rows {
+		rows[i] = types.Tuple{types.Int(int64(i + 1))}
+	}
+	db := MapReader{"Vals": rows}
+	var queries []*Query
+	mk := func(rel, me, them string) *Query {
+		return &Query{
+			Head:   []Atom{NewAtom(rel, CStr(me), V("v"))},
+			Post:   []Atom{NewAtom(rel, CStr(them), V("v"))},
+			Body:   []Atom{NewAtom("Vals", V("v"))},
+			Choose: 1,
+		}
+	}
+	id := 0
+	structures := 1 + rng.Intn(4)
+	for s := 0; s < structures; s++ {
+		rel := fmt.Sprintf("R%d", s)
+		switch rng.Intn(4) {
+		case 0: // complete pair
+			a, b := fmt.Sprintf("u%d", id), fmt.Sprintf("u%d", id+1)
+			id += 2
+			queries = append(queries, mk(rel, a, b), mk(rel, b, a))
+		case 1: // cycle of 3-4
+			k := 3 + rng.Intn(2)
+			names := make([]string, k)
+			for i := range names {
+				names[i] = fmt.Sprintf("u%d", id)
+				id++
+			}
+			for i := range names {
+				queries = append(queries, mk(rel, names[i], names[(i+1)%k]))
+			}
+		case 2: // half pair (partner missing)
+			a := fmt.Sprintf("u%d", id)
+			id++
+			queries = append(queries, mk(rel, a, "ghost"))
+		default: // loner without postcondition
+			a := fmt.Sprintf("u%d", id)
+			id++
+			q := mk(rel, a, "unused")
+			q.Post = nil
+			queries = append(queries, q)
+		}
+	}
+	return queries, db
+}
+
+func TestSolvePropertyRandomStructures(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for iter := 0; iter < 500; iter++ {
+		queries, db := randomQueries(rng)
+		groundings := make([][]*Grounding, len(queries))
+		for i, q := range queries {
+			gs, err := Ground(q, db, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			groundings[i] = gs
+		}
+		chosen := Solve(groundings)
+		if len(chosen) != len(queries) {
+			t.Fatalf("chosen length %d != %d", len(chosen), len(queries))
+		}
+		checkCoordinatingSet(t, groundings, chosen)
+		// Determinism.
+		chosen2 := Solve(groundings)
+		for i := range chosen {
+			if chosen[i] != chosen2[i] {
+				t.Fatalf("iteration %d: nondeterministic solve at query %d", iter, i)
+			}
+		}
+		// Queries with no postconditions must always be answered (they
+		// coordinate with nobody).
+		for i, q := range queries {
+			if len(q.Post) == 0 && len(groundings[i]) > 0 && chosen[i] < 0 {
+				t.Fatalf("loner query %d unanswered", i)
+			}
+		}
+	}
+}
+
+func TestSolveCompletePairsAlwaysAnswered(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		db := MapReader{"Vals": {{types.Int(1)}, {types.Int(2)}}}
+		nPairs := 1 + rng.Intn(5)
+		var queries []*Query
+		for p := 0; p < nPairs; p++ {
+			rel := fmt.Sprintf("P%d", p)
+			a, b := fmt.Sprintf("a%d", p), fmt.Sprintf("b%d", p)
+			mkQ := func(me, them string) *Query {
+				return &Query{
+					Head:   []Atom{NewAtom(rel, CStr(me), V("v"))},
+					Post:   []Atom{NewAtom(rel, CStr(them), V("v"))},
+					Body:   []Atom{NewAtom("Vals", V("v"))},
+					Choose: 1,
+				}
+			}
+			queries = append(queries, mkQ(a, b), mkQ(b, a))
+		}
+		// Shuffle the submission order.
+		rng.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+		pend := make([]Pending, len(queries))
+		for i, q := range queries {
+			pend[i] = Pending{ID: i, Query: q, Reader: db}
+		}
+		res := Evaluate(pend, EvalOptions{})
+		for i := range queries {
+			if res.Answers[i].Status != Answered {
+				t.Fatalf("iteration %d: query %d of complete pair set unanswered (%v)", iter, i, res.Answers[i].Status)
+			}
+		}
+	}
+}
+
+func TestSolveBudgetTerminates(t *testing.T) {
+	// A dense pathological instance: many queries all producing and
+	// consuming overlapping atoms. The solver must terminate (budget) and
+	// return a consistent (possibly partial) answer.
+	db := MapReader{"Vals": {{types.Int(1)}, {types.Int(2)}, {types.Int(3)}}}
+	const k = 12
+	var groundings [][]*Grounding
+	for i := 0; i < k; i++ {
+		q := &Query{
+			Head: []Atom{NewAtom("R", CStr(fmt.Sprintf("u%d", i)), V("v"))},
+			Post: []Atom{
+				NewAtom("R", CStr(fmt.Sprintf("u%d", (i+1)%k)), V("v")),
+				NewAtom("R", CStr(fmt.Sprintf("u%d", (i+2)%k)), V("v")),
+			},
+			Body:   []Atom{NewAtom("Vals", V("v"))},
+			Choose: 1,
+		}
+		gs, err := Ground(q, db, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groundings = append(groundings, gs)
+	}
+	chosen := Solve(groundings)
+	checkCoordinatingSet(t, groundings, chosen)
+	// This double-cycle is satisfiable: everyone picks the same value.
+	for i, gi := range chosen {
+		if gi < 0 {
+			t.Fatalf("query %d unanswered in satisfiable double cycle", i)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package isolation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// isRead reports whether the op kind is any flavor of read (ordinary,
+// grounding, or quasi).
+func isRead(k OpKind) bool { return k == OpRead || k == OpGround || k == OpQuasi }
+
+// tableOf maps a row-granular object ("Airlines/5") to its table
+// ("Airlines"); objects without a slash are their own table.
+func tableOf(obj string) string {
+	for i := len(obj) - 1; i >= 0; i-- {
+		if obj[i] == '/' {
+			return obj[:i]
+		}
+	}
+	return obj
+}
+
+// opsConflict implements conflict between two data operations at the
+// engine's mixed granularity: reads are table-level (the engine takes
+// table-level read locks, matching the paper's §3.3.3 example), writes are
+// row-level.
+//
+//   - write/write conflict on the identical object (same row);
+//   - read/write conflict when the write's table equals the read object.
+func opsConflict(a, b Op) bool {
+	aw, bw := a.Kind == OpWrite, b.Kind == OpWrite
+	switch {
+	case aw && bw:
+		return a.Obj == b.Obj
+	case aw && isRead(b.Kind):
+		return tableOf(a.Obj) == b.Obj
+	case isRead(a.Kind) && bw:
+		return a.Obj == tableOf(b.Obj)
+	default:
+		return false
+	}
+}
+
+// ConflictGraph computes the conflict graph of a schedule (Appendix C.2.1):
+// nodes are the committed transactions; for every pair of operations on the
+// same object by different committed transactions where at least one is a
+// write, an edge runs from the earlier transaction to the later one.
+// Quasi-reads participate in conflicts — that is precisely how unrepeatable
+// quasi-reads are excluded by acyclicity.
+func ConflictGraph(s *Schedule) map[int]map[int]bool {
+	committed := s.Committed()
+	g := make(map[int]map[int]bool)
+	for tx := range committed {
+		g[tx] = make(map[int]bool)
+	}
+	for i, a := range s.Ops {
+		if a.Kind != OpWrite && !isRead(a.Kind) {
+			continue
+		}
+		if !committed[a.Tx] {
+			continue
+		}
+		for j := i + 1; j < len(s.Ops); j++ {
+			b := s.Ops[j]
+			if b.Kind != OpWrite && !isRead(b.Kind) {
+				continue
+			}
+			if b.Tx == a.Tx || !committed[b.Tx] {
+				continue
+			}
+			if opsConflict(a, b) {
+				g[a.Tx][b.Tx] = true
+			}
+		}
+	}
+	return g
+}
+
+// HasCycle reports whether the conflict graph contains a cycle
+// (violating Requirement C.2).
+func HasCycle(g map[int]map[int]bool) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int)
+	var nodes []int
+	for n := range g {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		var succ []int
+		for v := range g[u] {
+			succ = append(succ, v)
+		}
+		sort.Ints(succ)
+		for _, v := range succ {
+			switch color[v] {
+			case gray:
+				return true
+			case white:
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white && dfs(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadFromAborted reports a violation of Requirement C.3: a committed
+// transaction j reads an object previously written by a transaction i that
+// aborts (the sequence W_i(x) ... R_j(x) with A_i and C_j in the schedule).
+func ReadFromAborted(s *Schedule) error {
+	committed := s.Committed()
+	aborted := make(map[int]bool)
+	for _, op := range s.Ops {
+		if op.Kind == OpAbort {
+			aborted[op.Tx] = true
+		}
+	}
+	for i, w := range s.Ops {
+		if w.Kind != OpWrite || !aborted[w.Tx] {
+			continue
+		}
+		for j := i + 1; j < len(s.Ops); j++ {
+			r := s.Ops[j]
+			if isRead(r.Kind) && r.Tx != w.Tx && committed[r.Tx] && opsConflict(w, r) {
+				return fmt.Errorf("isolation: committed transaction %d reads %s written by aborted transaction %d", r.Tx, w.Obj, w.Tx)
+			}
+		}
+	}
+	return nil
+}
+
+// Widowed reports a violation of Requirement C.4: an entanglement
+// operation whose participants include both an aborted and a committed
+// transaction — the widowed-transaction anomaly of §3.3.1.
+func Widowed(s *Schedule) error {
+	committed := s.Committed()
+	aborted := make(map[int]bool)
+	for _, op := range s.Ops {
+		if op.Kind == OpAbort {
+			aborted[op.Tx] = true
+		}
+	}
+	for _, op := range s.Ops {
+		if op.Kind != OpEntangle {
+			continue
+		}
+		var committedTx, abortedTx = -1, -1
+		for _, t := range op.Txs {
+			if committed[t] {
+				committedTx = t
+			}
+			if aborted[t] {
+				abortedTx = t
+			}
+		}
+		if committedTx >= 0 && abortedTx >= 0 {
+			return fmt.Errorf("isolation: widowed transaction: entanglement %d has committed %d and aborted %d", op.EID, committedTx, abortedTx)
+		}
+	}
+	return nil
+}
+
+// IsEntangledIsolated implements Definition C.5: the schedule (with
+// quasi-reads made explicit) satisfies Requirements C.2 (acyclic conflict
+// graph), C.3 (no read-from-aborted), and C.4 (no widowed transactions).
+// It returns nil when isolated, or the first violated requirement.
+func IsEntangledIsolated(s *Schedule) error {
+	sq := s.WithQuasiReads()
+	if HasCycle(ConflictGraph(sq)) {
+		return fmt.Errorf("isolation: conflict graph is cyclic (Requirement C.2)")
+	}
+	if err := ReadFromAborted(sq); err != nil {
+		return err
+	}
+	if err := Widowed(sq); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopologicalOrder returns a total order of the committed transactions
+// consistent with the conflict graph, or an error if the graph is cyclic.
+// Ties break by transaction id for determinism.
+func TopologicalOrder(g map[int]map[int]bool) ([]int, error) {
+	indeg := make(map[int]int)
+	for n := range g {
+		indeg[n] += 0
+		for v := range g[n] {
+			indeg[v]++
+		}
+	}
+	var ready []int
+	for n, d := range indeg {
+		if d == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Ints(ready)
+	var out []int
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		var succ []int
+		for v := range g[n] {
+			succ = append(succ, v)
+		}
+		sort.Ints(succ)
+		for _, v := range succ {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+				sort.Ints(ready)
+			}
+		}
+	}
+	if len(out) != len(indeg) {
+		return nil, fmt.Errorf("isolation: conflict graph is cyclic")
+	}
+	return out, nil
+}

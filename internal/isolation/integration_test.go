@@ -1,0 +1,196 @@
+package isolation
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eq"
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// Integration: attach a Recorder to the live engine and check that the
+// schedules it emits satisfy the paper's isolation definitions at the full
+// level — and exhibit detectable anomalies when the guards are switched
+// off. This closes the loop between the executable theory (this package)
+// and the execution model (internal/core).
+
+func newTracedEngine(t *testing.T, iso core.Isolation, rec *Recorder) *core.Engine {
+	t.Helper()
+	cat := storage.NewCatalog()
+	locks := lock.New(500 * time.Millisecond)
+	txm := txn.NewManager(cat, locks, nil)
+	for name, cols := range map[string][]types.Column{
+		"Flights": {
+			{Name: "fno", Type: types.KindInt},
+			{Name: "dest", Type: types.KindString},
+		},
+		"Airlines": {
+			{Name: "fno", Type: types.KindInt},
+			{Name: "airline", Type: types.KindString},
+		},
+		"Bookings": {
+			{Name: "name", Type: types.KindString},
+			{Name: "fno", Type: types.KindInt},
+		},
+	} {
+		if _, err := txm.CreateTable(name, types.NewSchema(cols...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed, err := txm.Begin(txn.Serializable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed.Insert("Flights", types.Tuple{types.Int(122), types.Str("LA")})
+	seed.Insert("Flights", types.Tuple{types.Int(123), types.Str("LA")})
+	seed.Insert("Airlines", types.Tuple{types.Int(122), types.Str("United")})
+	seed.Insert("Airlines", types.Tuple{types.Int(123), types.Str("United")})
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine(txm, core.Options{
+		Isolation:    iso,
+		RunFrequency: 2,
+		Trace:        rec,
+	})
+	t.Cleanup(e.Close)
+	return e
+}
+
+func pairQuery(me, them string, unitedOnly bool) *eq.Query {
+	q := &eq.Query{
+		Head:   []eq.Atom{eq.NewAtom("R", eq.CStr(me), eq.V("fno"))},
+		Post:   []eq.Atom{eq.NewAtom("R", eq.CStr(them), eq.V("fno"))},
+		Body:   []eq.Atom{eq.NewAtom("Flights", eq.V("fno"), eq.V("dest"))},
+		Where:  []eq.Constraint{{Left: eq.V("dest"), Op: eq.OpEq, Right: eq.CStr("LA")}},
+		Choose: 1,
+	}
+	if unitedOnly {
+		q.Body = append(q.Body, eq.NewAtom("Airlines", eq.V("fno"), eq.V("al")))
+		q.Where = append(q.Where, eq.Constraint{Left: eq.V("al"), Op: eq.OpEq, Right: eq.CStr("United")})
+	}
+	return q
+}
+
+func bookProg(me, them string, unitedOnly bool) core.Program {
+	return core.Program{
+		Name:    me,
+		Timeout: 2 * time.Second,
+		Body: func(tx *core.Tx) error {
+			a := tx.Entangle(pairQuery(me, them, unitedOnly))
+			if a.Status != eq.Answered {
+				return fmt.Errorf("%s: %v", me, a.Status)
+			}
+			_, err := tx.Insert("Bookings", types.Tuple{types.Str(me), a.Bindings["fno"]})
+			return err
+		},
+	}
+}
+
+// TestEngineEmitsEntangledIsolatedSchedules: a full-isolation workload of
+// entangled pairs plus classical writers yields a schedule that passes
+// Definition C.5 and, by Theorem 3.6, is oracle-serializable.
+func TestEngineEmitsEntangledIsolatedSchedules(t *testing.T) {
+	rec := NewRecorder()
+	e := newTracedEngine(t, core.FullEntangled, rec)
+	h1 := e.Submit(bookProg("Mickey", "Minnie", false))
+	h2 := e.Submit(bookProg("Minnie", "Mickey", true))
+	if o := h1.Wait(); o.Status != core.StatusCommitted {
+		t.Fatalf("Mickey: %+v", o)
+	}
+	if o := h2.Wait(); o.Status != core.StatusCommitted {
+		t.Fatalf("Minnie: %+v", o)
+	}
+	// A classical writer after the run.
+	o := e.RunDirect(core.Program{Body: func(tx *core.Tx) error {
+		_, err := tx.Insert("Airlines", types.Tuple{types.Int(125), types.Str("United")})
+		return err
+	}})
+	if o.Status != core.StatusCommitted {
+		t.Fatalf("writer: %+v", o)
+	}
+
+	s := rec.Schedule()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("engine emitted invalid schedule: %v\n%s", err, s)
+	}
+	if err := IsEntangledIsolated(s); err != nil {
+		t.Fatalf("engine violated entangled isolation: %v\n%s", err, s)
+	}
+	if _, err := OracleSerializable(s); err != nil {
+		t.Fatalf("engine schedule not oracle-serializable: %v\n%s", err, s)
+	}
+}
+
+// TestNoWidowGuardEmitsWidowedSchedule: with group commit disabled, a
+// partner abort after entanglement produces a schedule our checker flags
+// as widowed.
+func TestNoWidowGuardEmitsWidowedSchedule(t *testing.T) {
+	rec := NewRecorder()
+	e := newTracedEngine(t, core.NoWidowGuard, rec)
+	h1 := e.Submit(bookProg("Mickey", "Minnie", false))
+	h2 := e.Submit(core.Program{
+		Name:    "Minnie",
+		Timeout: 2 * time.Second,
+		Body: func(tx *core.Tx) error {
+			a := tx.Entangle(pairQuery("Minnie", "Mickey", false))
+			if a.Status != eq.Answered {
+				return fmt.Errorf("minnie: %v", a.Status)
+			}
+			tx.Rollback()
+			return nil
+		},
+	})
+	if o := h1.Wait(); o.Status != core.StatusCommitted {
+		t.Fatalf("Mickey: %+v", o)
+	}
+	if o := h2.Wait(); o.Status != core.StatusRolledBack {
+		t.Fatalf("Minnie: %+v", o)
+	}
+	err := IsEntangledIsolated(rec.Schedule())
+	if err == nil || !strings.Contains(err.Error(), "widowed") {
+		t.Fatalf("widow not detected in engine schedule: %v", err)
+	}
+}
+
+// TestFullIsolationPreventsWidowedSchedule is the same scenario at full
+// isolation: the schedule stays clean because the group aborts together.
+func TestFullIsolationPreventsWidowedSchedule(t *testing.T) {
+	rec := NewRecorder()
+	e := newTracedEngine(t, core.FullEntangled, rec)
+	h1 := e.Submit(core.Program{
+		Name:    "Mickey",
+		Timeout: 200 * time.Millisecond,
+		Body: func(tx *core.Tx) error {
+			a := tx.Entangle(pairQuery("Mickey", "Minnie", false))
+			if a.Status != eq.Answered {
+				return fmt.Errorf("mickey: %v", a.Status)
+			}
+			_, err := tx.Insert("Bookings", types.Tuple{types.Str("Mickey"), a.Bindings["fno"]})
+			return err
+		},
+	})
+	h2 := e.Submit(core.Program{
+		Name:    "Minnie",
+		Timeout: 200 * time.Millisecond,
+		Body: func(tx *core.Tx) error {
+			a := tx.Entangle(pairQuery("Minnie", "Mickey", false))
+			if a.Status != eq.Answered {
+				return fmt.Errorf("minnie: %v", a.Status)
+			}
+			tx.Rollback()
+			return nil
+		},
+	})
+	h1.Wait()
+	h2.Wait()
+	if err := IsEntangledIsolated(rec.Schedule()); err != nil {
+		t.Fatalf("full isolation emitted anomalous schedule: %v\n%s", err, rec.Schedule())
+	}
+}

@@ -1,0 +1,447 @@
+package isolation
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// appendixSchedule is the example schedule of Appendix C.1:
+// RG1(x) RG2(y) R3(z) E1{1,2} W1(z) W2(w) C1 C2 C3.
+func appendixSchedule() *Schedule {
+	return &Schedule{Ops: []Op{
+		RG(1, "x"), RG(2, "y"), R(3, "z"), E(1, 1, 2), W(1, "z"), W(2, "w"), C(1), C(2), C(3),
+	}}
+}
+
+func TestValidateAppendixExample(t *testing.T) {
+	if err := appendixSchedule().Validate(); err != nil {
+		t.Fatalf("appendix schedule invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsDoubleOutcome(t *testing.T) {
+	s := &Schedule{Ops: []Op{R(1, "x"), C(1), A(1)}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("double outcome accepted")
+	}
+}
+
+func TestValidateRejectsMissingOutcome(t *testing.T) {
+	s := &Schedule{Ops: []Op{R(1, "x")}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("incomplete schedule accepted")
+	}
+}
+
+func TestValidateRejectsOpsAfterCommit(t *testing.T) {
+	s := &Schedule{Ops: []Op{C(1), R(1, "x"), A(2), C(2)}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("op after commit accepted")
+	}
+}
+
+func TestValidateRejectsUnresolvedGroundingRead(t *testing.T) {
+	s := &Schedule{Ops: []Op{RG(1, "x"), C(1)}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("grounding read without entanglement accepted")
+	}
+}
+
+func TestValidateRejectsWorkBetweenGroundAndEntangle(t *testing.T) {
+	s := &Schedule{Ops: []Op{RG(1, "x"), W(1, "y"), E(1, 1), C(1)}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("write between grounding read and entanglement accepted")
+	}
+	// More grounding reads in the interval are fine.
+	s2 := &Schedule{Ops: []Op{RG(1, "x"), RG(1, "y"), E(1, 1), C(1)}}
+	if err := s2.Validate(); err != nil {
+		t.Fatalf("grounding reads in interval rejected: %v", err)
+	}
+	// Abort resolves the grounding read too.
+	s3 := &Schedule{Ops: []Op{RG(1, "x"), A(1)}}
+	if err := s3.Validate(); err != nil {
+		t.Fatalf("abort after grounding read rejected: %v", err)
+	}
+}
+
+func TestWithQuasiReadsAppendix(t *testing.T) {
+	// Appendix C.2.1 rewrites the example as
+	// (RG1(x) RQ2(x)) (RG2(y) RQ1(y)) R3(z) E1 W1(z) W2(w) C1 C2 C3.
+	sq := appendixSchedule().WithQuasiReads()
+	want := "RG1(x) RQ2(x) RG2(y) RQ1(y) R3(z) E1{1,2} W1(z) W2(w) C1 C2 C3"
+	if got := sq.String(); got != want {
+		t.Fatalf("got  %s\nwant %s", got, want)
+	}
+}
+
+func TestQuasiReadsNotDerivedAfterAbort(t *testing.T) {
+	// A grounding read with no subsequent entanglement (abort) induces no
+	// quasi-reads (Appendix C.2.1's pathological case).
+	s := &Schedule{Ops: []Op{RG(1, "x"), A(1), R(2, "y"), C(2)}}
+	sq := s.WithQuasiReads()
+	for _, op := range sq.Ops {
+		if op.Kind == OpQuasi {
+			t.Fatalf("spurious quasi-read: %s", sq)
+		}
+	}
+}
+
+func TestConflictGraphBasics(t *testing.T) {
+	// W1(x) R2(x): edge 1->2 only.
+	s := &Schedule{Ops: []Op{W(1, "x"), R(2, "x"), C(1), C(2)}}
+	g := ConflictGraph(s)
+	if !g[1][2] || g[2][1] {
+		t.Fatalf("graph = %v", g)
+	}
+	// Uncommitted transactions are excluded.
+	s2 := &Schedule{Ops: []Op{W(1, "x"), R(2, "x"), A(1), C(2)}}
+	g2 := ConflictGraph(s2)
+	if len(g2[1]) != 0 {
+		t.Fatalf("aborted tx in conflict graph: %v", g2)
+	}
+	// Reads do not conflict with reads.
+	s3 := &Schedule{Ops: []Op{R(1, "x"), R(2, "x"), C(1), C(2)}}
+	g3 := ConflictGraph(s3)
+	if g3[1][2] || g3[2][1] {
+		t.Fatalf("read-read conflict: %v", g3)
+	}
+}
+
+func TestMixedGranularityConflicts(t *testing.T) {
+	// A row write conflicts with a table read of its table.
+	if !opsConflict(W(1, "Airlines/5"), R(2, "Airlines")) {
+		t.Error("row write should conflict with table read")
+	}
+	if opsConflict(W(1, "Airlines/5"), R(2, "Flights")) {
+		t.Error("row write conflicts with unrelated table read")
+	}
+	// Row writes conflict only on the same row.
+	if opsConflict(W(1, "Airlines/5"), W(2, "Airlines/6")) {
+		t.Error("different rows should not write-write conflict")
+	}
+	if !opsConflict(W(1, "Airlines/5"), W(2, "Airlines/5")) {
+		t.Error("same row must conflict")
+	}
+}
+
+func TestUnrepeatableReadDetected(t *testing.T) {
+	// R1(x) W2(x) C2 R1(x) C1: classical unrepeatable read — cycle.
+	s := &Schedule{Ops: []Op{R(1, "x"), W(2, "x"), C(2), R(1, "x"), C(1)}}
+	if err := IsEntangledIsolated(s); err == nil {
+		t.Fatal("unrepeatable read not detected")
+	}
+}
+
+func TestDirtyReadFromAbortedDetected(t *testing.T) {
+	s := &Schedule{Ops: []Op{W(1, "x"), R(2, "x"), A(1), C(2)}}
+	if err := IsEntangledIsolated(s); err == nil {
+		t.Fatal("read-from-aborted not detected")
+	}
+}
+
+func TestLostUpdateDetected(t *testing.T) {
+	// R1(x) R2(x) W1(x) W2(x): edges 1->2 and 2->1.
+	s := &Schedule{Ops: []Op{R(1, "x"), R(2, "x"), W(1, "x"), W(2, "x"), C(1), C(2)}}
+	if err := IsEntangledIsolated(s); err == nil {
+		t.Fatal("lost update not detected")
+	}
+}
+
+// TestFigure3aWidowDetected is the widowed-transaction anomaly: Mickey (1)
+// and Minnie (2) entangle; Minnie aborts during her booking; Mickey
+// commits.
+func TestFigure3aWidowDetected(t *testing.T) {
+	s := &Schedule{Ops: []Op{
+		RG(1, "Flights"), RG(2, "Flights"), E(1, 1, 2),
+		W(1, "FlightBookings/1"), W(2, "FlightBookings/2"),
+		A(2), C(1),
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	err := IsEntangledIsolated(s)
+	if err == nil || !strings.Contains(err.Error(), "widowed") {
+		t.Fatalf("widow not detected: %v", err)
+	}
+	// Group commit repairs it: both commit.
+	s2 := &Schedule{Ops: []Op{
+		RG(1, "Flights"), RG(2, "Flights"), E(1, 1, 2),
+		W(1, "FlightBookings/1"), W(2, "FlightBookings/2"),
+		C(2), C(1),
+	}}
+	if err := IsEntangledIsolated(s2); err != nil {
+		t.Fatalf("group-committed schedule flagged: %v", err)
+	}
+	// Group abort is fine too.
+	s3 := &Schedule{Ops: []Op{
+		RG(1, "Flights"), RG(2, "Flights"), E(1, 1, 2),
+		A(2), A(1),
+	}}
+	if err := IsEntangledIsolated(s3); err != nil {
+		t.Fatalf("group-aborted schedule flagged: %v", err)
+	}
+}
+
+// TestFigure3bUnrepeatableQuasiRead: Minnie (2) grounds on Flights and
+// Airlines, Mickey (1) only on Flights; they entangle; Donald (3) adds a
+// United flight; Mickey then reads Airlines himself. Mickey's derived
+// quasi-read on Airlines before Donald's write plus his real read after it
+// forms a cycle 1 -> 3 -> 1.
+func TestFigure3bUnrepeatableQuasiRead(t *testing.T) {
+	s := &Schedule{Ops: []Op{
+		RG(1, "Flights"), RG(2, "Flights"), RG(2, "Airlines"), E(1, 1, 2),
+		W(3, "Airlines/125"), C(3),
+		R(1, "Airlines"), C(1), C(2),
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	err := IsEntangledIsolated(s)
+	if err == nil || !strings.Contains(err.Error(), "cyclic") {
+		t.Fatalf("unrepeatable quasi-read not detected: %v", err)
+	}
+	// Without Donald's interference the same schedule is isolated.
+	s2 := &Schedule{Ops: []Op{
+		RG(1, "Flights"), RG(2, "Flights"), RG(2, "Airlines"), E(1, 1, 2),
+		R(1, "Airlines"), C(1), C(2),
+	}}
+	if err := IsEntangledIsolated(s2); err != nil {
+		t.Fatalf("clean schedule flagged: %v", err)
+	}
+}
+
+func TestOracleSerializableAppendixExample(t *testing.T) {
+	order, err := OracleSerializable(appendixSchedule())
+	if err != nil {
+		t.Fatalf("appendix schedule not oracle-serializable: %v", err)
+	}
+	// R3(z) precedes W1(z), so 3 must serialize before 1.
+	pos := make(map[int]int)
+	for i, tx := range order {
+		pos[tx] = i
+	}
+	if pos[3] > pos[1] {
+		t.Errorf("order %v violates conflict 3->1", order)
+	}
+}
+
+func TestOracleSerializableRejectsCycle(t *testing.T) {
+	s := &Schedule{Ops: []Op{R(1, "x"), W(2, "x"), C(2), R(1, "x"), C(1)}}
+	if _, err := OracleSerializable(s); err == nil {
+		t.Fatal("cyclic schedule declared serializable")
+	}
+}
+
+func TestTopologicalOrderDeterministic(t *testing.T) {
+	g := map[int]map[int]bool{1: {3: true}, 2: {3: true}, 3: {}}
+	o1, err := TopologicalOrder(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o1) != 3 || o1[0] != 1 || o1[1] != 2 || o1[2] != 3 {
+		t.Fatalf("order = %v", o1)
+	}
+}
+
+// --- Theorem 3.6 property test -----------------------------------------
+
+// genSchedule builds a random valid schedule: transactions 1 and 2 entangle
+// (grounding reads then a shared entanglement op), transaction 3 is
+// classical; tails of reads/writes are randomly interleaved and outcomes
+// are random. Many generated schedules exhibit anomalies; the theorem is
+// asserted on those that are entangled-isolated.
+func genSchedule(rng *rand.Rand) *Schedule {
+	objs := []string{"x", "y", "z"}
+	pick := func() string { return objs[rng.Intn(len(objs))] }
+	randOps := func(tx, n int) []Op {
+		ops := make([]Op, 0, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				ops = append(ops, R(tx, pick()))
+			} else {
+				ops = append(ops, W(tx, pick()))
+			}
+		}
+		return ops
+	}
+	// Sequences with a synchronization marker for the shared E op.
+	markerE := Op{Kind: OpEntangle, EID: 1, Txs: []int{1, 2}}
+	seq1 := []Op{RG(1, pick())}
+	if rng.Intn(2) == 0 {
+		seq1 = append(seq1, RG(1, pick()))
+	}
+	seq1 = append(seq1, markerE)
+	seq1 = append(seq1, randOps(1, rng.Intn(3))...)
+	seq2 := []Op{RG(2, pick()), markerE}
+	seq2 = append(seq2, randOps(2, rng.Intn(3))...)
+	seq3 := randOps(3, 1+rng.Intn(3))
+
+	seqs := [][]Op{seq1, seq2, seq3}
+	idx := []int{0, 0, 0}
+	var out []Op
+	for {
+		// Determine pickable sequence heads.
+		var pickable []int
+		for s := range seqs {
+			if idx[s] >= len(seqs[s]) {
+				continue
+			}
+			head := seqs[s][idx[s]]
+			if head.Kind == OpEntangle {
+				// Only pickable when every participant is at its marker.
+				ready := true
+				for o := range seqs {
+					if o == s {
+						continue
+					}
+					if idx[o] < len(seqs[o]) && containsTx(head.Txs, o+1) &&
+						!(seqs[o][idx[o]].Kind == OpEntangle) {
+						ready = false
+					}
+				}
+				if !ready {
+					continue
+				}
+			}
+			pickable = append(pickable, s)
+		}
+		if len(pickable) == 0 {
+			break
+		}
+		s := pickable[rng.Intn(len(pickable))]
+		head := seqs[s][idx[s]]
+		if head.Kind == OpEntangle {
+			// Consume the marker from every participant.
+			for o := range seqs {
+				if containsTx(head.Txs, o+1) && idx[o] < len(seqs[o]) && seqs[o][idx[o]].Kind == OpEntangle {
+					idx[o]++
+				}
+			}
+			out = append(out, head)
+			continue
+		}
+		out = append(out, head)
+		idx[s]++
+	}
+	// Outcomes: entangled pair may commit/abort independently (creating
+	// widows), tx3 too.
+	for _, tx := range []int{1, 2, 3} {
+		if rng.Intn(4) == 0 {
+			out = append(out, A(tx))
+		} else {
+			out = append(out, C(tx))
+		}
+	}
+	return &Schedule{Ops: out}
+}
+
+func containsTx(txs []int, tx int) bool {
+	for _, t := range txs {
+		if t == tx {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTheorem36 checks the paper's main result on thousands of random
+// schedules: every entangled-isolated schedule is oracle-serializable.
+func TestTheorem36(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	isolated, anomalous := 0, 0
+	for i := 0; i < 5000; i++ {
+		s := genSchedule(rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("generator produced invalid schedule %s: %v", s, err)
+		}
+		if err := IsEntangledIsolated(s); err != nil {
+			anomalous++
+			continue
+		}
+		isolated++
+		if _, err := OracleSerializable(s); err != nil {
+			t.Fatalf("THEOREM 3.6 VIOLATION: isolated schedule %s not oracle-serializable: %v", s, err)
+		}
+	}
+	if isolated < 500 {
+		t.Errorf("only %d isolated schedules generated; test coverage too thin", isolated)
+	}
+	if anomalous < 500 {
+		t.Errorf("only %d anomalous schedules generated; generator too tame", anomalous)
+	}
+	t.Logf("theorem held on %d isolated schedules (%d anomalous skipped)", isolated, anomalous)
+}
+
+// TestSerialSchedulesAlwaysIsolated: serial executions with a consistent
+// oracle are the gold standard and must pass.
+func TestSerialSchedulesAlwaysIsolated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		objs := []string{"x", "y"}
+		var ops []Op
+		for tx := 1; tx <= 3; tx++ {
+			n := 1 + rng.Intn(3)
+			for j := 0; j < n; j++ {
+				obj := objs[rng.Intn(len(objs))]
+				if rng.Intn(2) == 0 {
+					ops = append(ops, R(tx, obj))
+				} else {
+					ops = append(ops, W(tx, obj))
+				}
+			}
+			ops = append(ops, C(tx))
+		}
+		s := &Schedule{Ops: ops}
+		if err := IsEntangledIsolated(s); err != nil {
+			t.Fatalf("serial schedule flagged: %s: %v", s, err)
+		}
+		if _, err := OracleSerializable(s); err != nil {
+			t.Fatalf("serial schedule not serializable: %s: %v", s, err)
+		}
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.GroundingRead(101, "Flights")
+	r.GroundingRead(202, "Flights")
+	r.QuasiRead(101, "Flights")
+	r.QuasiRead(202, "Flights")
+	r.Entangle(9, []uint64{101, 202})
+	r.Write(101, "Res/1")
+	r.Write(202, "Res/2")
+	r.Commit(101)
+	r.Commit(202)
+	s := r.Schedule()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("recorded schedule invalid: %v (%s)", err, s)
+	}
+	if err := IsEntangledIsolated(s); err != nil {
+		t.Fatalf("recorded schedule flagged: %v", err)
+	}
+	// Ids are densely renumbered.
+	txs := s.Transactions()
+	if len(txs) != 2 || txs[0] != 1 || txs[1] != 2 {
+		t.Errorf("transactions = %v", txs)
+	}
+	// In-flight transactions are completed with aborts in the snapshot.
+	r2 := NewRecorder()
+	r2.Read(5, "x")
+	s2 := r2.Schedule()
+	if err := s2.Validate(); err != nil {
+		t.Fatalf("snapshot not completed: %v", err)
+	}
+	r2.Reset()
+	if len(r2.Schedule().Ops) != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestScheduleStringRendering(t *testing.T) {
+	s := appendixSchedule()
+	want := "RG1(x) RG2(y) R3(z) E1{1,2} W1(z) W2(w) C1 C2 C3"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,123 @@
+package isolation
+
+import (
+	"sync"
+)
+
+// Recorder collects a live execution schedule from the engine. It
+// implements core.TraceSink structurally (no import needed), translating
+// engine transaction ids to small schedule ids by first appearance.
+//
+// Attach with core.Options{Trace: recorder}, run a workload to quiescence,
+// then call Schedule() and feed the result to IsEntangledIsolated — the
+// integration tests do exactly this to verify the engine's isolation
+// guarantees, and to demonstrate detectable anomalies when the guards are
+// disabled.
+type Recorder struct {
+	mu    sync.Mutex
+	ops   []Op
+	txIDs map[uint64]int
+	eids  map[uint64]int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{txIDs: make(map[uint64]int), eids: make(map[uint64]int)}
+}
+
+func (r *Recorder) tx(id uint64) int {
+	if mapped, ok := r.txIDs[id]; ok {
+		return mapped
+	}
+	mapped := len(r.txIDs) + 1
+	r.txIDs[id] = mapped
+	return mapped
+}
+
+// Read records an ordinary read.
+func (r *Recorder) Read(tx uint64, obj string) {
+	r.mu.Lock()
+	r.ops = append(r.ops, R(r.tx(tx), obj))
+	r.mu.Unlock()
+}
+
+// GroundingRead records a grounding read.
+func (r *Recorder) GroundingRead(tx uint64, obj string) {
+	r.mu.Lock()
+	r.ops = append(r.ops, RG(r.tx(tx), obj))
+	r.mu.Unlock()
+}
+
+// QuasiRead records a quasi-read.
+func (r *Recorder) QuasiRead(tx uint64, obj string) {
+	r.mu.Lock()
+	r.ops = append(r.ops, RQ(r.tx(tx), obj))
+	r.mu.Unlock()
+}
+
+// Write records a write.
+func (r *Recorder) Write(tx uint64, obj string) {
+	r.mu.Lock()
+	r.ops = append(r.ops, W(r.tx(tx), obj))
+	r.mu.Unlock()
+}
+
+// Entangle records an entanglement operation.
+func (r *Recorder) Entangle(op uint64, txs []uint64) {
+	r.mu.Lock()
+	if _, ok := r.eids[op]; !ok {
+		r.eids[op] = len(r.eids) + 1
+	}
+	mapped := make([]int, len(txs))
+	for i, t := range txs {
+		mapped[i] = r.tx(t)
+	}
+	r.ops = append(r.ops, Op{Kind: OpEntangle, EID: r.eids[op], Txs: mapped})
+	r.mu.Unlock()
+}
+
+// Commit records a commit.
+func (r *Recorder) Commit(tx uint64) {
+	r.mu.Lock()
+	r.ops = append(r.ops, C(r.tx(tx)))
+	r.mu.Unlock()
+}
+
+// Abort records an abort.
+func (r *Recorder) Abort(tx uint64) {
+	r.mu.Lock()
+	r.ops = append(r.ops, A(r.tx(tx)))
+	r.mu.Unlock()
+}
+
+// Schedule returns a snapshot of the recorded schedule. Transactions with
+// no recorded outcome (still in flight) are completed with an abort so the
+// snapshot is a valid complete schedule.
+func (r *Recorder) Schedule() *Schedule {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ops := make([]Op, len(r.ops))
+	copy(ops, r.ops)
+	s := &Schedule{Ops: ops}
+	outcome := make(map[int]bool)
+	for _, op := range ops {
+		if op.Kind == OpCommit || op.Kind == OpAbort {
+			outcome[op.Tx] = true
+		}
+	}
+	for _, tx := range s.Transactions() {
+		if !outcome[tx] {
+			s.Ops = append(s.Ops, A(tx))
+		}
+	}
+	return s
+}
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.ops = nil
+	r.txIDs = make(map[uint64]int)
+	r.eids = make(map[uint64]int)
+	r.mu.Unlock()
+}

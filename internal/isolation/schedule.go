@@ -1,0 +1,264 @@
+// Package isolation is an executable formalization of entangled isolation
+// (§3.3 and Appendix C of the paper): schedules over read, write,
+// grounding-read, quasi-read, entangle, commit, and abort operations; the
+// validity constraints of Appendix C.1; quasi-read derivation; the conflict
+// graph; the anomaly-based definition of entangled isolation (Requirements
+// C.2–C.4); and oracle-serializability (Appendix C.3).
+//
+// Theorem 3.6 — every entangled-isolated schedule is oracle-serializable —
+// is checked by property tests in this package, and integration tests use
+// a Recorder attached to the engine to verify that the live system emits
+// entangled-isolated schedules at full isolation.
+package isolation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind enumerates schedule operations.
+type OpKind int
+
+// Schedule operation kinds (Appendix C.1).
+const (
+	OpRead     OpKind = iota // R_i(x)
+	OpGround                 // RG_i(x): grounding read for an entangled query
+	OpQuasi                  // RQ_i(x): derived quasi-read (information flow)
+	OpWrite                  // W_i(x)
+	OpEntangle               // E^k_{i,j,...}
+	OpCommit                 // C_i
+	OpAbort                  // A_i
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "R"
+	case OpGround:
+		return "RG"
+	case OpQuasi:
+		return "RQ"
+	case OpWrite:
+		return "W"
+	case OpEntangle:
+		return "E"
+	case OpCommit:
+		return "C"
+	case OpAbort:
+		return "A"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one schedule operation.
+type Op struct {
+	Kind OpKind
+	Tx   int    // transaction id (R/RG/RQ/W/C/A)
+	Obj  string // object (R/RG/RQ/W)
+	EID  int    // entanglement operation id (Entangle)
+	Txs  []int  // participants (Entangle)
+}
+
+// R, RG, RQ, W, E, C, A are constructors for readable test schedules.
+func R(tx int, obj string) Op  { return Op{Kind: OpRead, Tx: tx, Obj: obj} }
+func RG(tx int, obj string) Op { return Op{Kind: OpGround, Tx: tx, Obj: obj} }
+func RQ(tx int, obj string) Op { return Op{Kind: OpQuasi, Tx: tx, Obj: obj} }
+func W(tx int, obj string) Op  { return Op{Kind: OpWrite, Tx: tx, Obj: obj} }
+func E(id int, txs ...int) Op  { return Op{Kind: OpEntangle, EID: id, Txs: txs} }
+func C(tx int) Op              { return Op{Kind: OpCommit, Tx: tx} }
+func A(tx int) Op              { return Op{Kind: OpAbort, Tx: tx} }
+
+// Schedule is a sequence of operations.
+type Schedule struct {
+	Ops []Op
+}
+
+// String renders the schedule compactly, e.g. "RG1(x) E1{1,2} W1(z) C1 C2".
+func (s *Schedule) String() string {
+	var b strings.Builder
+	for i, op := range s.Ops {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch op.Kind {
+		case OpEntangle:
+			fmt.Fprintf(&b, "E%d{", op.EID)
+			for j, t := range op.Txs {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%d", t)
+			}
+			b.WriteByte('}')
+		case OpCommit, OpAbort:
+			fmt.Fprintf(&b, "%s%d", op.Kind, op.Tx)
+		default:
+			fmt.Fprintf(&b, "%s%d(%s)", op.Kind, op.Tx, op.Obj)
+		}
+	}
+	return b.String()
+}
+
+// Transactions returns the distinct transaction ids in order of first
+// appearance.
+func (s *Schedule) Transactions() []int {
+	seen := make(map[int]bool)
+	var out []int
+	add := func(tx int) {
+		if !seen[tx] {
+			seen[tx] = true
+			out = append(out, tx)
+		}
+	}
+	for _, op := range s.Ops {
+		if op.Kind == OpEntangle {
+			for _, t := range op.Txs {
+				add(t)
+			}
+		} else {
+			add(op.Tx)
+		}
+	}
+	return out
+}
+
+// Committed returns the set of committed transactions.
+func (s *Schedule) Committed() map[int]bool {
+	out := make(map[int]bool)
+	for _, op := range s.Ops {
+		if op.Kind == OpCommit {
+			out[op.Tx] = true
+		}
+	}
+	return out
+}
+
+// Validate checks the Appendix C.1 validity constraints:
+//
+//  1. every transaction has exactly one of {A_i, C_i} (complete schedules),
+//  2. the abort/commit is the transaction's last operation,
+//  3. every grounding read is followed by an entanglement operation
+//     involving the transaction or by its abort,
+//  4. between a grounding read and that next entanglement/abort the
+//     transaction performs only further grounding reads (evaluation calls
+//     are blocking). Derived quasi-reads are also permitted in the
+//     interval, since they are defined to occur simultaneously with the
+//     grounding reads.
+func (s *Schedule) Validate() error {
+	outcome := make(map[int]OpKind)
+	outcomePos := make(map[int]int)
+	lastPos := make(map[int]int)
+	for i, op := range s.Ops {
+		switch op.Kind {
+		case OpCommit, OpAbort:
+			if k, dup := outcome[op.Tx]; dup {
+				return fmt.Errorf("isolation: transaction %d has both %v and %v", op.Tx, k, op.Kind)
+			}
+			outcome[op.Tx] = op.Kind
+			outcomePos[op.Tx] = i
+			lastPos[op.Tx] = i
+		case OpEntangle:
+			for _, t := range op.Txs {
+				lastPos[t] = i
+			}
+		default:
+			lastPos[op.Tx] = i
+		}
+	}
+	for _, tx := range s.Transactions() {
+		k, ok := outcome[tx]
+		if !ok {
+			return fmt.Errorf("isolation: transaction %d has no commit or abort", tx)
+		}
+		if outcomePos[tx] != lastPos[tx] {
+			return fmt.Errorf("isolation: transaction %d has operations after its %v", tx, k)
+		}
+	}
+	// Grounding-read discipline.
+	for i, op := range s.Ops {
+		if op.Kind != OpGround {
+			continue
+		}
+		tx := op.Tx
+		resolved := false
+		for j := i + 1; j < len(s.Ops); j++ {
+			next := s.Ops[j]
+			if next.Kind == OpEntangle {
+				for _, t := range next.Txs {
+					if t == tx {
+						resolved = true
+					}
+				}
+				if resolved {
+					break
+				}
+				continue
+			}
+			if next.Tx != tx {
+				continue
+			}
+			switch next.Kind {
+			case OpGround, OpQuasi:
+				// allowed in the interval
+			case OpAbort:
+				resolved = true
+			default:
+				return fmt.Errorf("isolation: transaction %d performs %v(%s) between a grounding read and entanglement", tx, next.Kind, next.Obj)
+			}
+			if resolved {
+				break
+			}
+		}
+		if !resolved {
+			return fmt.Errorf("isolation: grounding read by transaction %d has no subsequent entanglement or abort", tx)
+		}
+	}
+	return nil
+}
+
+// WithQuasiReads returns a copy of the schedule with quasi-reads made
+// explicit (Appendix C.2.1): whenever transaction i performs a grounding
+// read on x and subsequently participates in entanglement operation k, every
+// other participant of k performs a simultaneous quasi-read on x — inserted
+// immediately after the grounding read. Grounding reads not followed by an
+// entanglement (the transaction aborted instead) induce no quasi-reads.
+// Existing quasi-reads are preserved.
+func (s *Schedule) WithQuasiReads() *Schedule {
+	out := &Schedule{Ops: make([]Op, 0, len(s.Ops))}
+	for i, op := range s.Ops {
+		out.Ops = append(out.Ops, op)
+		if op.Kind != OpGround {
+			continue
+		}
+		// Find this transaction's next entanglement op.
+		var partners []int
+		for j := i + 1; j < len(s.Ops); j++ {
+			next := s.Ops[j]
+			if next.Kind == OpEntangle {
+				mine := false
+				for _, t := range next.Txs {
+					if t == op.Tx {
+						mine = true
+						break
+					}
+				}
+				if mine {
+					for _, t := range next.Txs {
+						if t != op.Tx {
+							partners = append(partners, t)
+						}
+					}
+					break
+				}
+			}
+			if (next.Kind == OpAbort || next.Kind == OpCommit) && next.Tx == op.Tx {
+				break
+			}
+		}
+		for _, p := range partners {
+			out.Ops = append(out.Ops, RQ(p, op.Obj))
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package social
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	g, err := Generate(500, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Symmetry and no self-loops.
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Friends(u) {
+			if v == u {
+				t.Fatalf("self loop at %d", u)
+			}
+			found := false
+			for _, w := range g.Friends(v) {
+				if w == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric edge %d-%d", u, v)
+			}
+		}
+	}
+	// Every non-seed node has at least m friends.
+	for u := 4; u < g.N(); u++ {
+		if g.Degree(u) < 3 {
+			t.Fatalf("node %d has degree %d < 3", u, g.Degree(u))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(200, 2, 42)
+	b, _ := Generate(200, 2, 42)
+	for u := 0; u < 200; u++ {
+		fa, fb := a.Friends(u), b.Friends(u)
+		if len(fa) != len(fb) {
+			t.Fatalf("node %d: %v vs %v", u, fa, fb)
+		}
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Fatalf("node %d differs", u)
+			}
+		}
+	}
+	c, _ := Generate(200, 2, 43)
+	same := true
+	for u := 0; u < 200 && same; u++ {
+		if len(a.Friends(u)) != len(c.Friends(u)) {
+			same = false
+		}
+	}
+	if same {
+		// Extremely unlikely to match on every degree.
+		t.Log("warning: different seeds produced identical degree sequences")
+	}
+}
+
+func TestHeavyTail(t *testing.T) {
+	g, _ := Generate(2000, 2, 7)
+	// Preferential attachment must produce hubs: max degree far above the
+	// attachment parameter.
+	if g.MaxDegree() < 20 {
+		t.Errorf("max degree = %d; expected a heavy tail", g.MaxDegree())
+	}
+	// And most nodes stay near minimum degree.
+	h := g.DegreeHistogram()
+	low := 0
+	for d, c := range h {
+		if d <= 4 {
+			low += c
+		}
+	}
+	if low < 1000 {
+		t.Errorf("only %d/2000 nodes with degree <= 4; not heavy-tailed", low)
+	}
+}
+
+func TestEdgesEachOnce(t *testing.T) {
+	g, _ := Generate(100, 2, 3)
+	seen := make(map[[2]int]bool)
+	total := 0
+	for _, e := range g.Edges() {
+		if e[0] >= e[1] {
+			t.Fatalf("unordered edge %v", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+		total++
+	}
+	// Sum of degrees = 2 * edges.
+	deg := 0
+	for u := 0; u < g.N(); u++ {
+		deg += g.Degree(u)
+	}
+	if deg != 2*total {
+		t.Errorf("degree sum %d != 2*edges %d", deg, 2*total)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(1, 1, 0); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Generate(10, 0, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	// m >= n clamps rather than failing.
+	g, err := Generate(3, 5, 0)
+	if err != nil || g.N() != 3 {
+		t.Errorf("clamp failed: %v", err)
+	}
+}
+
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := 10 + int(nRaw)%200
+		m := 1 + int(mRaw)%4
+		g, err := Generate(n, m, seed)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < g.N(); u++ {
+			prev := -1
+			for _, v := range g.Friends(u) {
+				if v == u || v == prev {
+					return false // self loop or duplicate
+				}
+				prev = v
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

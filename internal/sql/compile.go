@@ -1,0 +1,417 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/eq"
+	"repro/internal/types"
+)
+
+// CompileEntangled translates an entangled SELECT into the paper's
+// intermediate representation (Appendix A): the SELECT-INTO-ANSWER list
+// becomes the head, "(exprs) IN ANSWER R" clauses become postconditions,
+// and "(cols) IN (SELECT ...)" clauses contribute body atoms and
+// constraints. Host variables are resolved against the session at compile
+// time — the statement is compiled when it executes, after earlier
+// statements have bound them.
+//
+// The returned map sends each AS @var binding to the eq variable whose
+// answer value it should receive.
+func (s *Session) CompileEntangled(st *EntangledSelectStmt) (*eq.Query, map[string]string, error) {
+	if len(st.Answers) == 0 {
+		return nil, nil, fmt.Errorf("sql: entangled SELECT needs INTO ANSWER")
+	}
+	if st.Choose != 1 {
+		return nil, nil, fmt.Errorf("sql: only CHOOSE 1 is supported (got %d)", st.Choose)
+	}
+	c := &eqCompiler{
+		session:   s,
+		outerVars: make(map[string]string),
+	}
+
+	clauses := flattenAnd(st.Where)
+	// Pass 1: subqueries establish variable bindings.
+	for _, cl := range clauses {
+		if sub, ok := cl.(*InSubquery); ok {
+			if err := c.addSubquery(sub); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	// Pass 2: postconditions and loose comparisons.
+	for _, cl := range clauses {
+		switch t := cl.(type) {
+		case *InSubquery:
+			// handled
+		case *InAnswer:
+			atom, err := c.answerAtom(t)
+			if err != nil {
+				return nil, nil, err
+			}
+			c.post = append(c.post, atom)
+		case *Binary:
+			if err := c.addComparison(t); err != nil {
+				return nil, nil, err
+			}
+		default:
+			return nil, nil, fmt.Errorf("sql: unsupported clause %T in entangled WHERE", cl)
+		}
+	}
+
+	// Head: the select list into each ANSWER relation.
+	binds := make(map[string]string)
+	headArgs := make([]eq.Term, 0, len(st.Items))
+	var bindVars []string
+	for _, item := range st.Items {
+		if item.Star {
+			return nil, nil, fmt.Errorf("sql: SELECT * not allowed in entangled queries")
+		}
+		term, err := c.term(item.Expr)
+		if err != nil {
+			return nil, nil, err
+		}
+		headArgs = append(headArgs, term)
+		if item.BindVar != "" {
+			if !term.IsVar {
+				return nil, nil, fmt.Errorf("sql: AS @%s must bind a column, not a constant", item.BindVar)
+			}
+			binds[item.BindVar] = term.Name
+			bindVars = append(bindVars, term.Name)
+		}
+	}
+	q := &eq.Query{
+		Post:   c.post,
+		Body:   c.body,
+		Where:  c.constraints,
+		Bind:   bindVars,
+		Choose: 1,
+	}
+	for _, rel := range st.Answers {
+		q.Head = append(q.Head, eq.Atom{Rel: rel, Args: headArgs})
+	}
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return q, binds, nil
+}
+
+// eqCompiler accumulates the pieces of an eq.Query.
+type eqCompiler struct {
+	session     *Session
+	outerVars   map[string]string // outer column name (lower) -> eq var
+	body        []eq.Atom
+	post        []eq.Atom
+	constraints []eq.Constraint
+	counter     int
+}
+
+func (c *eqCompiler) fresh(hint string) string {
+	c.counter++
+	return hint + "#" + strconv.Itoa(c.counter)
+}
+
+func flattenAnd(e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		return append(flattenAnd(b.L), flattenAnd(b.R)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []Expr{e}
+}
+
+// addSubquery compiles "(outer...) IN (SELECT cols FROM ... WHERE ...)".
+func (c *eqCompiler) addSubquery(in *InSubquery) error {
+	sub := in.Sub
+	if len(sub.From) == 0 {
+		return fmt.Errorf("sql: entangled subquery needs a FROM clause")
+	}
+	if sub.Limit != 0 {
+		return fmt.Errorf("sql: LIMIT not supported in entangled subqueries")
+	}
+	// One body atom per FROM table; a fresh variable per column.
+	type tableVars struct {
+		ref  TableRef
+		vars []string
+		cols *types.Schema
+	}
+	var tabs []tableVars
+	for _, ref := range sub.From {
+		if c.session.cat == nil {
+			return fmt.Errorf("sql: no catalog to resolve %s", ref.Name)
+		}
+		tbl, err := c.session.cat.Get(ref.Name)
+		if err != nil {
+			return err
+		}
+		schema := tbl.Schema()
+		tv := tableVars{ref: ref, cols: schema}
+		args := make([]eq.Term, schema.Arity())
+		for i := range schema.Columns {
+			v := c.fresh(strings.ToLower(ref.Name) + "." + strings.ToLower(schema.Columns[i].Name))
+			tv.vars = append(tv.vars, v)
+			args[i] = eq.V(v)
+		}
+		c.body = append(c.body, eq.Atom{Rel: tbl.Name(), Args: args})
+		tabs = append(tabs, tv)
+	}
+	resolveCol := func(col *Col) (string, error) {
+		if col.Table != "" {
+			for _, tv := range tabs {
+				name := tv.ref.Alias
+				if name == "" {
+					name = tv.ref.Name
+				}
+				if strings.EqualFold(name, col.Table) {
+					j := tv.cols.Index(col.Name)
+					if j < 0 {
+						return "", fmt.Errorf("sql: no column %s in %s", col.Name, tv.ref.Name)
+					}
+					return tv.vars[j], nil
+				}
+			}
+			return "", fmt.Errorf("sql: unknown table %s in subquery", col.Table)
+		}
+		for _, tv := range tabs {
+			if j := tv.cols.Index(col.Name); j >= 0 {
+				return tv.vars[j], nil
+			}
+		}
+		return "", fmt.Errorf("sql: unknown column %s in subquery", col.Name)
+	}
+	// Subquery WHERE: comparisons over subquery columns, constants, @vars.
+	for _, cl := range flattenAnd(sub.Where) {
+		b, ok := cl.(*Binary)
+		if !ok {
+			return fmt.Errorf("sql: unsupported clause %T in entangled subquery", cl)
+		}
+		op, err := cmpOp(b.Op)
+		if err != nil {
+			return err
+		}
+		lt, err := c.subTerm(b.L, resolveCol)
+		if err != nil {
+			return err
+		}
+		rt, err := c.subTerm(b.R, resolveCol)
+		if err != nil {
+			return err
+		}
+		c.constraints = append(c.constraints, eq.Constraint{Left: lt, Op: op, Right: rt})
+	}
+	// Select list of the subquery gives the values the outer list binds to.
+	if len(in.Exprs) != len(sub.Items) {
+		return fmt.Errorf("sql: IN arity mismatch: %d outer vs %d selected", len(in.Exprs), len(sub.Items))
+	}
+	for i, item := range sub.Items {
+		if item.Star {
+			return fmt.Errorf("sql: SELECT * not allowed in entangled subqueries")
+		}
+		col, ok := item.Expr.(*Col)
+		if !ok {
+			return fmt.Errorf("sql: entangled subquery select list must be columns")
+		}
+		subVar, err := resolveCol(col)
+		if err != nil {
+			return err
+		}
+		switch outer := in.Exprs[i].(type) {
+		case *Col:
+			key := strings.ToLower(outer.Name)
+			if existing, bound := c.outerVars[key]; bound {
+				c.constraints = append(c.constraints, eq.Constraint{Left: eq.V(existing), Op: eq.OpEq, Right: eq.V(subVar)})
+			} else {
+				c.outerVars[key] = subVar
+			}
+		case *Lit:
+			c.constraints = append(c.constraints, eq.Constraint{Left: eq.C(outer.Val), Op: eq.OpEq, Right: eq.V(subVar)})
+		case *Var:
+			v, err := c.sessionVar(outer.Name)
+			if err != nil {
+				return err
+			}
+			c.constraints = append(c.constraints, eq.Constraint{Left: eq.C(v), Op: eq.OpEq, Right: eq.V(subVar)})
+		default:
+			return fmt.Errorf("sql: unsupported outer IN expression %T", outer)
+		}
+	}
+	return nil
+}
+
+// subTerm resolves a term inside a subquery WHERE.
+func (c *eqCompiler) subTerm(e Expr, resolveCol func(*Col) (string, error)) (eq.Term, error) {
+	switch t := e.(type) {
+	case *Col:
+		v, err := resolveCol(t)
+		if err != nil {
+			return eq.Term{}, err
+		}
+		return eq.V(v), nil
+	case *Lit:
+		return eq.C(t.Val), nil
+	case *Var:
+		v, err := c.sessionVar(t.Name)
+		if err != nil {
+			return eq.Term{}, err
+		}
+		return eq.C(v), nil
+	default:
+		return eq.Term{}, fmt.Errorf("sql: unsupported term %T in entangled subquery", e)
+	}
+}
+
+// term resolves an expression in head/postcondition position.
+func (c *eqCompiler) term(e Expr) (eq.Term, error) {
+	switch t := e.(type) {
+	case *Lit:
+		return eq.C(t.Val), nil
+	case *Var:
+		v, err := c.sessionVar(t.Name)
+		if err != nil {
+			return eq.Term{}, err
+		}
+		return eq.C(v), nil
+	case *Col:
+		if v, ok := c.outerVars[strings.ToLower(t.Name)]; ok {
+			return eq.V(v), nil
+		}
+		return eq.Term{}, fmt.Errorf("sql: column %s is not bound by any IN (SELECT ...) clause", t.Name)
+	case *Binary:
+		if t.Op == "+" || t.Op == "-" {
+			// Constant folding for expressions over session vars/literals.
+			v, err := c.session.evalScalar(t, nil, nil)
+			if err != nil {
+				return eq.Term{}, err
+			}
+			return eq.C(v), nil
+		}
+		return eq.Term{}, fmt.Errorf("sql: unsupported operator %s in answer tuple", t.Op)
+	default:
+		return eq.Term{}, fmt.Errorf("sql: unsupported expression %T in answer tuple", e)
+	}
+}
+
+func (c *eqCompiler) sessionVar(name string) (types.Value, error) {
+	v, ok := c.session.Vars[strings.ToLower(name)]
+	if !ok {
+		return types.Null(), fmt.Errorf("sql: unbound variable @%s in entangled query", name)
+	}
+	return v, nil
+}
+
+// answerAtom compiles "(exprs) IN ANSWER R" to a postcondition atom.
+func (c *eqCompiler) answerAtom(in *InAnswer) (eq.Atom, error) {
+	args := make([]eq.Term, 0, len(in.Exprs))
+	for _, e := range in.Exprs {
+		t, err := c.term(e)
+		if err != nil {
+			return eq.Atom{}, err
+		}
+		args = append(args, t)
+	}
+	return eq.Atom{Rel: in.Answer, Args: args}, nil
+}
+
+// addComparison handles loose comparisons in the entangled WHERE (outside
+// subqueries) over bound outer columns.
+func (c *eqCompiler) addComparison(b *Binary) error {
+	op, err := cmpOp(b.Op)
+	if err != nil {
+		return err
+	}
+	lt, err := c.term(b.L)
+	if err != nil {
+		return err
+	}
+	rt, err := c.term(b.R)
+	if err != nil {
+		return err
+	}
+	c.constraints = append(c.constraints, eq.Constraint{Left: lt, Op: op, Right: rt})
+	return nil
+}
+
+func cmpOp(op string) (eq.CmpOp, error) {
+	switch op {
+	case "=":
+		return eq.OpEq, nil
+	case "<>":
+		return eq.OpNe, nil
+	case "<":
+		return eq.OpLt, nil
+	case "<=":
+		return eq.OpLe, nil
+	case ">":
+		return eq.OpGt, nil
+	case ">=":
+		return eq.OpGe, nil
+	default:
+		return 0, fmt.Errorf("sql: %s is not a comparison operator", op)
+	}
+}
+
+// --- script-to-program compilation --------------------------------------
+
+// BuildProgram compiles a SQL script into a core.Program. Scripts wrapped
+// in BEGIN TRANSACTION [WITH TIMEOUT d] ... COMMIT become entangled
+// transactions (§3.1 syntax); bare scripts become autocommit (-Q) programs.
+// A ROLLBACK statement anywhere aborts the transaction permanently.
+func BuildProgram(cat Catalog, script string) (core.Program, error) {
+	stmts, err := Parse(script)
+	if err != nil {
+		return core.Program{}, err
+	}
+	if len(stmts) == 0 {
+		return core.Program{}, fmt.Errorf("sql: empty script")
+	}
+	prog := core.Program{Name: "sql-script"}
+	body := stmts
+	if b, ok := stmts[0].(*BeginStmt); ok {
+		prog.Timeout = b.Timeout
+		last := stmts[len(stmts)-1]
+		if _, ok := last.(*CommitStmt); !ok {
+			if _, ok := last.(*RollbackStmt); !ok {
+				return core.Program{}, fmt.Errorf("sql: transaction script must end with COMMIT or ROLLBACK")
+			}
+		}
+		body = stmts[1:]
+	} else {
+		prog.Autocommit = true
+	}
+	for _, st := range body[:max(0, len(body)-1)] {
+		if _, ok := st.(*BeginStmt); ok {
+			return core.Program{}, fmt.Errorf("sql: nested BEGIN TRANSACTION")
+		}
+	}
+	prog.Body = func(tx *core.Tx) error {
+		session := NewSession()
+		for _, st := range body {
+			switch st.(type) {
+			case *CommitStmt:
+				return nil
+			case *RollbackStmt:
+				tx.Rollback()
+				return nil
+			case *BeginStmt:
+				return fmt.Errorf("sql: nested BEGIN TRANSACTION")
+			case *CreateTableStmt, *CreateIndexStmt:
+				return fmt.Errorf("sql: DDL inside a transaction script is not supported")
+			}
+			if _, err := session.Exec(tx, cat, st); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return prog, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

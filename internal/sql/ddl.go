@@ -1,0 +1,22 @@
+package sql
+
+import (
+	"fmt"
+
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// ExecDDL applies a CREATE TABLE or CREATE INDEX statement through the
+// transaction manager (CREATE TABLE is WAL-logged for recovery).
+func ExecDDL(txm *txn.Manager, stmt Stmt) error {
+	switch st := stmt.(type) {
+	case *CreateTableStmt:
+		_, err := txm.CreateTable(st.Name, types.NewSchema(st.Columns...))
+		return err
+	case *CreateIndexStmt:
+		return txm.CreateIndex(st.Table, st.Name, st.Columns)
+	default:
+		return fmt.Errorf("sql: %T is not a DDL statement", stmt)
+	}
+}

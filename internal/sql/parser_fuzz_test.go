@@ -1,0 +1,104 @@
+package sql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Robustness: the parser must never panic, whatever the input — it either
+// produces statements or an error. We feed it mutations of valid scripts
+// and random token soup.
+
+var seedScripts = []string{
+	`CREATE TABLE Flights (fno INT, fdate DATE, dest VARCHAR)`,
+	`INSERT INTO Flights VALUES (122, '2011-05-03', 'LA')`,
+	`SELECT fno, fdate FROM Flights WHERE dest='LA' LIMIT 2`,
+	`UPDATE Flights SET dest = 'SF' WHERE fno = 124`,
+	`DELETE FROM Flights WHERE fno = 124`,
+	`SET @StayLength = '2011-05-06' - @ArrivalDay`,
+	`BEGIN TRANSACTION WITH TIMEOUT 2 DAYS`,
+	`SELECT 'Mickey', fno, fdate AS @ArrivalDay INTO ANSWER FlightRes
+	 WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA')
+	 AND ('Minnie', fno, fdate) IN ANSWER FlightRes CHOOSE 1`,
+	`SELECT F.fno FROM Flights F, Airlines A WHERE F.fno = A.fno AND A.airline = 'United'`,
+	`COMMIT`, `ROLLBACK`,
+}
+
+func TestParserNeverPanicsOnMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	tokensOf := func(s string) []string { return strings.Fields(s) }
+	for iter := 0; iter < 3000; iter++ {
+		src := seedScripts[rng.Intn(len(seedScripts))]
+		toks := tokensOf(src)
+		if len(toks) == 0 {
+			continue
+		}
+		switch rng.Intn(4) {
+		case 0: // drop a token
+			i := rng.Intn(len(toks))
+			toks = append(toks[:i], toks[i+1:]...)
+		case 1: // duplicate a token
+			i := rng.Intn(len(toks))
+			toks = append(toks[:i+1], toks[i:]...)
+		case 2: // swap two tokens
+			i, j := rng.Intn(len(toks)), rng.Intn(len(toks))
+			toks[i], toks[j] = toks[j], toks[i]
+		case 3: // splice a token from another script
+			other := tokensOf(seedScripts[rng.Intn(len(seedScripts))])
+			toks = append(toks, other[rng.Intn(len(other))])
+		}
+		mutated := strings.Join(toks, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", mutated, r)
+				}
+			}()
+			_, _ = Parse(mutated)
+		}()
+	}
+}
+
+func TestParserNeverPanicsOnTokenSoup(t *testing.T) {
+	rng := rand.New(rand.NewSource(556))
+	atoms := []string{
+		"SELECT", "FROM", "WHERE", "INSERT", "INTO", "ANSWER", "CHOOSE",
+		"AND", "OR", "IN", "AS", "VALUES", "SET", "BEGIN", "TRANSACTION",
+		"COMMIT", "ROLLBACK", "LIMIT", "(", ")", ",", ";", "=", "<", ">",
+		"<=", ">=", "<>", "+", "-", "*", ".", "@x", "'str'", "42", "tbl",
+		"col", "''", "CREATE", "TABLE", "INDEX", "ON", "INT", "DATE",
+	}
+	for iter := 0; iter < 3000; iter++ {
+		n := 1 + rng.Intn(25)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString(atoms[rng.Intn(len(atoms))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestParseRoundTripStability: statements that parse must re-parse the
+// same way after being executed once (no parser state leakage).
+func TestParseRoundTripStability(t *testing.T) {
+	for _, src := range seedScripts {
+		a, errA := Parse(src)
+		b, errB := Parse(src)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("unstable parse of %q: %v vs %v", src, errA, errB)
+		}
+		if errA == nil && len(a) != len(b) {
+			t.Fatalf("unstable statement count for %q", src)
+		}
+	}
+}

@@ -1,0 +1,637 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+func TestLexer(t *testing.T) {
+	toks, err := lex("SELECT 'it''s', @x, fno FROM T WHERE a <= 3 -- comment\nAND b <> 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	if texts[1] != "it's" || kinds[1] != tokString {
+		t.Errorf("string literal = %q", texts[1])
+	}
+	if kinds[3] != tokAtVar || texts[3] != "x" {
+		t.Errorf("@var token = %v %q", kinds[3], texts[3])
+	}
+	joined := strings.Join(texts, " ")
+	if strings.Contains(joined, "comment") {
+		t.Error("comment not stripped")
+	}
+	if !strings.Contains(joined, "<=") || !strings.Contains(joined, "<>") {
+		t.Errorf("operators missing: %q", joined)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lex("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("a @ b"); err == nil {
+		t.Error("bare @ accepted")
+	}
+	if _, err := lex("a ! b"); err == nil {
+		t.Error("bare ! accepted")
+	}
+	if _, err := lex("a # b"); err == nil {
+		t.Error("unknown char accepted")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := ParseOne("CREATE TABLE Flights (fno INT, fdate DATE, dest VARCHAR(20))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTableStmt)
+	if ct.Name != "Flights" || len(ct.Columns) != 3 {
+		t.Fatalf("parsed %+v", ct)
+	}
+	if ct.Columns[1].Type != types.KindDate || ct.Columns[2].Type != types.KindString {
+		t.Errorf("column types = %+v", ct.Columns)
+	}
+}
+
+func TestParseBeginWithTimeout(t *testing.T) {
+	st, err := ParseOne("BEGIN TRANSACTION WITH TIMEOUT 2 DAYS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*BeginStmt).Timeout != 48*time.Hour {
+		t.Errorf("timeout = %v", st.(*BeginStmt).Timeout)
+	}
+	st2, err := ParseOne("BEGIN TRANSACTION WITH TIMEOUT 500 MILLISECONDS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.(*BeginStmt).Timeout != 500*time.Millisecond {
+		t.Errorf("timeout = %v", st2.(*BeginStmt).Timeout)
+	}
+}
+
+func TestParseMickeyQuery(t *testing.T) {
+	// The §2 query, verbatim syntax.
+	src := `SELECT 'Mickey', fno, fdate INTO ANSWER Reservation
+		WHERE fno, fdate IN
+			(SELECT fno, fdate FROM Flights WHERE dest='LA')
+		AND ('Minnie', fno, fdate) IN ANSWER Reservation
+		CHOOSE 1`
+	st, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := st.(*EntangledSelectStmt)
+	if len(es.Answers) != 1 || es.Answers[0] != "Reservation" {
+		t.Errorf("answers = %v", es.Answers)
+	}
+	if es.Choose != 1 || len(es.Items) != 3 {
+		t.Errorf("parsed %+v", es)
+	}
+	clauses := flattenAnd(es.Where)
+	if len(clauses) != 2 {
+		t.Fatalf("clauses = %d", len(clauses))
+	}
+	if _, ok := clauses[0].(*InSubquery); !ok {
+		t.Errorf("clause 0 = %T", clauses[0])
+	}
+	if ia, ok := clauses[1].(*InAnswer); !ok || ia.Answer != "Reservation" {
+		t.Errorf("clause 1 = %+v", clauses[1])
+	}
+}
+
+func TestParseScriptMultipleStatements(t *testing.T) {
+	stmts, err := Parse(`
+		BEGIN TRANSACTION WITH TIMEOUT 1 SECOND;
+		SET @x = 1 + 2;
+		INSERT INTO T (a) VALUES (@x);
+		COMMIT;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 4 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"SELEC x",
+		"SELECT a FROM",
+		"INSERT INTO t VALUES",
+		"CREATE TABLE t (a BLOB)",
+		"SELECT a, b FROM t WHERE a, b = 3", // bare list without IN
+		"SET x = 3",
+		"BEGIN TRANSACTION WITH TIMEOUT 5 FORTNIGHTS",
+		"SELECT a FROM t WHERE a IN (1,2,3)", // IN needs subquery/ANSWER
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+// --- execution fixtures --------------------------------------------------
+
+func newSQLEngine(t *testing.T) (*core.Engine, *storage.Catalog) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	locks := lock.New(500 * time.Millisecond)
+	txm := txn.NewManager(cat, locks, nil)
+	ddl := []string{
+		"CREATE TABLE Flights (fno INT, fdate DATE, dest VARCHAR)",
+		"CREATE TABLE Airlines (fno INT, airline VARCHAR)",
+		"CREATE TABLE Hotels (hid INT, location VARCHAR)",
+		"CREATE TABLE FlightBookings (name VARCHAR, fno INT, fdate DATE)",
+		"CREATE TABLE HotelBookings (name VARCHAR, hid INT, arrival DATE, nights INT)",
+		"CREATE INDEX flights_dest ON Flights (dest)",
+	}
+	for _, src := range ddl {
+		st, err := ParseOne(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ExecDDL(txm, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := core.NewEngine(txm, core.Options{RunFrequency: 2})
+	t.Cleanup(e.Close)
+	seed := []string{
+		"INSERT INTO Flights VALUES (122, '2011-05-03', 'LA')",
+		"INSERT INTO Flights VALUES (123, '2011-05-04', 'LA')",
+		"INSERT INTO Flights VALUES (124, '2011-05-03', 'LA')",
+		"INSERT INTO Flights VALUES (235, '2011-05-05', 'Paris')",
+		"INSERT INTO Airlines VALUES (122, 'United')",
+		"INSERT INTO Airlines VALUES (123, 'United')",
+		"INSERT INTO Airlines VALUES (124, 'USAir')",
+		"INSERT INTO Hotels VALUES (7, 'LA')",
+		"INSERT INTO Hotels VALUES (8, 'LA')",
+	}
+	for _, src := range seed {
+		runScript(t, e, cat, src)
+	}
+	return e, cat
+}
+
+func runScript(t *testing.T, e *core.Engine, cat *storage.Catalog, src string) core.Outcome {
+	t.Helper()
+	prog, err := BuildProgram(cat, src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	if prog.Autocommit {
+		return e.RunDirect(prog)
+	}
+	return e.Submit(prog).Wait()
+}
+
+func query(t *testing.T, e *core.Engine, cat *storage.Catalog, src string) *Result {
+	t.Helper()
+	st, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *Result
+	o := e.RunDirect(core.Program{Body: func(tx *core.Tx) error {
+		var err error
+		res, err = NewSession().Exec(tx, cat, st)
+		return err
+	}})
+	if o.Status != core.StatusCommitted {
+		t.Fatalf("query %q: %+v", src, o)
+	}
+	return res
+}
+
+func TestSelectWhereAndLimit(t *testing.T) {
+	e, cat := newSQLEngine(t)
+	res := query(t, e, cat, "SELECT fno FROM Flights WHERE dest='LA' LIMIT 2")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = query(t, e, cat, "SELECT fno, fdate FROM Flights WHERE fdate >= '2011-05-04'")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSelectJoinWithAliases(t *testing.T) {
+	e, cat := newSQLEngine(t)
+	res := query(t, e, cat,
+		"SELECT F.fno FROM Flights F, Airlines A WHERE F.fno = A.fno AND A.airline = 'United' AND F.dest = 'LA'")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	e, cat := newSQLEngine(t)
+	res := query(t, e, cat, "SELECT * FROM Hotels")
+	if len(res.Rows) != 2 || len(res.Columns) != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestInSubqueryPredicate(t *testing.T) {
+	e, cat := newSQLEngine(t)
+	res := query(t, e, cat,
+		"SELECT fno FROM Flights WHERE fno IN (SELECT fno FROM Airlines WHERE airline='United')")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestUpdateAndDelete(t *testing.T) {
+	e, cat := newSQLEngine(t)
+	o := runScript(t, e, cat, "UPDATE Flights SET dest = 'SF' WHERE fno = 124")
+	if o.Status != core.StatusCommitted {
+		t.Fatalf("update: %+v", o)
+	}
+	res := query(t, e, cat, "SELECT fno FROM Flights WHERE dest='SF'")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int64() != 124 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	runScript(t, e, cat, "DELETE FROM Flights WHERE dest='SF'")
+	res = query(t, e, cat, "SELECT fno FROM Flights")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows after delete = %v", res.Rows)
+	}
+}
+
+func TestSetAndDateArithmetic(t *testing.T) {
+	e, cat := newSQLEngine(t)
+	o := runScript(t, e, cat, `
+		BEGIN TRANSACTION;
+		SET @arrival = '2011-05-03';
+		SET @stay = '2011-05-06' - @arrival;
+		INSERT INTO HotelBookings VALUES ('Mickey', 7, @arrival, @stay);
+		COMMIT;
+	`)
+	if o.Status != core.StatusCommitted {
+		t.Fatalf("outcome = %+v", o)
+	}
+	res := query(t, e, cat, "SELECT nights FROM HotelBookings WHERE name='Mickey'")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int64() != 3 {
+		t.Fatalf("nights = %v", res.Rows)
+	}
+}
+
+func TestRollbackScript(t *testing.T) {
+	e, cat := newSQLEngine(t)
+	o := runScript(t, e, cat, `
+		BEGIN TRANSACTION;
+		INSERT INTO Hotels VALUES (99, 'NYC');
+		ROLLBACK;
+	`)
+	if o.Status != core.StatusRolledBack {
+		t.Fatalf("outcome = %+v", o)
+	}
+	res := query(t, e, cat, "SELECT * FROM Hotels")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rollback leaked: %v", res.Rows)
+	}
+}
+
+func TestCompileMickeyToIR(t *testing.T) {
+	_, cat := newSQLEngine(t)
+	st, err := ParseOne(`SELECT 'Mickey', fno, fdate AS @ArrivalDay INTO ANSWER FlightRes
+		WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA')
+		AND ('Minnie', fno, fdate) IN ANSWER FlightRes
+		CHOOSE 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession()
+	s.cat = cat
+	q, binds, err := s.CompileEntangled(st.(*EntangledSelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Head) != 1 || q.Head[0].Rel != "FlightRes" || len(q.Head[0].Args) != 3 {
+		t.Fatalf("head = %v", q.Head)
+	}
+	if !q.Head[0].Args[0].Value.Equal(types.Str("Mickey")) {
+		t.Errorf("head constant = %v", q.Head[0].Args[0])
+	}
+	if len(q.Post) != 1 || q.Post[0].Rel != "FlightRes" {
+		t.Fatalf("post = %v", q.Post)
+	}
+	if !q.Post[0].Args[0].Value.Equal(types.Str("Minnie")) {
+		t.Errorf("post constant = %v", q.Post[0].Args[0])
+	}
+	if len(q.Body) != 1 || q.Body[0].Rel != "Flights" {
+		t.Fatalf("body = %v", q.Body)
+	}
+	if len(binds) != 1 {
+		t.Fatalf("binds = %v", binds)
+	}
+	if _, ok := binds["ArrivalDay"]; !ok {
+		t.Errorf("binds = %v", binds)
+	}
+	// Head fno var == post fno var (shared outer binding).
+	if q.Head[0].Args[1].Name != q.Post[0].Args[1].Name {
+		t.Errorf("fno variable not shared: %v vs %v", q.Head[0].Args[1], q.Post[0].Args[1])
+	}
+}
+
+// TestFigure2EndToEnd runs the paper's Figure 2 transaction verbatim (plus
+// Minnie's symmetric script) through parse → compile → engine, checking
+// the coordinated bookings land.
+func TestFigure2EndToEnd(t *testing.T) {
+	e, cat := newSQLEngine(t)
+	script := func(me, them string) string {
+		return `
+		BEGIN TRANSACTION WITH TIMEOUT 2 SECONDS;
+		SELECT '` + me + `', fno, fdate AS @ArrivalDay
+		INTO ANSWER FlightRes
+		WHERE fno, fdate IN
+			(SELECT fno, fdate FROM Flights WHERE dest='LA')
+		AND ('` + them + `', fno, fdate) IN ANSWER FlightRes
+		CHOOSE 1;
+		INSERT INTO FlightBookings VALUES ('` + me + `', 0, @ArrivalDay);
+		SET @StayLength = '2011-05-06' - @ArrivalDay;
+		SELECT '` + me + `', hid, @ArrivalDay, @StayLength
+		INTO ANSWER HotelRes
+		WHERE hid IN
+			(SELECT hid FROM Hotels WHERE location='LA')
+		AND ('` + them + `', hid, @ArrivalDay, @StayLength) IN ANSWER HotelRes
+		CHOOSE 1;
+		INSERT INTO HotelBookings VALUES ('` + me + `', @hid, @ArrivalDay, @StayLength);
+		COMMIT;`
+	}
+	// Bind hid via AS @hid on the hotel query: adjust the scripts.
+	mick := strings.Replace(script("Mickey", "Minnie"), "', hid, @ArrivalDay", "', hid AS @hid, @ArrivalDay", 1)
+	minn := strings.Replace(script("Minnie", "Mickey"), "', hid, @ArrivalDay", "', hid AS @hid, @ArrivalDay", 1)
+
+	progM, err := BuildProgram(cat, mick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progN, err := BuildProgram(cat, minn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := e.Submit(progM)
+	h2 := e.Submit(progN)
+	if o := h1.Wait(); o.Status != core.StatusCommitted {
+		t.Fatalf("Mickey: %+v", o)
+	}
+	if o := h2.Wait(); o.Status != core.StatusCommitted {
+		t.Fatalf("Minnie: %+v", o)
+	}
+	hb := query(t, e, cat, "SELECT name, hid, arrival, nights FROM HotelBookings")
+	if len(hb.Rows) != 2 {
+		t.Fatalf("hotel bookings = %v", hb.Rows)
+	}
+	if !hb.Rows[0][1].Equal(hb.Rows[1][1]) || !hb.Rows[0][2].Equal(hb.Rows[1][2]) || !hb.Rows[0][3].Equal(hb.Rows[1][3]) {
+		t.Fatalf("bookings differ: %v", hb.Rows)
+	}
+	// Nights consistent with coordinated arrival.
+	nights := hb.Rows[0][3].Int64()
+	arrival := hb.Rows[0][2]
+	if want := types.MustDate("2011-05-06").Int64() - arrival.Int64(); nights != want {
+		t.Errorf("nights = %d, want %d", nights, want)
+	}
+}
+
+// TestMinnieJoinQueryCompiles checks the two-table entangled subquery
+// (Minnie's United-only query from §2).
+func TestMinnieJoinQueryCompiles(t *testing.T) {
+	e, cat := newSQLEngine(t)
+	minnie := `
+	BEGIN TRANSACTION WITH TIMEOUT 2 SECONDS;
+	SELECT 'Minnie', fno, fdate INTO ANSWER Reservation
+	WHERE fno, fdate IN
+		(SELECT F.fno, F.fdate FROM Flights F, Airlines A
+		 WHERE F.dest='LA' AND F.fno = A.fno AND A.airline = 'United')
+	AND ('Mickey', fno, fdate) IN ANSWER Reservation
+	CHOOSE 1;
+	INSERT INTO FlightBookings VALUES ('Minnie', @f, @d);
+	COMMIT;`
+	minnie = strings.Replace(minnie, "'Minnie', fno, fdate INTO", "'Minnie', fno AS @f, fdate AS @d INTO", 1)
+	mickey := `
+	BEGIN TRANSACTION WITH TIMEOUT 2 SECONDS;
+	SELECT 'Mickey', fno AS @f, fdate AS @d INTO ANSWER Reservation
+	WHERE fno, fdate IN
+		(SELECT fno, fdate FROM Flights WHERE dest='LA')
+	AND ('Minnie', fno, fdate) IN ANSWER Reservation
+	CHOOSE 1;
+	INSERT INTO FlightBookings VALUES ('Mickey', @f, @d);
+	COMMIT;`
+	progN, err := BuildProgram(cat, minnie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progM, err := BuildProgram(cat, mickey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := e.Submit(progM)
+	h2 := e.Submit(progN)
+	if o := h1.Wait(); o.Status != core.StatusCommitted {
+		t.Fatalf("Mickey: %+v", o)
+	}
+	if o := h2.Wait(); o.Status != core.StatusCommitted {
+		t.Fatalf("Minnie: %+v", o)
+	}
+	res := query(t, e, cat, "SELECT name, fno FROM FlightBookings")
+	if len(res.Rows) != 2 || !res.Rows[0][1].Equal(res.Rows[1][1]) {
+		t.Fatalf("bookings = %v", res.Rows)
+	}
+	// United-only: flight 122 or 123.
+	fno := res.Rows[0][1].Int64()
+	if fno != 122 && fno != 123 {
+		t.Errorf("chose non-United flight %d", fno)
+	}
+}
+
+func TestBuildProgramBareScriptIsAutocommit(t *testing.T) {
+	_, cat := newSQLEngine(t)
+	prog, err := BuildProgram(cat, "INSERT INTO Hotels VALUES (10, 'SF')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Autocommit {
+		t.Error("bare script should be autocommit (-Q mode)")
+	}
+	prog2, err := BuildProgram(cat, "BEGIN TRANSACTION; INSERT INTO Hotels VALUES (10, 'SF'); COMMIT;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog2.Autocommit {
+		t.Error("BEGIN script must be transactional")
+	}
+}
+
+func TestBuildProgramErrors(t *testing.T) {
+	_, cat := newSQLEngine(t)
+	if _, err := BuildProgram(cat, ""); err == nil {
+		t.Error("empty script accepted")
+	}
+	if _, err := BuildProgram(cat, "BEGIN TRANSACTION; SELECT fno FROM Flights"); err == nil {
+		t.Error("missing COMMIT accepted")
+	}
+	if _, err := BuildProgram(cat, "BEGIN TRANSACTION; BEGIN TRANSACTION; COMMIT;"); err == nil {
+		t.Error("nested BEGIN accepted")
+	}
+}
+
+func TestUnboundVariableErrors(t *testing.T) {
+	e, cat := newSQLEngine(t)
+	o := runScript(t, e, cat, `
+		BEGIN TRANSACTION;
+		INSERT INTO Hotels VALUES (@nope, 'SF');
+		COMMIT;`)
+	if o.Status != core.StatusFailed {
+		t.Fatalf("outcome = %+v", o)
+	}
+}
+
+func TestEntangledCompileErrors(t *testing.T) {
+	_, cat := newSQLEngine(t)
+	s := NewSession()
+	s.cat = cat
+	bad := []string{
+		// unbound column in head
+		`SELECT 'A', zzz INTO ANSWER R WHERE fno IN (SELECT fno FROM Flights) CHOOSE 1`,
+		// star head
+		`SELECT * INTO ANSWER R WHERE fno IN (SELECT fno FROM Flights) CHOOSE 1`,
+		// missing table
+		`SELECT 'A', x INTO ANSWER R WHERE x IN (SELECT x FROM Nope) CHOOSE 1`,
+	}
+	for _, src := range bad {
+		st, err := ParseOne(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, _, err := s.CompileEntangled(st.(*EntangledSelectStmt)); err == nil {
+			t.Errorf("compiled %q", src)
+		}
+	}
+}
+
+// TestAppendixDWorkloads parses and runs the three workload templates of
+// Appendix D against a matching schema.
+func TestAppendixDWorkloads(t *testing.T) {
+	cat := storage.NewCatalog()
+	locks := lock.New(500 * time.Millisecond)
+	txm := txn.NewManager(cat, locks, nil)
+	for _, src := range []string{
+		"CREATE TABLE Reserve (uid INT, fid INT)",
+		"CREATE TABLE Friends (uid1 INT, uid2 INT)",
+		"CREATE TABLE Flight (source VARCHAR, destination VARCHAR, fid INT)",
+		"CREATE TABLE User (uid INT, hometown VARCHAR)",
+	} {
+		st, _ := ParseOne(src)
+		if err := ExecDDL(txm, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := core.NewEngine(txm, core.Options{RunFrequency: 2})
+	t.Cleanup(e.Close)
+	for _, src := range []string{
+		"INSERT INTO User VALUES (36513, 'ITH')",
+		"INSERT INTO User VALUES (45747, 'ITH')",
+		"INSERT INTO Friends VALUES (36513, 45747)",
+		"INSERT INTO Friends VALUES (45747, 36513)",
+		"INSERT INTO Flight VALUES ('ITH', 'FAT', 900)",
+		"INSERT INTO Flight VALUES ('ITH', 'CAT', 901)",
+		"INSERT INTO Flight VALUES ('ITH', 'PHF', 902)",
+	} {
+		runScript(t, e, cat, src)
+	}
+
+	// NoSocial workload (Appendix D).
+	noSocial := `
+	BEGIN TRANSACTION;
+	SELECT uid AS @uid, hometown AS @hometown FROM User WHERE uid=36513;
+	SELECT fid AS @fid FROM Flight WHERE source=@hometown AND destination='FAT';
+	INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid);
+	COMMIT;`
+	if o := runScript(t, e, cat, noSocial); o.Status != core.StatusCommitted {
+		t.Fatalf("NoSocial: %+v", o)
+	}
+
+	// Social workload: friend lookup plus booking.
+	social := `
+	BEGIN TRANSACTION;
+	SELECT uid AS @uid, hometown AS @hometown FROM User WHERE uid=36513;
+	SELECT uid2 FROM Friends, User AS u1, User AS u2
+		WHERE Friends.uid1=@uid AND Friends.uid2=u2.uid
+		AND u1.uid=@uid AND u1.hometown=u2.hometown LIMIT 1;
+	SELECT fid AS @fid FROM Flight WHERE source=@hometown AND destination='FAT';
+	INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid);
+	COMMIT;`
+	if o := runScript(t, e, cat, social); o.Status != core.StatusCommitted {
+		t.Fatalf("Social: %+v", o)
+	}
+
+	// Entangled workload: the Appendix D template for user 45747
+	// coordinating with friend 36513, plus the symmetric partner.
+	entangled := func(me, friend int64, myDest, theirDest string) string {
+		meS := types.Int(me).String()
+		frS := types.Int(friend).String()
+		return `
+	BEGIN TRANSACTION WITH TIMEOUT 2 SECONDS;
+	SELECT hometown AS @hometown FROM User WHERE uid=` + meS + `;
+	SELECT ` + meS + `, '` + myDest + `' AS @destination INTO ANSWER Rendezvous
+	WHERE (` + meS + `, ` + frS + `) IN
+		(SELECT uid1, uid2 FROM Friends, User AS u1, User AS u2
+		 WHERE Friends.uid1=` + meS + ` AND Friends.uid2=` + frS + `
+		 AND u1.uid=` + meS + ` AND u2.uid=` + frS + `
+		 AND u1.hometown=u2.hometown)
+	AND (` + frS + `, '` + theirDest + `') IN ANSWER Rendezvous
+	CHOOSE 1;
+	SELECT fid AS @fid FROM Flight WHERE source=@hometown AND destination=@destination;
+	INSERT INTO Reserve (uid, fid) VALUES (` + meS + `, @fid);
+	COMMIT;`
+	}
+	// The ANSWER tuple's second element is the destination constant; AS
+	// @destination binds... constants cannot bind, so set it beforehand.
+	a := strings.Replace(entangled(45747, 36513, "CAT", "PHF"),
+		"'CAT' AS @destination", "'CAT'", 1)
+	a = strings.Replace(a, "SELECT hometown AS @hometown FROM User WHERE uid=45747;",
+		"SELECT hometown AS @hometown FROM User WHERE uid=45747;\n\tSET @destination = 'CAT';", 1)
+	b := strings.Replace(entangled(36513, 45747, "PHF", "CAT"),
+		"'PHF' AS @destination", "'PHF'", 1)
+	b = strings.Replace(b, "SELECT hometown AS @hometown FROM User WHERE uid=36513;",
+		"SELECT hometown AS @hometown FROM User WHERE uid=36513;\n\tSET @destination = 'PHF';", 1)
+
+	progA, err := BuildProgram(cat, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progB, err := BuildProgram(cat, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := e.Submit(progA)
+	h2 := e.Submit(progB)
+	if o := h1.Wait(); o.Status != core.StatusCommitted {
+		t.Fatalf("Entangled A: %+v", o)
+	}
+	if o := h2.Wait(); o.Status != core.StatusCommitted {
+		t.Fatalf("Entangled B: %+v", o)
+	}
+	res := query(t, e, cat, "SELECT uid, fid FROM Reserve")
+	if len(res.Rows) != 4 { // NoSocial + Social + two entangled
+		t.Fatalf("reservations = %v", res.Rows)
+	}
+}

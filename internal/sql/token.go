@@ -1,0 +1,149 @@
+// Package sql implements the paper's extended SQL surface: a standard
+// subset (CREATE TABLE/INDEX, INSERT, SELECT, UPDATE, DELETE, SET @var,
+// BEGIN TRANSACTION ... COMMIT/ROLLBACK) plus the entangled extensions of
+// §2 and §3.1:
+//
+//	SELECT expr [AS @var], ... INTO ANSWER Name
+//	WHERE (cols) IN (SELECT ... FROM ... WHERE ...)
+//	  AND (exprs) IN ANSWER Name
+//	CHOOSE 1
+//
+//	BEGIN TRANSACTION WITH TIMEOUT <n> <unit>
+//
+// Entangled SELECTs compile to the internal/eq intermediate representation;
+// scripts compile to core.Program bodies.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokAtVar // @name
+	tokSym   // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifier (upper-cased for keywords via keyword()), literal text, or symbol
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	case tokAtVar:
+		return "@" + t.text
+	default:
+		return t.text
+	}
+}
+
+// lex splits src into tokens. Strings use single quotes with ” escapes.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[start:i], pos: start})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			for i < n && unicode.IsDigit(rune(src[i])) {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[start:i], pos: start})
+		case c == '\'':
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' {
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: b.String(), pos: i})
+		case c == '@':
+			i++
+			start := i
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			if start == i {
+				return nil, fmt.Errorf("sql: bare @ at offset %d", start)
+			}
+			toks = append(toks, token{kind: tokAtVar, text: src[start:i], pos: start})
+		case c == '<':
+			if i+1 < n && (src[i+1] == '=' || src[i+1] == '>') {
+				toks = append(toks, token{kind: tokSym, text: src[i : i+2], pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSym, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokSym, text: ">=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSym, text: ">", pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokSym, text: "<>", pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", i)
+			}
+		case strings.ContainsRune("(),;.=+-*", rune(c)):
+			toks = append(toks, token{kind: tokSym, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+// keyword reports whether tok is the given keyword (case-insensitive).
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

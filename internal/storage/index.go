@@ -1,0 +1,176 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// hashIndex is an equality index over one or more columns of a table. It is
+// maintained inline by Insert/Update/Delete while the table mutex is held,
+// so it needs no locking of its own.
+type hashIndex struct {
+	name    string
+	columns []int // column positions in the table schema
+	buckets map[string][]RowID
+}
+
+func newHashIndex(name string, columns []int) *hashIndex {
+	return &hashIndex{name: name, columns: columns, buckets: make(map[string][]RowID)}
+}
+
+func (ix *hashIndex) keyFor(row types.Tuple) string {
+	key := make(types.Tuple, len(ix.columns))
+	for i, c := range ix.columns {
+		key[i] = row[c]
+	}
+	return key.Key()
+}
+
+func (ix *hashIndex) insert(id RowID, row types.Tuple) {
+	k := ix.keyFor(row)
+	ix.buckets[k] = append(ix.buckets[k], id)
+}
+
+func (ix *hashIndex) remove(id RowID, row types.Tuple) {
+	k := ix.keyFor(row)
+	ids := ix.buckets[k]
+	for i, got := range ids {
+		if got == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(ix.buckets, k)
+	} else {
+		ix.buckets[k] = ids
+	}
+}
+
+func (ix *hashIndex) clear() { ix.buckets = make(map[string][]RowID) }
+
+// CreateIndex builds an equality index named name over the given columns.
+// The index is populated from existing rows.
+func (t *Table) CreateIndex(name string, columns ...string) error {
+	cols := make([]int, 0, len(columns))
+	for _, c := range columns {
+		i := t.schema.Index(c)
+		if i < 0 {
+			return fmt.Errorf("storage: index %s: no column %q in table %s", name, c, t.name)
+		}
+		cols = append(cols, i)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.indexes[name]; ok {
+		return fmt.Errorf("storage: index %s already exists on %s", name, t.name)
+	}
+	ix := newHashIndex(name, cols)
+	for id, row := range t.rows {
+		ix.insert(id, row)
+	}
+	t.indexes[name] = ix
+	return nil
+}
+
+// HasIndexOn reports whether an equality index exists whose leading columns
+// are exactly the given columns (order-sensitive).
+func (t *Table) HasIndexOn(columns ...string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.findIndex(columns) != nil
+}
+
+func (t *Table) findIndex(columns []string) *hashIndex {
+	want := make([]int, 0, len(columns))
+	for _, c := range columns {
+		i := t.schema.Index(c)
+		if i < 0 {
+			return nil
+		}
+		want = append(want, i)
+	}
+	for _, ix := range t.indexes {
+		if len(ix.columns) != len(want) {
+			continue
+		}
+		match := true
+		for i := range want {
+			if ix.columns[i] != want[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ix
+		}
+	}
+	return nil
+}
+
+// IndexInfo describes an index for catalog inspection and WAL replay.
+type IndexInfo struct {
+	Name    string
+	Columns []string
+}
+
+// Indexes returns metadata for every index on the table, sorted by name.
+func (t *Table) Indexes() []IndexInfo {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]IndexInfo, 0, len(t.indexes))
+	for name, ix := range t.indexes {
+		cols := make([]string, len(ix.columns))
+		for i, c := range ix.columns {
+			cols[i] = t.schema.Columns[c].Name
+		}
+		out = append(out, IndexInfo{Name: name, Columns: cols})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the RowIDs of rows whose given columns equal key, using an
+// index when one matches, otherwise a scan. Results are in ascending RowID
+// order for determinism.
+func (t *Table) Lookup(columns []string, key types.Tuple) ([]RowID, error) {
+	if len(columns) != len(key) {
+		return nil, fmt.Errorf("storage: lookup on %s: %d columns vs %d key values", t.name, len(columns), len(key))
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if ix := t.findIndex(columns); ix != nil {
+		ids := ix.buckets[key.Key()]
+		out := make([]RowID, len(ids))
+		copy(out, ids)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out, nil
+	}
+	// Fallback scan.
+	cols := make([]int, len(columns))
+	for i, c := range columns {
+		idx := t.schema.Index(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("storage: lookup on %s: no column %q", t.name, c)
+		}
+		cols[i] = idx
+	}
+	var out []RowID
+	for id, row := range t.rows {
+		match := true
+		for i, c := range cols {
+			if !row[c].Equal(key[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

@@ -1,0 +1,181 @@
+// Package storage implements the in-memory heap-table store underlying the
+// engine: a catalog of tables, slotted rows addressed by RowID, and
+// equality hash indexes. It plays the role MySQL/InnoDB plays under the
+// paper's middle-tier prototype.
+//
+// Storage itself is oblivious to transactions: concurrency control (Strict
+// 2PL) lives in internal/lock + internal/txn, and durability in
+// internal/wal. Tables are safe for concurrent use; the transaction layer
+// is responsible for serializing conflicting access through locks.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// RowID identifies a row within a table. RowIDs are never reused, so an
+// undo of a delete can reinstate the row under its original identity.
+type RowID int64
+
+// InvalidRowID is returned by operations that fail to locate a row.
+const InvalidRowID RowID = -1
+
+// Table is a heap of rows with a fixed schema. All methods are safe for
+// concurrent use.
+type Table struct {
+	name   string
+	schema *types.Schema
+
+	mu      sync.RWMutex
+	rows    map[RowID]types.Tuple
+	nextID  RowID
+	indexes map[string]*hashIndex // by index name
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema *types.Schema) *Table {
+	return &Table{
+		name:    name,
+		schema:  schema,
+		rows:    make(map[RowID]types.Tuple),
+		indexes: make(map[string]*hashIndex),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *types.Schema { return t.schema }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert validates and stores a new row, returning its RowID.
+func (t *Table) Insert(row types.Tuple) (RowID, error) {
+	if err := t.schema.Validate(row); err != nil {
+		return InvalidRowID, fmt.Errorf("storage: insert into %s: %w", t.name, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.nextID
+	t.nextID++
+	t.rows[id] = row.Clone()
+	for _, idx := range t.indexes {
+		idx.insert(id, row)
+	}
+	return id, nil
+}
+
+// InsertAt reinstates a row under a specific RowID (used by undo and WAL
+// replay). It fails if the RowID is occupied.
+func (t *Table) InsertAt(id RowID, row types.Tuple) error {
+	if err := t.schema.Validate(row); err != nil {
+		return fmt.Errorf("storage: insert-at into %s: %w", t.name, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.rows[id]; ok {
+		return fmt.Errorf("storage: %s row %d already exists", t.name, id)
+	}
+	t.rows[id] = row.Clone()
+	if id >= t.nextID {
+		t.nextID = id + 1
+	}
+	for _, idx := range t.indexes {
+		idx.insert(id, row)
+	}
+	return nil
+}
+
+// Get returns a copy of the row, or ok=false if absent.
+func (t *Table) Get(id RowID) (types.Tuple, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	row, ok := t.rows[id]
+	if !ok {
+		return nil, false
+	}
+	return row.Clone(), true
+}
+
+// Update replaces the row at id, returning the previous image.
+func (t *Table) Update(id RowID, row types.Tuple) (types.Tuple, error) {
+	if err := t.schema.Validate(row); err != nil {
+		return nil, fmt.Errorf("storage: update %s: %w", t.name, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: %s row %d not found", t.name, id)
+	}
+	for _, idx := range t.indexes {
+		idx.remove(id, old)
+		idx.insert(id, row)
+	}
+	t.rows[id] = row.Clone()
+	return old, nil
+}
+
+// Delete removes the row at id, returning the deleted image.
+func (t *Table) Delete(id RowID) (types.Tuple, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: %s row %d not found", t.name, id)
+	}
+	delete(t.rows, id)
+	for _, idx := range t.indexes {
+		idx.remove(id, old)
+	}
+	return old, nil
+}
+
+// Scan calls fn for every row in RowID order. fn receives a shared
+// reference — it must not retain or mutate the tuple. Returning false stops
+// the scan. The table lock is held across the scan, so fn must not call
+// back into the table.
+func (t *Table) Scan(fn func(id RowID, row types.Tuple) bool) {
+	t.mu.RLock()
+	ids := make([]RowID, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !fn(id, t.rows[id]) {
+			break
+		}
+	}
+	t.mu.RUnlock()
+}
+
+// All returns a deterministic snapshot of all rows in RowID order.
+func (t *Table) All() []types.Tuple {
+	out := make([]types.Tuple, 0, t.Len())
+	t.Scan(func(_ RowID, row types.Tuple) bool {
+		out = append(out, row.Clone())
+		return true
+	})
+	return out
+}
+
+// Truncate removes all rows (used by recovery before replay).
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = make(map[RowID]types.Tuple)
+	for _, idx := range t.indexes {
+		idx.clear()
+	}
+}

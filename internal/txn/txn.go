@@ -1,0 +1,509 @@
+// Package txn implements classical ACID transactions over the storage,
+// lock, and wal substrates: Strict Two-Phase Locking with table-level read
+// locks and row-level write locks (the regime §3.3.3 of the paper assumes:
+// "Minnie's transaction would have held a read lock on the Airlines table
+// until commit"), write-ahead logging with undo on abort, and group commit
+// for entanglement groups.
+//
+// Isolation levels:
+//
+//   - Serializable: all locks held to commit (Strict 2PL).
+//   - ReadCommitted: shared locks released at statement end; write locks
+//     still held to commit. This is the §4 relaxation of "altering the
+//     length of time locks are held".
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// IsolationLevel selects the locking discipline of a transaction.
+type IsolationLevel int
+
+// Supported isolation levels.
+const (
+	Serializable IsolationLevel = iota
+	ReadCommitted
+)
+
+func (l IsolationLevel) String() string {
+	switch l {
+	case Serializable:
+		return "SERIALIZABLE"
+	case ReadCommitted:
+		return "READ COMMITTED"
+	default:
+		return fmt.Sprintf("IsolationLevel(%d)", int(l))
+	}
+}
+
+// State is the lifecycle state of a transaction.
+type State int
+
+// Transaction states.
+const (
+	Active State = iota
+	Committed
+	Aborted
+)
+
+// Errors returned by transaction operations.
+var (
+	ErrNotActive = errors.New("txn: transaction is not active")
+)
+
+// Observer receives operation notifications; the entangled-transaction
+// layer uses it to record execution schedules for the isolation checker.
+// Row is storage.RowID or -1 for a whole-table read. Implementations must
+// be safe for concurrent use.
+type Observer interface {
+	OnRead(tx uint64, table string, row int64)
+	OnWrite(tx uint64, table string, row int64)
+	OnCommit(tx uint64)
+	OnAbort(tx uint64)
+}
+
+// Manager creates and finalizes transactions.
+type Manager struct {
+	cat    *storage.Catalog
+	locks  *lock.Manager
+	log    *wal.Log // nil disables durability
+	nextTx atomic.Uint64
+
+	obsMu    sync.RWMutex
+	observer Observer
+}
+
+// NewManager wires a transaction manager over a catalog, lock manager, and
+// optional write-ahead log.
+func NewManager(cat *storage.Catalog, locks *lock.Manager, log *wal.Log) *Manager {
+	return &Manager{cat: cat, locks: locks, log: log}
+}
+
+// Catalog exposes the underlying catalog (read-mostly helpers, DDL).
+func (m *Manager) Catalog() *storage.Catalog { return m.cat }
+
+// Locks exposes the lock manager (the entangled layer takes quasi-read
+// locks through it).
+func (m *Manager) Locks() *lock.Manager { return m.locks }
+
+// SetObserver installs an operation observer (nil to clear).
+func (m *Manager) SetObserver(o Observer) {
+	m.obsMu.Lock()
+	m.observer = o
+	m.obsMu.Unlock()
+}
+
+func (m *Manager) obs() Observer {
+	m.obsMu.RLock()
+	defer m.obsMu.RUnlock()
+	return m.observer
+}
+
+// CreateTable creates a table and logs the DDL for recovery.
+func (m *Manager) CreateTable(name string, schema *types.Schema) (*storage.Table, error) {
+	t, err := m.cat.Create(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	if m.log != nil {
+		if err := m.log.Append(wal.CreateTable(name, schema)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// CreateIndex builds an equality index and logs the DDL for recovery.
+func (m *Manager) CreateIndex(table, index string, columns []string) error {
+	tbl, err := m.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	if err := tbl.CreateIndex(index, columns...); err != nil {
+		return err
+	}
+	if m.log != nil {
+		return m.log.Append(wal.CreateIndex(tbl.Name(), index, columns))
+	}
+	return nil
+}
+
+// undoOp reverses one applied write during abort.
+type undoOp struct {
+	kind  wal.RecordType
+	table *storage.Table
+	rowID storage.RowID
+	old   types.Tuple
+}
+
+// Txn is one classical transaction. A Txn is not safe for concurrent use by
+// multiple goroutines (one connection = one transaction, as in the paper's
+// MySQL setup).
+type Txn struct {
+	id    uint64
+	mgr   *Manager
+	level IsolationLevel
+	state State
+	undo  []undoOp
+
+	// ReadTables accumulates the tables read under ReadCommitted so the
+	// statement-end release can drop them.
+	reads  int64
+	writes int64
+}
+
+// Begin starts a transaction at the given isolation level.
+func (m *Manager) Begin(level IsolationLevel) (*Txn, error) {
+	id := m.nextTx.Add(1)
+	t := &Txn{id: id, mgr: m, level: level}
+	if m.log != nil {
+		if err := m.log.Append(wal.Begin(wal.TxID(id))); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Level returns the isolation level.
+func (t *Txn) Level() IsolationLevel { return t.level }
+
+// State returns the lifecycle state.
+func (t *Txn) State() State { return t.state }
+
+// Stats returns the number of read and write operations performed.
+func (t *Txn) Stats() (reads, writes int64) { return t.reads, t.writes }
+
+func (t *Txn) ensureActive() error {
+	if t.state != Active {
+		return ErrNotActive
+	}
+	return nil
+}
+
+// lockTableShared acquires a table-level S lock (the paper's read-lock
+// granularity). Exposed for the entangled layer's quasi-read locks.
+func (t *Txn) lockTableShared(table string) error {
+	return t.mgr.locks.Acquire(t.id, lock.TableRow{Table: table, Row: lock.AllRows}, lock.S)
+}
+
+// LockTableShared acquires a table-level shared lock on behalf of the
+// transaction without reading — used by the entangled-transaction layer to
+// enforce repeatable quasi-reads (§3.3.3).
+func (t *Txn) LockTableShared(table string) error {
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	return t.lockTableShared(table)
+}
+
+// statementEnd implements the ReadCommitted relaxation: shared locks are
+// surrendered once the statement completes.
+func (t *Txn) statementEnd() {
+	if t.level == ReadCommitted {
+		t.mgr.locks.ReleaseShared(t.id)
+	}
+}
+
+// Scan returns every row of the table under a shared table lock.
+func (t *Txn) Scan(table string) ([]types.Tuple, error) {
+	if err := t.ensureActive(); err != nil {
+		return nil, err
+	}
+	tbl, err := t.mgr.cat.Get(table)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.lockTableShared(table); err != nil {
+		return nil, err
+	}
+	defer t.statementEnd()
+	rows := tbl.All()
+	t.reads++
+	if o := t.mgr.obs(); o != nil {
+		o.OnRead(t.id, tbl.Name(), int64(lock.AllRows))
+	}
+	return rows, nil
+}
+
+// ScanIDs returns every (RowID, row) pair under a shared table lock.
+func (t *Txn) ScanIDs(table string) (ids []storage.RowID, rows []types.Tuple, err error) {
+	if err := t.ensureActive(); err != nil {
+		return nil, nil, err
+	}
+	tbl, err := t.mgr.cat.Get(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := t.lockTableShared(table); err != nil {
+		return nil, nil, err
+	}
+	defer t.statementEnd()
+	tbl.Scan(func(id storage.RowID, row types.Tuple) bool {
+		ids = append(ids, id)
+		rows = append(rows, row.Clone())
+		return true
+	})
+	t.reads++
+	if o := t.mgr.obs(); o != nil {
+		o.OnRead(t.id, tbl.Name(), int64(lock.AllRows))
+	}
+	return ids, rows, nil
+}
+
+// Lookup returns rows whose columns equal key. Like an InnoDB index read,
+// it locks at row granularity: IS on the table plus S on each matching
+// row, so point reads by different transactions on different rows do not
+// force table-level upgrades. (Phantoms are possible against concurrent
+// inserts; use Scan for a full-table read lock, which is what entangled
+// grounding reads use.)
+func (t *Txn) Lookup(table string, columns []string, key types.Tuple) ([]types.Tuple, error) {
+	_, rows, err := t.LookupIDs(table, columns, key)
+	return rows, err
+}
+
+// LookupIDs is Lookup returning row ids as well (for targeted updates and
+// deletes).
+func (t *Txn) LookupIDs(table string, columns []string, key types.Tuple) ([]storage.RowID, []types.Tuple, error) {
+	if err := t.ensureActive(); err != nil {
+		return nil, nil, err
+	}
+	tbl, err := t.mgr.cat.Get(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := t.mgr.locks.Acquire(t.id, lock.TableRow{Table: table, Row: lock.AllRows}, lock.IS); err != nil {
+		return nil, nil, err
+	}
+	defer t.statementEnd()
+	ids, err := tbl.Lookup(columns, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	outIDs := make([]storage.RowID, 0, len(ids))
+	out := make([]types.Tuple, 0, len(ids))
+	for _, id := range ids {
+		if err := t.mgr.locks.Acquire(t.id, lock.TableRow{Table: table, Row: int64(id)}, lock.S); err != nil {
+			return nil, nil, err
+		}
+		if row, ok := tbl.Get(id); ok {
+			outIDs = append(outIDs, id)
+			out = append(out, row)
+		}
+	}
+	t.reads++
+	if o := t.mgr.obs(); o != nil {
+		o.OnRead(t.id, tbl.Name(), int64(lock.AllRows))
+	}
+	return outIDs, out, nil
+}
+
+// lockForWrite takes IX on the table and X on the row.
+func (t *Txn) lockForWrite(table string, rowID storage.RowID) error {
+	if err := t.mgr.locks.Acquire(t.id, lock.TableRow{Table: table, Row: lock.AllRows}, lock.IX); err != nil {
+		return err
+	}
+	return t.mgr.locks.Acquire(t.id, lock.TableRow{Table: table, Row: int64(rowID)}, lock.X)
+}
+
+// Insert adds a row, locking table IX first (which serializes against
+// whole-table readers) and then the new row X.
+func (t *Txn) Insert(table string, row types.Tuple) (storage.RowID, error) {
+	if err := t.ensureActive(); err != nil {
+		return storage.InvalidRowID, err
+	}
+	tbl, err := t.mgr.cat.Get(table)
+	if err != nil {
+		return storage.InvalidRowID, err
+	}
+	if err := t.mgr.locks.Acquire(t.id, lock.TableRow{Table: table, Row: lock.AllRows}, lock.IX); err != nil {
+		return storage.InvalidRowID, err
+	}
+	id, err := tbl.Insert(row)
+	if err != nil {
+		return storage.InvalidRowID, err
+	}
+	if err := t.mgr.locks.Acquire(t.id, lock.TableRow{Table: table, Row: int64(id)}, lock.X); err != nil {
+		return storage.InvalidRowID, err
+	}
+	if t.mgr.log != nil {
+		if err := t.mgr.log.Append(wal.Insert(wal.TxID(t.id), tbl.Name(), id, row)); err != nil {
+			return storage.InvalidRowID, err
+		}
+	}
+	t.undo = append(t.undo, undoOp{kind: wal.RecInsert, table: tbl, rowID: id})
+	t.writes++
+	if o := t.mgr.obs(); o != nil {
+		o.OnWrite(t.id, tbl.Name(), int64(id))
+	}
+	return id, nil
+}
+
+// Update replaces the row at id.
+func (t *Txn) Update(table string, id storage.RowID, row types.Tuple) error {
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	tbl, err := t.mgr.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	if err := t.lockForWrite(table, id); err != nil {
+		return err
+	}
+	old, err := tbl.Update(id, row)
+	if err != nil {
+		return err
+	}
+	if t.mgr.log != nil {
+		if err := t.mgr.log.Append(wal.Update(wal.TxID(t.id), tbl.Name(), id, old, row)); err != nil {
+			return err
+		}
+	}
+	t.undo = append(t.undo, undoOp{kind: wal.RecUpdate, table: tbl, rowID: id, old: old})
+	t.writes++
+	if o := t.mgr.obs(); o != nil {
+		o.OnWrite(t.id, tbl.Name(), int64(id))
+	}
+	return nil
+}
+
+// Delete removes the row at id.
+func (t *Txn) Delete(table string, id storage.RowID) error {
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	tbl, err := t.mgr.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	if err := t.lockForWrite(table, id); err != nil {
+		return err
+	}
+	old, err := tbl.Delete(id)
+	if err != nil {
+		return err
+	}
+	if t.mgr.log != nil {
+		if err := t.mgr.log.Append(wal.Delete(wal.TxID(t.id), tbl.Name(), id, old)); err != nil {
+			return err
+		}
+	}
+	t.undo = append(t.undo, undoOp{kind: wal.RecDelete, table: tbl, rowID: id, old: old})
+	t.writes++
+	if o := t.mgr.obs(); o != nil {
+		o.OnWrite(t.id, tbl.Name(), int64(id))
+	}
+	return nil
+}
+
+// Commit makes the transaction's writes durable and releases its locks.
+func (t *Txn) Commit() error {
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	if t.mgr.log != nil {
+		if err := t.mgr.log.Append(wal.Commit(wal.TxID(t.id))); err != nil {
+			return err
+		}
+	}
+	t.state = Committed
+	t.undo = nil
+	t.mgr.locks.ReleaseAll(t.id)
+	if o := t.mgr.obs(); o != nil {
+		o.OnCommit(t.id)
+	}
+	return nil
+}
+
+// Abort rolls back the transaction's writes (in reverse order) and releases
+// its locks. Abort of a non-active transaction is a no-op.
+func (t *Txn) Abort() error {
+	if t.state != Active {
+		return nil
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		switch u.kind {
+		case wal.RecInsert:
+			if _, err := u.table.Delete(u.rowID); err != nil {
+				return fmt.Errorf("txn: undo insert: %w", err)
+			}
+		case wal.RecUpdate:
+			if _, err := u.table.Update(u.rowID, u.old); err != nil {
+				return fmt.Errorf("txn: undo update: %w", err)
+			}
+		case wal.RecDelete:
+			if err := u.table.InsertAt(u.rowID, u.old); err != nil {
+				return fmt.Errorf("txn: undo delete: %w", err)
+			}
+		}
+	}
+	if t.mgr.log != nil {
+		if err := t.mgr.log.Append(wal.Abort(wal.TxID(t.id))); err != nil {
+			return err
+		}
+	}
+	t.state = Aborted
+	t.undo = nil
+	t.mgr.locks.ReleaseAll(t.id)
+	if o := t.mgr.obs(); o != nil {
+		o.OnAbort(t.id)
+	}
+	return nil
+}
+
+// LogEntangle records that the given transactions participated in an
+// entanglement operation — state the recovery algorithm needs for the §4
+// group-rollback rule.
+func (m *Manager) LogEntangle(opID uint64, txIDs []uint64) error {
+	if m.log == nil {
+		return nil
+	}
+	group := make([]wal.TxID, len(txIDs))
+	for i, id := range txIDs {
+		group[i] = wal.TxID(id)
+	}
+	return m.log.Append(wal.Entangle(wal.TxID(opID), group))
+}
+
+// CommitGroup atomically commits an entanglement group: one GroupCommit
+// record covers all members, then each is finalized. All transactions must
+// be active.
+func (m *Manager) CommitGroup(txns []*Txn) error {
+	for _, t := range txns {
+		if t.state != Active {
+			return fmt.Errorf("txn: group commit: transaction %d is %v", t.id, t.state)
+		}
+	}
+	if m.log != nil {
+		group := make([]wal.TxID, len(txns))
+		for i, t := range txns {
+			group[i] = wal.TxID(t.id)
+		}
+		if err := m.log.Append(wal.GroupCommit(group)); err != nil {
+			return err
+		}
+	}
+	o := m.obs()
+	for _, t := range txns {
+		t.state = Committed
+		t.undo = nil
+		m.locks.ReleaseAll(t.id)
+		if o != nil {
+			o.OnCommit(t.id)
+		}
+	}
+	return nil
+}

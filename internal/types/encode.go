@@ -1,0 +1,86 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary encoding of values and tuples, used by the write-ahead log. The
+// format is self-describing: kind byte, then payload (varint for numeric
+// kinds, length-prefixed bytes for strings).
+
+// EncodeValue appends the binary encoding of v to buf and returns it.
+func EncodeValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.s)))
+		buf = append(buf, v.s...)
+	default:
+		buf = binary.AppendVarint(buf, v.i)
+	}
+	return buf
+}
+
+// DecodeValue decodes one value from buf, returning the value and the number
+// of bytes consumed.
+func DecodeValue(buf []byte) (Value, int, error) {
+	if len(buf) == 0 {
+		return Null(), 0, io.ErrUnexpectedEOF
+	}
+	k := Kind(buf[0])
+	pos := 1
+	switch k {
+	case KindNull:
+		return Null(), pos, nil
+	case KindString:
+		n, w := binary.Uvarint(buf[pos:])
+		if w <= 0 {
+			return Null(), 0, fmt.Errorf("types: bad string length varint")
+		}
+		pos += w
+		if uint64(len(buf)-pos) < n {
+			return Null(), 0, io.ErrUnexpectedEOF
+		}
+		s := string(buf[pos : pos+int(n)])
+		return Str(s), pos + int(n), nil
+	case KindInt, KindBool, KindDate:
+		i, w := binary.Varint(buf[pos:])
+		if w <= 0 {
+			return Null(), 0, fmt.Errorf("types: bad int varint")
+		}
+		return Value{kind: k, i: i}, pos + w, nil
+	default:
+		return Null(), 0, fmt.Errorf("types: unknown kind byte %d", buf[0])
+	}
+}
+
+// EncodeTuple appends the binary encoding of t (length prefix + values).
+func EncodeTuple(buf []byte, t Tuple) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(t)))
+	for _, v := range t {
+		buf = EncodeValue(buf, v)
+	}
+	return buf
+}
+
+// DecodeTuple decodes one tuple from buf, returning it and bytes consumed.
+func DecodeTuple(buf []byte) (Tuple, int, error) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return nil, 0, fmt.Errorf("types: bad tuple length varint")
+	}
+	pos := w
+	t := make(Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, used, err := DecodeValue(buf[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		t = append(t, v)
+		pos += used
+	}
+	return t, pos, nil
+}

@@ -1,0 +1,112 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Tuple is an ordered list of values — one table row, one ANSWER-relation
+// atom's arguments, or one entangled-query answer.
+type Tuple []Value
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically.
+func (t Tuple) Compare(o Tuple) int {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(o[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(o):
+		return -1
+	case len(t) > len(o):
+		return 1
+	}
+	return 0
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Key returns a canonical string key usable as a map key; distinct tuples
+// produce distinct keys (kind-tagged, length-prefixed encoding).
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, v := range t {
+		k := v.Kind()
+		// Fold dates into ints so Key agrees with Equal's int/date pairing.
+		if k == KindDate {
+			k = KindInt
+		}
+		fmt.Fprintf(&b, "%d:", uint8(k))
+		switch k {
+		case KindString:
+			fmt.Fprintf(&b, "%d:%s;", len(v.Str64()), v.Str64())
+		case KindNull:
+			b.WriteByte(';')
+		default:
+			fmt.Fprintf(&b, "%d;", v.i)
+		}
+	}
+	return b.String()
+}
+
+// Hash returns a 64-bit hash of the tuple consistent with Equal.
+func (t Tuple) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range t {
+		k := v.Kind()
+		if k == KindDate {
+			k = KindInt
+		}
+		h.Write([]byte{byte(k)})
+		switch k {
+		case KindString:
+			h.Write([]byte(v.Str64()))
+		case KindNull:
+		default:
+			binary.LittleEndian.PutUint64(buf[:], uint64(v.i))
+			h.Write(buf[:])
+		}
+		h.Write([]byte{0xFF})
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,172 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KindNull, "NULL"},
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Str("LA"), KindString, "LA"},
+		{Bool(true), KindBool, "TRUE"},
+		{Bool(false), KindBool, "FALSE"},
+		{MustDate("2011-05-03"), KindDate, "2011-05-03"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+}
+
+func TestDateParsing(t *testing.T) {
+	if _, err := DateFromString("not-a-date"); err == nil {
+		t.Error("expected error for malformed date")
+	}
+	d, err := DateFromString("1970-01-02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Int64() != 1 {
+		t.Errorf("1970-01-02 = day %d, want 1", d.Int64())
+	}
+}
+
+func TestDateArithmetic(t *testing.T) {
+	arrival := MustDate("2011-05-03")
+	departure := MustDate("2011-05-06")
+	stay, err := departure.Sub(arrival)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stay.Int64() != 3 {
+		t.Errorf("stay = %d days, want 3", stay.Int64())
+	}
+	back, err := arrival.Add(Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(departure) {
+		t.Errorf("arrival+3 = %v, want %v", back, departure)
+	}
+}
+
+func TestSubTypeErrors(t *testing.T) {
+	if _, err := Str("a").Sub(Int(1)); err == nil {
+		t.Error("string - int should error")
+	}
+	if _, err := Int(1).Add(Bool(true)); err == nil {
+		t.Error("int + bool should error")
+	}
+}
+
+func TestEqualAndCompare(t *testing.T) {
+	if !Int(5).Equal(Int(5)) || Int(5).Equal(Int(6)) {
+		t.Error("int equality broken")
+	}
+	if !Str("x").Equal(Str("x")) || Str("x").Equal(Str("y")) {
+		t.Error("string equality broken")
+	}
+	if !Null().Equal(Null()) {
+		t.Error("NULL must equal NULL for unification")
+	}
+	if Null().Equal(Int(0)) {
+		t.Error("NULL must not equal 0")
+	}
+	// Int/date interop.
+	if !Int(100).Equal(Date(100)) || !Date(100).Equal(Int(100)) {
+		t.Error("int/date numeric equality broken")
+	}
+	if Int(5).Compare(Int(6)) != -1 || Int(6).Compare(Int(5)) != 1 || Int(5).Compare(Int(5)) != 0 {
+		t.Error("int compare broken")
+	}
+	if Str("a").Compare(Str("b")) != -1 {
+		t.Error("string compare broken")
+	}
+	if Date(3).Compare(Int(4)) != -1 {
+		t.Error("date/int compare broken")
+	}
+	if Null().Compare(Int(0)) != -1 {
+		t.Error("NULL must sort before non-NULL")
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	vals := []Value{Null(), Int(-3), Int(0), Int(9), Str(""), Str("a"), Str("b"), Bool(false), Bool(true), Date(0), Date(100)}
+	for _, a := range vals {
+		for _, b := range vals {
+			if a.Compare(b) != -b.Compare(a) {
+				t.Errorf("Compare(%v,%v) not antisymmetric", a, b)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null(), Int(0), Int(1), Int(-1), Int(1 << 40),
+		Str(""), Str("hello"), Str("日本語"),
+		Bool(true), Bool(false),
+		Date(15000), MustDate("2011-05-03"),
+	}
+	for _, v := range vals {
+		buf := EncodeValue(nil, v)
+		got, n, err := DecodeValue(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if n != len(buf) {
+			t.Errorf("decode %v consumed %d of %d bytes", v, n, len(buf))
+		}
+		if got.Kind() != v.Kind() || !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestDecodeValueErrors(t *testing.T) {
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("decoding empty buffer should error")
+	}
+	if _, _, err := DecodeValue([]byte{200}); err == nil {
+		t.Error("unknown kind byte should error")
+	}
+	// Truncated string payload.
+	buf := EncodeValue(nil, Str("hello"))
+	if _, _, err := DecodeValue(buf[:3]); err == nil {
+		t.Error("truncated string should error")
+	}
+}
+
+func TestValueEncodeQuick(t *testing.T) {
+	f := func(i int64, s string, b bool) bool {
+		for _, v := range []Value{Int(i), Str(s), Bool(b), Date(i % 100000)} {
+			buf := EncodeValue(nil, v)
+			got, n, err := DecodeValue(buf)
+			if err != nil || n != len(buf) || !got.Equal(v) || got.Kind() != v.Kind() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Log is an append-only write-ahead log. All appends are serialized; Sync
+// durability is optional (the experiments disable fsync, as the paper's
+// measurements are not I/O-bound — the entanglement overhead is the object
+// of study).
+type Log struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	sync    bool
+	buf     []byte
+	lsn     int64 // records appended since open
+	appends int64
+}
+
+// Options configures a Log.
+type Options struct {
+	// Sync forces an fsync after every commit-class record.
+	Sync bool
+}
+
+// Open opens (creating if needed) the log file at path.
+func Open(path string, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	return &Log{f: f, path: path, sync: opts.Sync}, nil
+}
+
+// Append writes one record to the log. Commit, GroupCommit, and Abort
+// records are flushed (and fsynced when Options.Sync is set) before
+// returning, which is the WAL durability rule.
+func (l *Log) Append(r *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: log closed")
+	}
+	l.buf = l.buf[:0]
+	payload := r.encode(nil)
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	l.buf = append(l.buf, frame[:]...)
+	l.buf = append(l.buf, payload...)
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.lsn++
+	l.appends++
+	if l.sync && (r.Type == RecCommit || r.Type == RecGroupCommit || r.Type == RecAbort) {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// LSN returns the number of records appended since the log was opened.
+func (l *Log) LSN() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lsn
+}
+
+// Close closes the underlying file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// Path returns the log file path.
+func (l *Log) Path() string { return l.path }
+
+// ReadAll parses every intact record in the file at path. A torn tail
+// (truncated or CRC-corrupt final record) terminates the scan without
+// error, as in standard recovery; corruption mid-log is reported.
+func ReadAll(path string) ([]*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: read: %w", err)
+	}
+	var out []*Record
+	pos := 0
+	for pos < len(data) {
+		if len(data)-pos < 8 {
+			break // torn frame header at tail
+		}
+		n := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		want := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
+		if len(data)-pos-8 < n {
+			break // torn payload at tail
+		}
+		payload := data[pos+8 : pos+8+n]
+		if crc32.ChecksumIEEE(payload) != want {
+			if pos+8+n == len(data) {
+				break // corrupt final record: treat as torn
+			}
+			return nil, fmt.Errorf("wal: CRC mismatch at offset %d", pos)
+		}
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		pos += 8 + n
+	}
+	return out, nil
+}
+
+// Truncate discards the log contents (used after a checkpoint snapshot).
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: log closed")
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	l.lsn = 0
+	return nil
+}
+
+// Convenience constructors for the record kinds.
+
+// Begin returns a BEGIN record.
+func Begin(tx TxID) *Record { return &Record{Type: RecBegin, Tx: tx} }
+
+// Insert returns an INSERT record with the new row image.
+func Insert(tx TxID, table string, rowID storage.RowID, row types.Tuple) *Record {
+	return &Record{Type: RecInsert, Tx: tx, Table: table, RowID: int64(rowID), Row: row}
+}
+
+// Delete returns a DELETE record with the old row image.
+func Delete(tx TxID, table string, rowID storage.RowID, old types.Tuple) *Record {
+	return &Record{Type: RecDelete, Tx: tx, Table: table, RowID: int64(rowID), Row: old}
+}
+
+// Update returns an UPDATE record with both images.
+func Update(tx TxID, table string, rowID storage.RowID, old, new types.Tuple) *Record {
+	return &Record{Type: RecUpdate, Tx: tx, Table: table, RowID: int64(rowID), Old: old, Row: new}
+}
+
+// Commit returns a COMMIT record for a single (non-entangled) transaction.
+func Commit(tx TxID) *Record { return &Record{Type: RecCommit, Tx: tx} }
+
+// Abort returns an ABORT record.
+func Abort(tx TxID) *Record { return &Record{Type: RecAbort, Tx: tx} }
+
+// GroupCommit returns a record committing an entire entanglement group
+// atomically.
+func GroupCommit(group []TxID) *Record { return &Record{Type: RecGroupCommit, Group: group} }
+
+// Entangle returns a record noting that the transactions in group
+// participated in entanglement operation op.
+func Entangle(op TxID, group []TxID) *Record {
+	return &Record{Type: RecEntangle, Tx: op, Group: group}
+}
+
+// CreateTable returns a DDL record for catalog replay.
+func CreateTable(name string, schema *types.Schema) *Record {
+	return &Record{Type: RecCreateTable, Table: name, Row: schemaToTuple(schema)}
+}
+
+// CreateIndex returns a DDL record replaying an index build: the index
+// name followed by its column names, flattened into the row image.
+func CreateIndex(table, index string, columns []string) *Record {
+	row := types.Tuple{types.Str(index)}
+	for _, c := range columns {
+		row = append(row, types.Str(c))
+	}
+	return &Record{Type: RecCreateIndex, Table: table, Row: row}
+}

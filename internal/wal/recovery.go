@@ -1,0 +1,208 @@
+package wal
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// RecoveryStats summarizes what recovery did.
+type RecoveryStats struct {
+	RecordsScanned   int
+	TxCommitted      int // transactions whose effects were redone
+	TxRolledBack     int // transactions discarded (no commit, or widowed group)
+	GroupsRecovered  int // entanglement groups redone atomically
+	GroupsRolledBack int // groups rolled back because a member lacked a commit
+}
+
+// Recover rebuilds database state from the log at path into cat. Tables
+// referenced by data records must either exist in cat already or be created
+// by CreateTable records earlier in the log.
+//
+// The redo set is computed with the paper's entanglement-aware rule:
+//
+//  1. A transaction with a Commit record (or covered by a GroupCommit) is a
+//     tentative winner.
+//  2. Entangle records induce groups (transitively). A group is durable only
+//     if every member is a tentative winner; otherwise every member of the
+//     group is rolled back — the §4 recovery rule that prevents widowed
+//     transactions from surviving a crash.
+//
+// Effects of winners are replayed in log order. Because the engine runs
+// Strict 2PL, conflicting writes of winners appear in the log in a
+// serializable order, so redo-only replay reproduces the committed state.
+func Recover(path string, cat *storage.Catalog) (*RecoveryStats, error) {
+	records, err := ReadAll(path)
+	if err != nil {
+		return nil, err
+	}
+	stats := &RecoveryStats{RecordsScanned: len(records)}
+
+	// Pass 1: analysis — committed set and entanglement groups.
+	committed := make(map[TxID]bool)
+	seen := make(map[TxID]bool)
+	uf := newUnionFind()
+	for _, r := range records {
+		switch r.Type {
+		case RecBegin:
+			seen[r.Tx] = true
+		case RecCommit:
+			committed[r.Tx] = true
+		case RecGroupCommit:
+			for _, tx := range r.Group {
+				committed[tx] = true
+			}
+		case RecEntangle:
+			for _, tx := range r.Group {
+				seen[tx] = true
+				uf.union(r.Group[0], tx)
+			}
+		case RecInsert, RecDelete, RecUpdate:
+			seen[r.Tx] = true
+		}
+	}
+
+	// Pass 2: entanglement-aware demotion. Any group containing a
+	// non-committed member loses entirely.
+	groupLost := make(map[TxID]bool) // keyed by group root
+	for tx := range seen {
+		if root, ok := uf.find(tx); ok && !committed[tx] {
+			groupLost[root] = true
+		}
+	}
+	winners := make(map[TxID]bool)
+	for tx := range committed {
+		if root, ok := uf.find(tx); ok && groupLost[root] {
+			continue
+		}
+		winners[tx] = true
+	}
+
+	// Stats about groups.
+	groupMembers := make(map[TxID][]TxID)
+	for tx := range seen {
+		if root, ok := uf.find(tx); ok {
+			groupMembers[root] = append(groupMembers[root], tx)
+		}
+	}
+	for root := range groupMembers {
+		if groupLost[root] {
+			stats.GroupsRolledBack++
+		} else {
+			stats.GroupsRecovered++
+		}
+	}
+
+	// Pass 3: redo winners (and DDL) in log order.
+	for _, r := range records {
+		switch r.Type {
+		case RecCreateTable:
+			if cat.Has(r.Table) {
+				continue
+			}
+			schema, err := tupleToSchema(r.Row)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := cat.Create(r.Table, schema); err != nil {
+				return nil, err
+			}
+		case RecCreateIndex:
+			tbl, err := cat.Get(r.Table)
+			if err != nil {
+				return nil, fmt.Errorf("wal: recover index: %w", err)
+			}
+			if len(r.Row) < 2 {
+				return nil, fmt.Errorf("wal: malformed index record for %s", r.Table)
+			}
+			cols := make([]string, 0, len(r.Row)-1)
+			for _, v := range r.Row[1:] {
+				cols = append(cols, v.Str64())
+			}
+			// Idempotent vs. snapshots that already carry data: rebuilding
+			// an index that exists (same name) is an error we tolerate by
+			// skipping.
+			if err := tbl.CreateIndex(r.Row[0].Str64(), cols...); err != nil && !tbl.HasIndexOn(cols...) {
+				return nil, fmt.Errorf("wal: recover index: %w", err)
+			}
+		case RecInsert:
+			if !winners[r.Tx] {
+				continue
+			}
+			tbl, err := cat.Get(r.Table)
+			if err != nil {
+				return nil, fmt.Errorf("wal: recover insert: %w", err)
+			}
+			if err := tbl.InsertAt(storage.RowID(r.RowID), r.Row); err != nil {
+				return nil, fmt.Errorf("wal: recover insert: %w", err)
+			}
+		case RecDelete:
+			if !winners[r.Tx] {
+				continue
+			}
+			tbl, err := cat.Get(r.Table)
+			if err != nil {
+				return nil, fmt.Errorf("wal: recover delete: %w", err)
+			}
+			if _, err := tbl.Delete(storage.RowID(r.RowID)); err != nil {
+				return nil, fmt.Errorf("wal: recover delete: %w", err)
+			}
+		case RecUpdate:
+			if !winners[r.Tx] {
+				continue
+			}
+			tbl, err := cat.Get(r.Table)
+			if err != nil {
+				return nil, fmt.Errorf("wal: recover update: %w", err)
+			}
+			if _, err := tbl.Update(storage.RowID(r.RowID), r.Row); err != nil {
+				return nil, fmt.Errorf("wal: recover update: %w", err)
+			}
+		}
+	}
+
+	stats.TxCommitted = len(winners)
+	for tx := range seen {
+		if !winners[tx] {
+			stats.TxRolledBack++
+		}
+	}
+	return stats, nil
+}
+
+// unionFind is a tiny union-find over TxIDs for entanglement groups.
+type unionFind struct {
+	parent map[TxID]TxID
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: make(map[TxID]TxID)} }
+
+// find returns the root of tx and whether tx participates in any group.
+func (u *unionFind) find(tx TxID) (TxID, bool) {
+	p, ok := u.parent[tx]
+	if !ok {
+		return tx, false
+	}
+	if p == tx {
+		return tx, true
+	}
+	root, _ := u.find(p)
+	u.parent[tx] = root
+	return root, true
+}
+
+func (u *unionFind) union(a, b TxID) {
+	ra, okA := u.find(a)
+	if !okA {
+		u.parent[a] = a
+		ra = a
+	}
+	rb, okB := u.find(b)
+	if !okB {
+		u.parent[b] = b
+		rb = b
+	}
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+}

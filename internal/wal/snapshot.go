@@ -1,0 +1,164 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Checkpointing: a checkpoint writes a full snapshot of the catalog to a
+// sidecar file and truncates the log, bounding recovery time. The paper's
+// prototype leans on the DBMS for this; we implement the equivalent
+// fuzzy-free (quiescent) checkpoint — the entangled transaction scheduler
+// checkpoints between runs, when no transaction is active.
+
+// SnapshotPath returns the sidecar snapshot path for a log path.
+func SnapshotPath(logPath string) string { return logPath + ".snap" }
+
+// WriteSnapshot serializes every table in cat to the snapshot file for
+// logPath, atomically (write temp + rename).
+func WriteSnapshot(logPath string, cat *storage.Catalog) error {
+	var buf []byte
+	names := cat.Names()
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		tbl, err := cat.Get(name)
+		if err != nil {
+			return err
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		buf = types.EncodeTuple(buf, schemaToTuple(tbl.Schema()))
+		rows := make(map[storage.RowID]types.Tuple)
+		tbl.Scan(func(id storage.RowID, row types.Tuple) bool {
+			rows[id] = row.Clone()
+			return true
+		})
+		buf = binary.AppendUvarint(buf, uint64(len(rows)))
+		tbl.Scan(func(id storage.RowID, row types.Tuple) bool {
+			buf = binary.AppendVarint(buf, int64(id))
+			buf = types.EncodeTuple(buf, row)
+			return true
+		})
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	out := append(crc[:], buf...)
+	tmp := SnapshotPath(logPath) + ".tmp"
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	return os.Rename(tmp, SnapshotPath(logPath))
+}
+
+// LoadSnapshot restores tables from the snapshot file into cat. Missing
+// snapshot is not an error (ok=false).
+func LoadSnapshot(logPath string, cat *storage.Catalog) (bool, error) {
+	data, err := os.ReadFile(SnapshotPath(logPath))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if len(data) < 4 {
+		return false, fmt.Errorf("wal: snapshot too short")
+	}
+	want := binary.LittleEndian.Uint32(data[:4])
+	body := data[4:]
+	if crc32.ChecksumIEEE(body) != want {
+		return false, fmt.Errorf("wal: snapshot CRC mismatch")
+	}
+	pos := 0
+	nTables, w := binary.Uvarint(body[pos:])
+	if w <= 0 {
+		return false, fmt.Errorf("wal: snapshot malformed")
+	}
+	pos += w
+	for t := uint64(0); t < nTables; t++ {
+		n, w := binary.Uvarint(body[pos:])
+		if w <= 0 || uint64(len(body)-pos-w) < n {
+			return false, fmt.Errorf("wal: snapshot malformed table name")
+		}
+		pos += w
+		name := string(body[pos : pos+int(n)])
+		pos += int(n)
+		schemaTuple, used, err := types.DecodeTuple(body[pos:])
+		if err != nil {
+			return false, err
+		}
+		pos += used
+		schema, err := tupleToSchema(schemaTuple)
+		if err != nil {
+			return false, err
+		}
+		var tbl *storage.Table
+		if cat.Has(name) {
+			tbl, _ = cat.Get(name)
+			tbl.Truncate()
+		} else {
+			tbl, err = cat.Create(name, schema)
+			if err != nil {
+				return false, err
+			}
+		}
+		nRows, w := binary.Uvarint(body[pos:])
+		if w <= 0 {
+			return false, fmt.Errorf("wal: snapshot malformed row count")
+		}
+		pos += w
+		for r := uint64(0); r < nRows; r++ {
+			id, w := binary.Varint(body[pos:])
+			if w <= 0 {
+				return false, fmt.Errorf("wal: snapshot malformed row id")
+			}
+			pos += w
+			row, used, err := types.DecodeTuple(body[pos:])
+			if err != nil {
+				return false, err
+			}
+			pos += used
+			if err := tbl.InsertAt(storage.RowID(id), row); err != nil {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// Checkpoint writes a snapshot of cat and truncates the log. Snapshots
+// carry rows but not indexes, so index DDL is re-appended to the fresh log
+// for replay. Must be called at a quiescent point (no in-flight
+// transactions).
+func Checkpoint(l *Log, cat *storage.Catalog) error {
+	if err := WriteSnapshot(l.Path(), cat); err != nil {
+		return err
+	}
+	if err := l.Truncate(); err != nil {
+		return err
+	}
+	for _, name := range cat.Names() {
+		tbl, err := cat.Get(name)
+		if err != nil {
+			return err
+		}
+		for _, ix := range tbl.Indexes() {
+			if err := l.Append(CreateIndex(tbl.Name(), ix.Name, ix.Columns)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RecoverAll restores from snapshot (if any) then replays the log.
+func RecoverAll(logPath string, cat *storage.Catalog) (*RecoveryStats, error) {
+	if _, err := LoadSnapshot(logPath, cat); err != nil {
+		return nil, err
+	}
+	return Recover(logPath, cat)
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/entangle"
+	"repro/internal/eq"
+)
+
+// Coordination structures for the entanglement-complexity experiment
+// (Figure 6(c)). Structure sizes are the paper's "size of coordinating
+// set" k.
+
+// Structure selects the coordination topology.
+type Structure int
+
+// Structures of §5.2.2.
+const (
+	// SpokeHub: one hub transaction with k-1 entangled queries, each
+	// coordinating with a different spoke transaction.
+	SpokeHub Structure = iota
+	// Cycle: k transactions with one entangled query each, forming a
+	// cyclic dependency chain — all must be answered together.
+	Cycle
+)
+
+func (s Structure) String() string {
+	if s == SpokeHub {
+		return "Spoke-hub"
+	}
+	return "Cycle"
+}
+
+// pairQuery coordinates two named participants on a destination from a
+// shared hometown over a private answer relation (one relation per
+// hub-spoke pair / cycle keeps structures independent).
+func pairQuery(rel string, me, them int, hometown string) *eq.Query {
+	return &eq.Query{
+		Head: []eq.Atom{eq.NewAtom(rel, eq.CInt(int64(me)), eq.V("dest"))},
+		Post: []eq.Atom{eq.NewAtom(rel, eq.CInt(int64(them)), eq.V("dest"))},
+		Body: []eq.Atom{eq.NewAtom("Flight", eq.V("src"), eq.V("dest"), eq.V("fid"))},
+		Where: []eq.Constraint{
+			{Left: eq.V("src"), Op: eq.OpEq, Right: eq.CStr(hometown)},
+		},
+		Choose: 1,
+	}
+}
+
+// bookDest books uid onto the flight from town to dest.
+func bookDest(tx *entangle.Tx, uid int, town, dest string) error {
+	fid, err := lookupFlight(tx, town, dest)
+	if err != nil {
+		return err
+	}
+	return reserve(tx, uid, fid)
+}
+
+// BuildStructure produces the programs of one coordination structure of
+// size k (k >= 2): k programs whose entangled queries must all coordinate
+// for any of them to commit (transitively, via group commit). gid makes
+// the structure's answer relations unique.
+func (d *Dataset) BuildStructure(s Structure, k, gid int) ([]entangle.Program, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("workload: structure size %d < 2", k)
+	}
+	group, err := d.SameTownGroup(k)
+	if err != nil {
+		return nil, err
+	}
+	town := CityName(d.Hometown[group[0]])
+	timeout := 2 * DefaultTimeout
+	var out []entangle.Program
+
+	switch s {
+	case SpokeHub:
+		hub := group[0]
+		spokes := group[1:]
+		out = append(out, entangle.Program{
+			Name:    "hub",
+			Timeout: timeout,
+			Body: func(tx *entangle.Tx) error {
+				// The hub coordinates with each spoke in turn — the §3.1
+				// multi-entangled-query shape.
+				for i, sp := range spokes {
+					rel := fmt.Sprintf("Spoke_%d_%d", gid, i)
+					a := tx.Entangle(pairQuery(rel, hub, sp, town))
+					if a.Status != eq.Answered {
+						return fmt.Errorf("hub query %d: %v", i, a.Status)
+					}
+					if err := bookDest(tx, hub, town, a.Bindings["dest"].Str64()); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		})
+		for i, sp := range spokes {
+			rel := fmt.Sprintf("Spoke_%d_%d", gid, i)
+			sp := sp
+			out = append(out, entangle.Program{
+				Name:    "spoke",
+				Timeout: timeout,
+				Body: func(tx *entangle.Tx) error {
+					a := tx.Entangle(pairQuery(rel, sp, hub, town))
+					if a.Status != eq.Answered {
+						return fmt.Errorf("spoke: %v", a.Status)
+					}
+					return bookDest(tx, sp, town, a.Bindings["dest"].Str64())
+				},
+			})
+		}
+	case Cycle:
+		rel := fmt.Sprintf("Cycle_%d", gid)
+		for i := range group {
+			me := group[i]
+			next := group[(i+1)%len(group)]
+			out = append(out, entangle.Program{
+				Name:    "cycle",
+				Timeout: timeout,
+				Body: func(tx *entangle.Tx) error {
+					a := tx.Entangle(pairQuery(rel, me, next, town))
+					if a.Status != eq.Answered {
+						return fmt.Errorf("cycle member: %v", a.Status)
+					}
+					return bookDest(tx, me, town, a.Bindings["dest"].Str64())
+				},
+			})
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown structure %v", s)
+	}
+	return out, nil
+}
+
+// VerifyReserve checks post-conditions after running workloads: every
+// Reserve row references a real flight, and returns the booking count.
+func VerifyReserve(db *entangle.DB) (int, error) {
+	res, err := db.Query("SELECT uid, fid FROM Reserve")
+	if err != nil {
+		return 0, err
+	}
+	flights, err := db.Query("SELECT fid FROM Flight")
+	if err != nil {
+		return 0, err
+	}
+	valid := make(map[int64]bool, len(flights.Rows))
+	for _, f := range flights.Rows {
+		valid[f[0].Int64()] = true
+	}
+	for _, r := range res.Rows {
+		if !valid[r[1].Int64()] {
+			return 0, fmt.Errorf("workload: reservation for unknown flight %v", r[1])
+		}
+	}
+	return len(res.Rows), nil
+}
