@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# One iteration of every benchmark family: a fast sanity pass that the
+# figure harnesses still run end to end (not a measurement).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+ci: build vet test race

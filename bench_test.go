@@ -24,7 +24,11 @@ import (
 )
 
 func benchCfg(n int) harness.Config {
-	return harness.Config{N: n, Users: 600, StmtLatency: 100 * time.Microsecond, Seed: 1}
+	// GroundWorkers 1 pins the paper's serialized middle-tier evaluation, so
+	// the figure benchmarks keep reproducing the published shapes (time
+	// linear in p for 6(b)); BenchmarkFigure6bGroundWorkers overrides it to
+	// measure the parallel pipeline against this baseline.
+	return harness.Config{N: n, Users: 600, StmtLatency: 100 * time.Microsecond, Seed: 1, GroundWorkers: 1}
 }
 
 // BenchmarkFigure6a sweeps the six workloads over connection counts
@@ -58,6 +62,30 @@ func BenchmarkFigure6b(b *testing.B) {
 			b.Run(fmt.Sprintf("f=%d/p=%d", f, p), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					secs, err := harness.MeasurePending(benchCfg(100), p, f)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(secs, "exp-seconds")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6bGroundWorkers reruns the Figure 6(b) pending-queries
+// sweep serial vs parallel: workers=1 reproduces the paper's serialized
+// middle-tier evaluation (per-run cost linear in p), workers=16 overlaps
+// the simulated grounding round trips across the pool. The parallel series
+// should beat the serial one from p≈8 pending queries up, which is the
+// tentpole claim of the concurrent run-evaluation pipeline.
+func BenchmarkFigure6bGroundWorkers(b *testing.B) {
+	for _, workers := range []int{1, 16} {
+		for _, p := range []int{2, 8, 16, 32} {
+			b.Run(fmt.Sprintf("workers=%d/p=%d", workers, p), func(b *testing.B) {
+				cfg := benchCfg(100)
+				cfg.GroundWorkers = workers
+				for i := 0; i < b.N; i++ {
+					secs, err := harness.MeasurePending(cfg, p, 10)
 					if err != nil {
 						b.Fatal(err)
 					}

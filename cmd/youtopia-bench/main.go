@@ -33,11 +33,12 @@ func main() {
 		freqs6b = flag.String("f6b", "1,10,50", "run frequencies for 6b")
 		sizes   = flag.String("k", "2,3,4,5,6,7,8,9,10", "coordinating-set sizes for 6c")
 		freqs6c = flag.String("f6c", "10,50", "run frequencies for 6c")
+		workers = flag.Int("workers", 1, "grounding pool size (1 = paper's serialized middle tier, matching the published figures; 0 = engine parallel default)")
 	)
 	flag.Parse()
 
-	cfg := harness.Config{N: *n, Users: *users, StmtLatency: *latency, Seed: *seed}
-	fmt.Printf("youtopia-bench: N=%d users=%d latency=%v seed=%d\n\n", *n, *users, *latency, *seed)
+	cfg := harness.Config{N: *n, Users: *users, StmtLatency: *latency, Seed: *seed, GroundWorkers: *workers}
+	fmt.Printf("youtopia-bench: N=%d users=%d latency=%v seed=%d workers=%d\n\n", *n, *users, *latency, *seed, *workers)
 
 	run6a := func() {
 		series, err := harness.Figure6a(cfg, ints(*conns))

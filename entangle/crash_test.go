@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -139,5 +140,110 @@ func TestCrashRecoveryGroupAtomicity(t *testing.T) {
 	tbl, _ := catFinal.Get("Bookings")
 	if tbl.Len() != 2*pairs {
 		t.Fatalf("final recovery has %d bookings, want %d", tbl.Len(), 2*pairs)
+	}
+}
+
+// TestCrashDuringGroupCommitBatch kills the database mid-batch: a single
+// run commits two entanglement groups through one batched group-commit WAL
+// flush, and we simulate a crash at EVERY byte offset of the resulting log
+// — including the offsets inside the batched write, between and inside its
+// two GroupCommit records. Recovery must deliver each coordinated group
+// all-or-nothing at every crash point: a tear between the records loses the
+// second group whole, a tear inside a record loses that group whole, and no
+// crash point may ever resurrect half a pair.
+func TestCrashDuringGroupCommitBatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "batch.wal")
+	// RunFrequency 4 pools both pairs into ONE run, whose finalize phase
+	// retires both groups in a single AppendBatch; the long retry interval
+	// keeps the ticker from starting a smaller run early.
+	db, err := Open(Options{Path: path, RunFrequency: 4, RetryInterval: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ExecDDL(`
+		CREATE TABLE Flights (fno INT, dest VARCHAR);
+		CREATE TABLE Bookings (name VARCHAR, fno INT);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`
+		INSERT INTO Flights VALUES (122, 'LA');
+		INSERT INTO Flights VALUES (123, 'LA');
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	var handles []*Handle
+	for _, pid := range []string{"p0", "p1"} {
+		a, b := pid+"a", pid+"b"
+		for _, pair := range [][2]string{{a, b}, {b, a}} {
+			script := fmt.Sprintf(`
+				BEGIN TRANSACTION WITH TIMEOUT 10 SECONDS;
+				SELECT '%s', fno AS @fno INTO ANSWER R
+				WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA')
+				AND ('%s', fno) IN ANSWER R
+				CHOOSE 1;
+				INSERT INTO Bookings VALUES ('%s', @fno);
+				COMMIT;`, pair[0], pair[1], pair[0])
+			h, err := db.SubmitScript(script)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+	}
+	for i, h := range handles {
+		if o := h.Wait(); o.Status != StatusCommitted {
+			t.Fatalf("tx %d: %+v", i, o)
+		}
+	}
+	stats := db.Stats()
+	if stats.GroupCommits != 2 {
+		t.Fatalf("GroupCommits = %d, want 2 (two pairs in one run)", stats.GroupCommits)
+	}
+	if stats.CommitBatches != 1 {
+		t.Fatalf("CommitBatches = %d, want 1 (both groups in one batched flush)", stats.CommitBatches)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairsAt := make(map[int]bool) // committed-pair counts observed across crash points
+	for cut := 0; cut <= len(data); cut++ {
+		crashPath := filepath.Join(dir, "cut.wal")
+		if err := os.WriteFile(crashPath, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cat := storage.NewCatalog()
+		if _, err := wal.RecoverAll(crashPath, cat); err != nil {
+			t.Fatalf("crash at byte %d: recovery failed: %v", cut, err)
+		}
+		if !cat.Has("Bookings") {
+			continue
+		}
+		tbl, _ := cat.Get("Bookings")
+		byPair := make(map[string]int)
+		for _, row := range tbl.All() {
+			name := row[0].Str64()
+			byPair[name[:2]]++
+		}
+		for pid, n := range byPair {
+			if n != 2 {
+				t.Fatalf("crash at byte %d: pair %s recovered %d of 2 members (group atomicity violated)", cut, pid, n)
+			}
+		}
+		pairsAt[len(byPair)] = true
+	}
+	// The sweep must actually have crossed a mid-batch tear: some prefix
+	// ends after the first GroupCommit record of the batch but before the
+	// second, recovering exactly one whole pair; and the full log both.
+	if !pairsAt[1] {
+		t.Fatal("no crash point recovered exactly one pair; the mid-batch tear was never exercised")
+	}
+	if !pairsAt[2] {
+		t.Fatal("full log did not recover both pairs")
 	}
 }

@@ -89,8 +89,19 @@ type Options struct {
 	// StmtLatency simulates the per-statement client-DBMS round trip.
 	StmtLatency time.Duration
 	// GroundLatency simulates the per-query grounding round trip during
-	// entangled-query evaluation.
+	// entangled-query evaluation (paid inside each grounding task, so it
+	// overlaps across GroundWorkers).
 	GroundLatency time.Duration
+	// GroundWorkers bounds the pool that grounds a run's pending queries
+	// concurrently. 1 forces the paper's serialized middle-tier evaluation;
+	// 0 picks the default (max(8, NumCPU)). Any value produces the same
+	// answers as the serial path — only wall-clock changes.
+	GroundWorkers int
+	// LockShards is the lock manager's shard count (default
+	// lock.DefaultShards). Resources hash by table name to a shard, so
+	// concurrent grounding and commit traffic on distinct tables does not
+	// convoy on one mutex.
+	LockShards int
 	// Trace receives schedule events (e.g. *isolation.Recorder).
 	Trace core.TraceSink
 }
@@ -115,7 +126,7 @@ func Open(opts Options) (*DB, error) {
 	if lockTimeout <= 0 {
 		lockTimeout = 2 * time.Second
 	}
-	locks := lock.New(lockTimeout)
+	locks := lock.NewSharded(lockTimeout, opts.LockShards)
 	var log *wal.Log
 	if opts.Path != "" {
 		if _, err := wal.RecoverAll(opts.Path, cat); err != nil {
@@ -136,6 +147,7 @@ func Open(opts Options) (*DB, error) {
 		RetryInterval:  opts.RetryInterval,
 		StmtLatency:    opts.StmtLatency,
 		GroundLatency:  opts.GroundLatency,
+		GroundWorkers:  opts.GroundWorkers,
 		Trace:          opts.Trace,
 	})
 	return &DB{cat: cat, locks: locks, log: log, txm: txm, engine: engine, path: opts.Path}, nil

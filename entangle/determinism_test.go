@@ -1,0 +1,120 @@
+package entangle
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Determinism regression for the concurrent run-evaluation pipeline: the
+// same seeded workload of entangled pairs, executed once with serialized
+// grounding (GroundWorkers=1) and once with a parallel pool, must produce
+// identical eq.Solve choices — observable as the flight each participant
+// booked — and identical final table states. The booking scripts leave the
+// chosen grounding in the Bookings table, so choice divergence anywhere in
+// the pipeline shows up as a table diff.
+
+// runDeterministicWorkload executes `pairs` entangled pairs over a Flights
+// table with several equally-eligible rows and returns the sorted final
+// contents of every table.
+func runDeterministicWorkload(t *testing.T, groundWorkers, pairs, seed int) map[string][]string {
+	t.Helper()
+	db, err := Open(Options{
+		GroundWorkers:  groundWorkers,
+		RunFrequency:   2,
+		DefaultTimeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ExecDDL(`
+		CREATE TABLE Flights (fno INT, dest VARCHAR);
+		CREATE TABLE Bookings (name VARCHAR, fno INT);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	// Several same-destination flights: every pair has multiple candidate
+	// groundings, so Solve's choice is not forced.
+	for i := 0; i < 4; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO Flights VALUES (%d, 'LA')`, 120+seed+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	handles := make([]*Handle, 0, 2*pairs)
+	for p := 0; p < pairs; p++ {
+		a := fmt.Sprintf("s%da%d", seed, p)
+		b := fmt.Sprintf("s%db%d", seed, p)
+		for _, pair := range [][2]string{{a, b}, {b, a}} {
+			script := fmt.Sprintf(`
+				BEGIN TRANSACTION WITH TIMEOUT 30 SECONDS;
+				SELECT '%s', fno AS @fno INTO ANSWER R
+				WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA')
+				AND ('%s', fno) IN ANSWER R
+				CHOOSE 1;
+				INSERT INTO Bookings VALUES ('%s', @fno);
+				COMMIT;`, pair[0], pair[1], pair[0])
+			h, err := db.SubmitScript(script)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+		// Both members of the pair are in the pool; RunFrequency=2 starts
+		// the run, so scheduling is the same batch sequence in both modes.
+		for _, h := range handles[len(handles)-2:] {
+			if o := h.Wait(); o.Status != StatusCommitted {
+				t.Fatalf("workers=%d pair %d: %+v", groundWorkers, p, o)
+			}
+		}
+	}
+
+	state := make(map[string][]string)
+	for _, name := range db.Catalog().Names() {
+		tbl, err := db.Catalog().Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows []string
+		for _, row := range tbl.All() {
+			rows = append(rows, row.String())
+		}
+		sort.Strings(rows)
+		state[name] = rows
+	}
+	return state
+}
+
+func TestSerialParallelDeterminism(t *testing.T) {
+	const pairs = 8
+	for seed := 1; seed <= 3; seed++ {
+		serial := runDeterministicWorkload(t, 1, pairs, seed)
+		for _, workers := range []int{4, 16} {
+			parallel := runDeterministicWorkload(t, workers, pairs, seed)
+			if len(serial) != len(parallel) {
+				t.Fatalf("seed %d: table sets differ: %v vs %v", seed, serial, parallel)
+			}
+			for name, want := range serial {
+				got, ok := parallel[name]
+				if !ok {
+					t.Fatalf("seed %d: table %s missing from parallel run", seed, name)
+				}
+				if len(want) != len(got) {
+					t.Fatalf("seed %d table %s: %d rows serial vs %d parallel", seed, name, len(want), len(got))
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("seed %d table %s row %d: serial %q vs parallel(%d) %q",
+							seed, name, i, want[i], workers, got[i])
+					}
+				}
+			}
+			// Both booked every participant exactly once.
+			if n := len(parallel["Bookings"]); n != 2*pairs {
+				t.Fatalf("seed %d workers %d: %d bookings, want %d", seed, workers, n, 2*pairs)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -35,8 +36,16 @@ type Options struct {
 	// each grounding is a SQL query against MySQL, and evaluation is
 	// serialized in the middle tier — so per-run cost grows linearly with
 	// the number of pending queries, the effect Figure 6(b) measures).
-	// Zero disables the simulation.
+	// Zero disables the simulation. The latency is paid inside each
+	// grounding task, so it overlaps across GroundWorkers.
 	GroundLatency time.Duration
+	// GroundWorkers bounds the worker pool grounding a run's pending
+	// queries concurrently. Groundings are read-only against the run's
+	// snapshot and the coordinating-set search consumes them in submission
+	// order, so any worker count yields the serial path's choices. 1 forces
+	// the paper's serialized middle-tier behavior; 0 picks the default
+	// (max(8, NumCPU) — grounding is round-trip-bound, not CPU-bound).
+	GroundWorkers int
 	// MaxGroundings bounds grounding enumeration per query.
 	MaxGroundings int
 	// Trace receives schedule events (nil disables tracing).
@@ -57,7 +66,20 @@ func (o *Options) withDefaults() Options {
 	if out.RetryInterval <= 0 {
 		out.RetryInterval = 25 * time.Millisecond
 	}
+	if out.GroundWorkers <= 0 {
+		out.GroundWorkers = defaultGroundWorkers()
+	}
 	return out
+}
+
+// defaultGroundWorkers sizes the grounding pool. Grounding simulates DBMS
+// round trips (sleeps, not CPU), so the pool is sized for overlap even on
+// small machines.
+func defaultGroundWorkers() int {
+	if n := runtime.NumCPU(); n > 8 {
+		return n
+	}
+	return 8
 }
 
 // Stats are cumulative engine counters.
@@ -67,6 +89,7 @@ type Stats struct {
 	EvalRounds    int64 // entangled-query evaluation rounds across runs
 	Commits       int64 // programs finally committed
 	GroupCommits  int64 // entanglement groups committed atomically
+	CommitBatches int64 // batched end-of-run WAL commit flushes
 	EntangleOps   int64 // entanglement operations performed
 	Requeues      int64 // aborts that returned a transaction to the pool
 	Timeouts      int64 // programs expired by their timeout

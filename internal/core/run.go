@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"sync"
-	"time"
 
 	"repro/internal/eq"
 	"repro/internal/txn"
@@ -56,6 +55,7 @@ type run struct {
 var (
 	errRetrySentinel    = errors.New("core: retryable abort")
 	errRollbackSentinel = errors.New("core: rollback")
+	errStaleCommit      = errors.New("core: group member no longer active at commit")
 )
 
 func levelFor(iso Isolation) txn.IsolationLevel {
@@ -231,13 +231,18 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 		}
 		pendings[i] = eq.Pending{ID: i, Query: m.query, Reader: reader}
 	}
-	// Simulated grounding round trips: one per pending query, serialized,
-	// as in the paper's middle tier evaluating against MySQL.
-	if e.opts.GroundLatency > 0 {
-		time.Sleep(time.Duration(len(pendings)) * e.opts.GroundLatency)
-	}
+	// Grounding fans out across the bounded worker pool: every member of
+	// the run is blocked, so the pending queries read a stable snapshot and
+	// parallel grounding (with its simulated round trips overlapped) is
+	// safe. The coordinating-set search inside Evaluate still consumes the
+	// groundings in submission order, so the chosen answers match the
+	// serialized path's exactly.
 	e.setGrounding(groundingIDs, true)
-	res := eq.Evaluate(pendings, eq.EvalOptions{MaxGroundings: e.opts.MaxGroundings})
+	res := eq.Evaluate(pendings, eq.EvalOptions{
+		MaxGroundings: e.opts.MaxGroundings,
+		GroundWorkers: e.opts.GroundWorkers,
+		GroundLatency: e.opts.GroundLatency,
+	})
 	e.setGrounding(groundingIDs, false)
 	for _, gt := range groundTxns {
 		gt.Commit()
@@ -403,6 +408,16 @@ func (e *Engine) finalizeRun(r *run) {
 		groups[find(i)] = append(groups[find(i)], m)
 	}
 
+	// First pass: split the groups into commit units (every member ready)
+	// and abort groups. All units commit through one batched WAL append —
+	// a single group-commit flush for the whole run — instead of one
+	// serialized flush per group.
+	type commitUnit struct {
+		members []*member
+		txns    []*txn.Txn
+	}
+	var units []commitUnit
+	var abortGroups [][]*member
 	for _, group := range groups {
 		allReady := true
 		for _, m := range group {
@@ -411,40 +426,86 @@ func (e *Engine) finalizeRun(r *run) {
 				break
 			}
 		}
-		if allReady {
-			var txns []*txn.Txn
-			for _, m := range group {
-				if m.tx != nil {
-					txns = append(txns, m.tx)
-				}
-			}
-			var commitErr error
-			switch {
-			case len(txns) == 1:
-				commitErr = txns[0].Commit()
-			case len(txns) > 1:
-				commitErr = e.txm.CommitGroup(txns)
-				if commitErr == nil {
-					e.statsMu.Lock()
-					e.stats.GroupCommits++
-					e.statsMu.Unlock()
-				}
-			}
-			for _, m := range group {
-				if commitErr != nil {
-					m.entry.handle.done <- Outcome{Status: StatusFailed, Err: commitErr, Attempts: m.entry.attempts}
-					e.statsMu.Lock()
-					e.stats.Failures++
-					e.statsMu.Unlock()
-					continue
-				}
-				m.entry.handle.done <- Outcome{Status: StatusCommitted, Attempts: m.entry.attempts}
-				e.statsMu.Lock()
-				e.stats.Commits++
-				e.statsMu.Unlock()
-			}
+		if !allReady {
+			abortGroups = append(abortGroups, group)
 			continue
 		}
+		u := commitUnit{members: group}
+		for _, m := range group {
+			if m.tx != nil {
+				u.txns = append(u.txns, m.tx)
+			}
+		}
+		units = append(units, u)
+	}
+
+	// Validate up front so a single stale transaction (an engine-invariant
+	// violation, not a runtime condition) fails only its own unit rather
+	// than sinking the whole batch.
+	unitErr := make([]error, len(units))
+	var txnUnits [][]*txn.Txn
+	var batched []int // unit index per txnUnits entry
+	for i, u := range units {
+		if len(u.txns) == 0 {
+			continue
+		}
+		for _, t := range u.txns {
+			if t.State() != txn.Active {
+				unitErr[i] = errStaleCommit
+				break
+			}
+		}
+		if unitErr[i] == nil {
+			txnUnits = append(txnUnits, u.txns)
+			batched = append(batched, i)
+		}
+	}
+	if len(txnUnits) > 0 {
+		if batchErr := e.txm.CommitUnits(txnUnits); batchErr == nil {
+			e.statsMu.Lock()
+			e.stats.CommitBatches++
+			for _, u := range txnUnits {
+				if len(u) > 1 {
+					e.stats.GroupCommits++
+				}
+			}
+			e.statsMu.Unlock()
+		} else {
+			// The batched WAL append failed (I/O error). Everything behind
+			// the flush fails, as in any group-commit DBMS, and we must not
+			// write more: retrying per unit could append valid records past
+			// a torn frame mid-log (unrecoverable, where a torn tail is
+			// not), and appending Abort records could contradict a commit
+			// record the failed batch already made durable. The log itself
+			// latches failed on the first write error, so all further
+			// durable work fails loudly (fail-stop); the failed units'
+			// transactions stay in limbo deliberately — whether their
+			// commit record reached disk is indeterminate, so neither
+			// undoing in memory nor releasing their locks is safe.
+			for _, i := range batched {
+				unitErr[i] = batchErr
+			}
+		}
+	}
+	for i, u := range units {
+		for _, m := range u.members {
+			// A commit failure dooms only the failed unit; pure-autocommit
+			// groups had nothing to commit and always succeed.
+			if unitErr[i] != nil {
+				m.entry.handle.done <- Outcome{Status: StatusFailed, Err: unitErr[i], Attempts: m.entry.attempts}
+				e.statsMu.Lock()
+				e.stats.Failures++
+				e.statsMu.Unlock()
+				continue
+			}
+			m.entry.handle.done <- Outcome{Status: StatusCommitted, Attempts: m.entry.attempts}
+			e.statsMu.Lock()
+			e.stats.Commits++
+			e.statsMu.Unlock()
+		}
+	}
+
+	for _, group := range abortGroups {
 		// Group cannot commit: every member aborts. Ready members are the
 		// averted widows — they roll back because a partner could not
 		// commit.

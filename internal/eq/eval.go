@@ -2,6 +2,8 @@ package eq
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/types"
 )
@@ -89,6 +91,19 @@ type EvalOptions struct {
 	// MaxGroundings bounds grounding enumeration per query (0 = default
 	// 10000).
 	MaxGroundings int
+	// GroundWorkers bounds the worker pool that grounds the pending queries
+	// concurrently. Values <= 1 ground serially in submission order — the
+	// paper's middle-tier behavior, whose per-round cost grows linearly with
+	// the pending count (Figure 6(b)). Grounding is read-only against the
+	// round's snapshot, so any worker count produces identical groundings;
+	// the coordinating-set search always consumes them in submission order,
+	// keeping evaluation deterministic either way.
+	GroundWorkers int
+	// GroundLatency simulates the per-query grounding round trip to the
+	// DBMS, applied inside each grounding task (so a parallel pool overlaps
+	// the simulated round trips exactly as a real middle tier would overlap
+	// its SQL queries). Zero disables the simulation.
+	GroundLatency time.Duration
 }
 
 // Evaluate runs one round of entangled query answering over the pending
@@ -98,33 +113,28 @@ type EvalOptions struct {
 // by evaluating only when every transaction in the run is blocked and by
 // holding grounding locks through the posing transactions.
 func Evaluate(pending []Pending, opts EvalOptions) *Result {
-	maxG := opts.MaxGroundings
-	if maxG == 0 {
-		maxG = 10000
-	}
 	res := &Result{
 		Answers:      make(map[int]*Answer, len(pending)),
 		Partners:     make(map[int][]int),
 		GroundTables: make(map[int][]string),
 	}
 	queries := make([]*Query, len(pending))
-	groundings := make([][]*Grounding, len(pending))
-	errored := make(map[int]error)
 	for i, p := range pending {
 		queries[i] = p.Query
-		if p.Reader == nil {
-			errored[i] = fmt.Errorf("eq: query %d has no reader", p.ID)
+	}
+	groundings, errs := GroundAll(pending, opts)
+	errored := make(map[int]error)
+	for i, p := range pending {
+		if errs[i] != nil {
+			errored[i] = errs[i]
 			continue
 		}
-		gs, err := Ground(p.Query, p.Reader, maxG)
-		if err != nil {
-			errored[i] = err
-			continue
-		}
-		groundings[i] = gs
 		res.GroundTables[p.ID] = p.Query.BodyTables()
 	}
 
+	// The pipeline barrier: however the groundings were produced, the
+	// coordinating-set search consumes them indexed by submission order, so
+	// its choices are independent of worker scheduling.
 	chosen := Solve(groundings)
 
 	// Entanglement membership: queries whose chosen groundings exchange
@@ -184,6 +194,66 @@ func Evaluate(pending []Pending, opts EvalOptions) *Result {
 		}
 	}
 	return res
+}
+
+// GroundAll runs the grounding stage of an evaluation round: it enumerates
+// the groundings of every pending query, either serially in submission
+// order or across a bounded worker pool (EvalOptions.GroundWorkers). The
+// returned slices are indexed by the pending set's positions; position i is
+// written only by the task grounding query i, so the parallel path needs no
+// locks and yields byte-identical output to the serial one. Each task also
+// pays EvalOptions.GroundLatency, the simulated DBMS round trip.
+func GroundAll(pending []Pending, opts EvalOptions) ([][]*Grounding, []error) {
+	maxG := opts.MaxGroundings
+	if maxG == 0 {
+		maxG = 10000
+	}
+	groundings := make([][]*Grounding, len(pending))
+	errs := make([]error, len(pending))
+	groundOne := func(i int) {
+		p := pending[i]
+		if opts.GroundLatency > 0 {
+			time.Sleep(opts.GroundLatency)
+		}
+		if p.Reader == nil {
+			errs[i] = fmt.Errorf("eq: query %d has no reader", p.ID)
+			return
+		}
+		gs, err := Ground(p.Query, p.Reader, maxG)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		groundings[i] = gs
+	}
+
+	workers := opts.GroundWorkers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers <= 1 {
+		for i := range pending {
+			groundOne(i)
+		}
+		return groundings, errs
+	}
+	var wg sync.WaitGroup
+	tasks := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				groundOne(i)
+			}
+		}()
+	}
+	for i := range pending {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+	return groundings, errs
 }
 
 func sortInts(s []int) {

@@ -33,6 +33,10 @@ type Config struct {
 	StmtLatency time.Duration
 	// Seed for workload generation.
 	Seed int64
+	// GroundWorkers is the engine's grounding pool size: 1 reproduces the
+	// paper's serialized middle-tier evaluation (the linear-in-p cost of
+	// Figure 6(b)); 0 uses the engine's parallel default.
+	GroundWorkers int
 }
 
 func (c *Config) withDefaults() Config {
@@ -77,6 +81,7 @@ func newDB(cfg Config, connections, runFreq int) (*entangle.DB, *workload.Datase
 		Connections:    connections,
 		RunFrequency:   runFreq,
 		StmtLatency:    cfg.StmtLatency,
+		GroundWorkers:  cfg.GroundWorkers,
 		DefaultTimeout: 5 * time.Minute,
 		RetryInterval:  10 * time.Millisecond,
 	})
@@ -232,9 +237,11 @@ func MeasurePending(cfg Config, p, f int) (float64, error) {
 // first, so a steady state of p partner-less transactions pends in the
 // dormant pool for the whole experiment and is re-executed (and
 // re-aborted) by every run. The per-run cost is dominated by the simulated
-// grounding round trips for the pending queries (GroundLatency), which is
-// serialized evaluation work as in the paper's middle tier — so total time
-// scales with (runs executed) x p, and runs scale with 1/f.
+// grounding round trips for the pending queries (GroundLatency). With
+// Config.GroundWorkers=1 that work is serialized as in the paper's middle
+// tier — total time scales with (runs executed) x p, and runs scale with
+// 1/f; with a parallel pool the round trips overlap and the per-run cost
+// flattens to roughly ceil(p/workers) x GroundLatency.
 func MeasurePendingStats(cfg Config, p, f int) (float64, entangle.Stats, error) {
 	d, err := workload.NewDataset(workload.Config{Users: cfg.Users, Seed: cfg.Seed})
 	if err != nil {
@@ -244,6 +251,7 @@ func MeasurePendingStats(cfg Config, p, f int) (float64, entangle.Stats, error) 
 		Connections:    100 + p,
 		RunFrequency:   f,
 		GroundLatency:  500 * time.Microsecond,
+		GroundWorkers:  cfg.GroundWorkers,
 		DefaultTimeout: 10 * time.Minute,
 		RetryInterval:  500 * time.Millisecond,
 	})

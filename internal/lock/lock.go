@@ -5,6 +5,15 @@
 // overtake an earlier conflicting waiter, which prevents reader storms from
 // starving upgraders), and an optional wait timeout.
 //
+// The lock table is sharded: the resource's table name hashes to one of N
+// independently-mutexed shards, so a table lock and all row locks beneath it
+// live in the same shard (multi-granularity grant decisions stay local)
+// while traffic on distinct tables never convoys on a shared mutex. Deadlock
+// detection is the only cross-shard operation: a blocked requester snapshots
+// the global waits-for graph by visiting every shard in index order, holding
+// no shard lock of its own while it does, so detection cannot deadlock with
+// the grant path.
+//
 // This is the substrate the paper delegates to InnoDB's lock manager; §3.3.3
 // notes that full entangled isolation can be enforced with Strict 2PL (plus
 // group commits), and §4 that isolation relaxations fall out of altering how
@@ -15,7 +24,9 @@ package lock
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -118,14 +129,14 @@ func (e *entry) dequeue(seq uint64) {
 	}
 }
 
-// Manager is the lock manager. The zero value is not usable; call New.
-type Manager struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	locks   map[TableRow]*entry
-	held    map[uint64]map[TableRow]modeSet // per-transaction inventory
-	timeout time.Duration                   // 0 = wait forever
-	nextSeq uint64
+// shard is one independently-locked slice of the lock table. Every object of
+// one table hashes to the same shard, so grants, queues, and wakeups for an
+// entry are entirely shard-local.
+type shard struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	locks map[TableRow]*entry
+	held  map[uint64]map[TableRow]modeSet // per-transaction inventory, this shard
 
 	// Stats (guarded by mu).
 	acquisitions int64
@@ -133,16 +144,57 @@ type Manager struct {
 	deadlocks    int64
 }
 
-// New returns a lock manager. waitTimeout of 0 means waiters block until
-// granted or deadlocked.
+// DefaultShards is the shard count New uses.
+const DefaultShards = 16
+
+// Manager is the lock manager. The zero value is not usable; call New or
+// NewSharded.
+type Manager struct {
+	shards  []*shard
+	timeout time.Duration // 0 = wait forever
+	nextSeq atomic.Uint64 // global FIFO ticket counter
+}
+
+// New returns a lock manager with DefaultShards shards. waitTimeout of 0
+// means waiters block until granted or deadlocked.
 func New(waitTimeout time.Duration) *Manager {
-	m := &Manager{
-		locks:   make(map[TableRow]*entry),
-		held:    make(map[uint64]map[TableRow]modeSet),
-		timeout: waitTimeout,
+	return NewSharded(waitTimeout, DefaultShards)
+}
+
+// NewSharded returns a lock manager whose lock table is split across n
+// independently-mutexed shards (n < 1 falls back to DefaultShards).
+func NewSharded(waitTimeout time.Duration, n int) *Manager {
+	if n < 1 {
+		n = DefaultShards
 	}
-	m.cond = sync.NewCond(&m.mu)
+	m := &Manager{timeout: waitTimeout, shards: make([]*shard, n)}
+	for i := range m.shards {
+		s := &shard{
+			locks: make(map[TableRow]*entry),
+			held:  make(map[uint64]map[TableRow]modeSet),
+		}
+		s.cond = sync.NewCond(&s.mu)
+		m.shards[i] = s
+	}
 	return m
+}
+
+// ShardCount returns the number of shards.
+func (m *Manager) ShardCount() int { return len(m.shards) }
+
+// shardFor hashes the resource's table name (inline FNV-1a: this sits on
+// every lock operation, so no hasher or []byte allocations), so table locks
+// and the row locks beneath them share a shard.
+func (m *Manager) shardFor(obj TableRow) *shard {
+	if len(m.shards) == 1 {
+		return m.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(obj.Table); i++ {
+		h ^= uint32(obj.Table[i])
+		h *= 16777619
+	}
+	return m.shards[h%uint32(len(m.shards))]
 }
 
 // Acquire blocks until tx holds mode on obj, the wait times out, or the
@@ -159,20 +211,20 @@ func (m *Manager) Acquire(tx uint64, obj TableRow, mode Mode) error {
 	if obj.Row != AllRows && (mode == IS || mode == IX) {
 		return fmt.Errorf("lock: intention mode %s on row %v", mode, obj)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	sh := m.shardFor(obj)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
-	e := m.locks[obj]
+	e := sh.locks[obj]
 	if e == nil {
 		e = &entry{holders: make(map[uint64]modeSet)}
-		m.locks[obj] = e
+		sh.locks[obj] = e
 	}
 	if e.holders[tx].covers(mode) {
 		return nil
 	}
 
-	m.nextSeq++
-	w := waiter{tx: tx, mode: mode, seq: m.nextSeq}
+	w := waiter{tx: tx, mode: mode, seq: m.nextSeq.Add(1)}
 	e.queue = append(e.queue, w)
 
 	var deadline time.Time
@@ -180,61 +232,98 @@ func (m *Manager) Acquire(tx uint64, obj TableRow, mode Mode) error {
 		deadline = time.Now().Add(m.timeout)
 	}
 	waited := false
+	var lastBlockers []uint64
 	for {
 		isUpgrade := e.holders[tx] != 0
-		blockers := m.blockers(e, w, isUpgrade)
+		blockers := blockersOf(e, w, isUpgrade)
 		if len(blockers) == 0 {
 			e.dequeue(w.seq)
 			e.holders[tx] = e.holders[tx].with(mode)
-			inv := m.held[tx]
+			inv := sh.held[tx]
 			if inv == nil {
 				inv = make(map[TableRow]modeSet)
-				m.held[tx] = inv
+				sh.held[tx] = inv
 			}
 			inv[obj] = inv[obj].with(mode)
-			m.acquisitions++
+			sh.acquisitions++
 			// A grant can unblock later queue entries that are compatible.
-			m.cond.Broadcast()
+			sh.cond.Broadcast()
 			return nil
 		}
 		// Deadlock check against the waits-for graph derived from the live
 		// lock table (cached edges go stale while waiters sleep and would
-		// yield false deadlocks).
-		if m.cycleFrom(tx) {
-			e.dequeue(w.seq)
-			m.deadlocks++
-			m.cond.Broadcast()
-			return ErrDeadlock
+		// yield false deadlocks). The graph spans shards, so the check drops
+		// this shard's mutex, snapshots every shard in index order, and
+		// re-validates grantability after relocking (no lost wakeup: the
+		// blocker re-check below runs before any cond.Wait). The all-shard
+		// sweep runs only when this waiter's outgoing edges changed: a new
+		// cycle's final edge is a fresh blocker of whichever waiter
+		// completes it, and that waiter sweeps — so every stable cycle is
+		// still detected while wakeups that change nothing stay shard-local.
+		if !sameBlockerSet(blockers, lastBlockers) {
+			lastBlockers = blockers
+			sh.mu.Unlock()
+			cycle := m.cycleFrom(tx)
+			sh.mu.Lock()
+			// State may have shifted while the shard lock was dropped;
+			// re-check grantability first — a fresh grant beats a
+			// possibly-stale cycle verdict.
+			if len(blockersOf(e, w, e.holders[tx] != 0)) == 0 {
+				continue
+			}
+			if cycle {
+				e.dequeue(w.seq)
+				sh.deadlocks++
+				sh.cond.Broadcast()
+				return ErrDeadlock
+			}
 		}
 		if !waited {
-			m.waits++
+			sh.waits++
 			waited = true
 		}
 		if m.timeout > 0 {
 			if time.Now().After(deadline) {
 				e.dequeue(w.seq)
-				m.cond.Broadcast()
+				sh.cond.Broadcast()
 				return ErrTimeout
 			}
 			// Bounded wait: arrange a wakeup so the deadline is honored even
 			// if nobody releases.
 			timer := time.AfterFunc(m.timeout/4+time.Millisecond, func() {
-				m.mu.Lock()
-				m.cond.Broadcast()
-				m.mu.Unlock()
+				sh.mu.Lock()
+				sh.cond.Broadcast()
+				sh.mu.Unlock()
 			})
-			m.cond.Wait()
+			sh.cond.Wait()
 			timer.Stop()
 		} else {
-			m.cond.Wait()
+			sh.cond.Wait()
 		}
 	}
 }
 
-// blockers returns the transactions currently preventing w from being
+// sameBlockerSet reports set equality of two blocker lists (order varies
+// with map iteration, so compare sorted copies in place).
+func sameBlockerSet(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// blockersOf returns the transactions currently preventing w from being
 // granted: conflicting holders, plus — unless w is an upgrade — earlier
-// queued waiters with conflicting modes (FIFO fairness).
-func (m *Manager) blockers(e *entry, w waiter, isUpgrade bool) []uint64 {
+// queued waiters with conflicting modes (FIFO fairness). Caller holds the
+// entry's shard mutex.
+func blockersOf(e *entry, w waiter, isUpgrade bool) []uint64 {
 	var out []uint64
 	for holder, set := range e.holders {
 		if holder == w.tx {
@@ -246,6 +335,8 @@ func (m *Manager) blockers(e *entry, w waiter, isUpgrade bool) []uint64 {
 	}
 	if !isUpgrade {
 		for _, earlier := range e.queue {
+			// The queue is seq-sorted: seqs are allocated under the shard
+			// mutex and dequeue preserves order.
 			if earlier.seq >= w.seq {
 				break
 			}
@@ -258,26 +349,39 @@ func (m *Manager) blockers(e *entry, w waiter, isUpgrade bool) []uint64 {
 }
 
 // cycleFrom reports whether the waits-for graph — computed fresh from the
-// current queues and holders — contains a cycle through start.
+// current queues and holders across every shard — contains a cycle through
+// start. The caller must hold no shard mutex; shards are visited one at a
+// time in index order, so concurrent detectors cannot deadlock on each
+// other. The snapshot is not a single atomic cut of the whole table: a
+// reported cycle can be stale (already broken by a racing timeout or
+// release) or, rarely, assembled from edges that never coexisted. Either
+// way the verdict only over-aborts — ErrDeadlock is retryable for every
+// caller in this system, and the requester re-checks grantability before
+// acting on the verdict — while a genuine stable cycle is always found,
+// since its edges persist across any snapshot order.
 func (m *Manager) cycleFrom(start uint64) bool {
 	edges := make(map[uint64]map[uint64]bool)
-	for _, e := range m.locks {
-		for _, w := range e.queue {
-			bl := m.blockers(e, w, e.holders[w.tx] != 0)
-			if len(bl) == 0 {
-				continue // grantable; just not woken yet
-			}
-			set := edges[w.tx]
-			if set == nil {
-				set = make(map[uint64]bool)
-				edges[w.tx] = set
-			}
-			for _, b := range bl {
-				if b != w.tx {
-					set[b] = true
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, e := range sh.locks {
+			for _, w := range e.queue {
+				bl := blockersOf(e, w, e.holders[w.tx] != 0)
+				if len(bl) == 0 {
+					continue // grantable; just not woken yet
+				}
+				set := edges[w.tx]
+				if set == nil {
+					set = make(map[uint64]bool)
+					edges[w.tx] = set
+				}
+				for _, b := range bl {
+					if b != w.tx {
+						set[b] = true
+					}
 				}
 			}
 		}
+		sh.mu.Unlock()
 	}
 	seen := make(map[uint64]bool)
 	var dfs func(u uint64) bool
@@ -299,78 +403,97 @@ func (m *Manager) cycleFrom(start uint64) bool {
 }
 
 // ReleaseAll drops every lock held by tx (commit or abort under Strict 2PL)
-// and wakes waiters.
+// and wakes waiters on every shard the transaction touched.
 func (m *Manager) ReleaseAll(tx uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	inv := m.held[tx]
-	for obj := range inv {
-		if e := m.locks[obj]; e != nil {
-			delete(e.holders, tx)
-			if len(e.holders) == 0 && len(e.queue) == 0 {
-				delete(m.locks, obj)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		inv := sh.held[tx]
+		if inv == nil {
+			sh.mu.Unlock()
+			continue
+		}
+		for obj := range inv {
+			if e := sh.locks[obj]; e != nil {
+				delete(e.holders, tx)
+				if len(e.holders) == 0 && len(e.queue) == 0 {
+					delete(sh.locks, obj)
+				}
 			}
 		}
+		delete(sh.held, tx)
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
 	}
-	delete(m.held, tx)
-	m.cond.Broadcast()
 }
 
 // ReleaseShared drops only the shared-side locks (IS, S) held by tx,
 // retaining IX/X — the read-committed relaxation where read locks are
 // released early while write locks are held to commit.
 func (m *Manager) ReleaseShared(tx uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	inv := m.held[tx]
-	changed := false
-	for obj, set := range inv {
-		newSet := set &^ ((1 << IS) | (1 << S))
-		if newSet == set {
-			continue
-		}
-		changed = true
-		e := m.locks[obj]
-		if newSet == 0 {
-			delete(inv, obj)
-			if e != nil {
-				delete(e.holders, tx)
-				if len(e.holders) == 0 && len(e.queue) == 0 {
-					delete(m.locks, obj)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		inv := sh.held[tx]
+		changed := false
+		for obj, set := range inv {
+			newSet := set &^ ((1 << IS) | (1 << S))
+			if newSet == set {
+				continue
+			}
+			changed = true
+			e := sh.locks[obj]
+			if newSet == 0 {
+				delete(inv, obj)
+				if e != nil {
+					delete(e.holders, tx)
+					if len(e.holders) == 0 && len(e.queue) == 0 {
+						delete(sh.locks, obj)
+					}
+				}
+			} else {
+				inv[obj] = newSet
+				if e != nil {
+					e.holders[tx] = newSet
 				}
 			}
-		} else {
-			inv[obj] = newSet
-			if e != nil {
-				e.holders[tx] = newSet
-			}
 		}
-	}
-	if len(inv) == 0 {
-		delete(m.held, tx)
-	}
-	if changed {
-		m.cond.Broadcast()
+		if len(inv) == 0 {
+			delete(sh.held, tx)
+		}
+		if changed {
+			sh.cond.Broadcast()
+		}
+		sh.mu.Unlock()
 	}
 }
 
 // Holds reports whether tx currently holds a mode covering the request.
 func (m *Manager) Holds(tx uint64, obj TableRow, mode Mode) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.held[tx][obj].covers(mode)
+	sh := m.shardFor(obj)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.held[tx][obj].covers(mode)
 }
 
 // HeldCount returns the number of objects tx holds locks on.
 func (m *Manager) HeldCount(tx uint64) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.held[tx])
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		n += len(sh.held[tx])
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns cumulative counters: total grants, waits, deadlocks.
+// Stats returns cumulative counters summed over shards: total grants,
+// waits, deadlocks.
 func (m *Manager) Stats() (acquisitions, waits, deadlocks int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.acquisitions, m.waits, m.deadlocks
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		acquisitions += sh.acquisitions
+		waits += sh.waits
+		deadlocks += sh.deadlocks
+		sh.mu.Unlock()
+	}
+	return
 }

@@ -1,0 +1,191 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Race-focused exercises of the sharded lock table: concurrent acquire,
+// release, and upgrade traffic spread across (and colliding within) shards.
+// These tests assert invariants — no lost grants, clean inventories, all
+// waiters eventually served — and are primarily meant to run under
+// `go test -race` (the CI `race` target).
+
+func TestShardedDisjointTablesDoNotConvoy(t *testing.T) {
+	m := NewSharded(0, 8)
+	if m.ShardCount() != 8 {
+		t.Fatalf("ShardCount = %d, want 8", m.ShardCount())
+	}
+	const goroutines = 32
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tx := uint64(g + 1)
+			obj := table(fmt.Sprintf("T%d", g)) // one exclusive table per tx
+			for i := 0; i < iters; i++ {
+				if err := m.Acquire(tx, obj, X); err != nil {
+					t.Errorf("tx %d: %v", tx, err)
+					return
+				}
+				m.ReleaseAll(tx)
+			}
+		}(g)
+	}
+	wg.Wait()
+	acq, waits, _ := m.Stats()
+	if acq != goroutines*iters {
+		t.Fatalf("acquisitions = %d, want %d", acq, goroutines*iters)
+	}
+	if waits != 0 {
+		t.Errorf("waits = %d on disjoint tables, want 0", waits)
+	}
+}
+
+func TestShardedConcurrentAcquireReleaseMixed(t *testing.T) {
+	m := NewSharded(500*time.Millisecond, 4)
+	tables := []string{"A", "B", "C", "D", "E", "F"}
+	const goroutines = 24
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tx := uint64(g + 1)
+			for i := 0; i < 100; i++ {
+				tbl := tables[(g+i)%len(tables)]
+				// Row reads under IS, row writes under IX+X, occasional
+				// table scans under S — the mix the txn layer issues.
+				var err error
+				switch i % 3 {
+				case 0:
+					if err = m.Acquire(tx, table(tbl), IS); err == nil {
+						err = m.Acquire(tx, row(tbl, int64(i%8)), S)
+					}
+				case 1:
+					if err = m.Acquire(tx, table(tbl), IX); err == nil {
+						err = m.Acquire(tx, row(tbl, int64(i%8)), X)
+					}
+				case 2:
+					err = m.Acquire(tx, table(tbl), S)
+				}
+				if err != nil && !errors.Is(err, ErrDeadlock) && !errors.Is(err, ErrTimeout) {
+					t.Errorf("tx %d: unexpected error %v", tx, err)
+				}
+				m.ReleaseAll(tx)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if n := m.HeldCount(uint64(g + 1)); n != 0 {
+			t.Errorf("tx %d still holds %d locks after ReleaseAll", g+1, n)
+		}
+	}
+}
+
+// TestShardedConcurrentUpgrades hammers the S→X upgrade path on one object
+// per shard: upgraders are exempt from FIFO overtaking, so every contender
+// must finish with either a grant or a detected deadlock, never a hang.
+func TestShardedConcurrentUpgrades(t *testing.T) {
+	m := NewSharded(250*time.Millisecond, 4)
+	const contenders = 12
+	var wg sync.WaitGroup
+	granted := make([]int, contenders)
+	for g := 0; g < contenders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tx := uint64(g + 1)
+			obj := table(fmt.Sprintf("U%d", g%4)) // 3 contenders per object
+			for i := 0; i < 40; i++ {
+				if err := m.Acquire(tx, obj, S); err != nil {
+					m.ReleaseAll(tx)
+					continue
+				}
+				err := m.Acquire(tx, obj, X) // upgrade against other S holders
+				switch {
+				case err == nil:
+					granted[g]++
+				case errors.Is(err, ErrDeadlock) || errors.Is(err, ErrTimeout):
+					// Legal resolutions of competing upgrades.
+				default:
+					t.Errorf("tx %d: upgrade: %v", tx, err)
+				}
+				m.ReleaseAll(tx)
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range granted {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no upgrade ever succeeded")
+	}
+}
+
+// TestCrossShardDeadlockDetected forces the wait-for cycle across two
+// distinct shards, exercising the multi-shard waits-for snapshot.
+func TestCrossShardDeadlockDetected(t *testing.T) {
+	m := NewSharded(0, 2)
+	// Find two tables living in different shards.
+	ta, tb := "A", ""
+	for _, cand := range []string{"B", "C", "D", "E", "F", "G"} {
+		if m.shardFor(table(cand)) != m.shardFor(table(ta)) {
+			tb = cand
+			break
+		}
+	}
+	if tb == "" {
+		t.Fatal("could not find tables hashing to distinct shards")
+	}
+	if err := m.Acquire(1, table(ta), X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, table(tb), X); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- m.Acquire(1, table(tb), X) }()
+	time.Sleep(20 * time.Millisecond)
+	if err := m.Acquire(2, table(ta), X); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock across shards", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+}
+
+// TestSingleShardStillCorrect pins the degenerate configuration: one shard
+// must behave exactly like the old global-mutex manager.
+func TestSingleShardStillCorrect(t *testing.T) {
+	m := NewSharded(0, 1)
+	if err := m.Acquire(1, table("T"), S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, table("T"), S); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(3, table("T"), X) }()
+	select {
+	case err := <-done:
+		t.Fatalf("X granted against two S holders: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+}

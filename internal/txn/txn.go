@@ -482,27 +482,51 @@ func (m *Manager) LogEntangle(opID uint64, txIDs []uint64) error {
 // record covers all members, then each is finalized. All transactions must
 // be active.
 func (m *Manager) CommitGroup(txns []*Txn) error {
-	for _, t := range txns {
-		if t.state != Active {
-			return fmt.Errorf("txn: group commit: transaction %d is %v", t.id, t.state)
+	return m.CommitUnits([][]*Txn{txns})
+}
+
+// CommitUnits commits several independent commit units — each a single
+// transaction or a whole entanglement group — through one batched WAL
+// append and at most one fsync (group commit across groups; the run
+// scheduler retires every committable group of a run this way). Atomicity
+// is per unit: a single-transaction unit emits one Commit record and a
+// multi-transaction unit one GroupCommit record, so recovery after a crash
+// mid-batch replays a prefix of whole units, never a partial group. All
+// transactions must be active; on a WAL error no unit commits.
+func (m *Manager) CommitUnits(units [][]*Txn) error {
+	for _, unit := range units {
+		for _, t := range unit {
+			if t.state != Active {
+				return fmt.Errorf("txn: group commit: transaction %d is %v", t.id, t.state)
+			}
 		}
 	}
 	if m.log != nil {
-		group := make([]wal.TxID, len(txns))
-		for i, t := range txns {
-			group[i] = wal.TxID(t.id)
+		recs := make([]*wal.Record, 0, len(units))
+		for _, unit := range units {
+			if len(unit) == 1 {
+				recs = append(recs, wal.Commit(wal.TxID(unit[0].id)))
+				continue
+			}
+			group := make([]wal.TxID, len(unit))
+			for i, t := range unit {
+				group[i] = wal.TxID(t.id)
+			}
+			recs = append(recs, wal.GroupCommit(group))
 		}
-		if err := m.log.Append(wal.GroupCommit(group)); err != nil {
+		if err := m.log.AppendBatch(recs); err != nil {
 			return err
 		}
 	}
 	o := m.obs()
-	for _, t := range txns {
-		t.state = Committed
-		t.undo = nil
-		m.locks.ReleaseAll(t.id)
-		if o != nil {
-			o.OnCommit(t.id)
+	for _, unit := range units {
+		for _, t := range unit {
+			t.state = Committed
+			t.undo = nil
+			m.locks.ReleaseAll(t.id)
+			if o != nil {
+				o.OnCommit(t.id)
+			}
 		}
 	}
 	return nil

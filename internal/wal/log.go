@@ -24,6 +24,8 @@ type Log struct {
 	buf     []byte
 	lsn     int64 // records appended since open
 	appends int64
+	flushes int64 // physical writes (a batch counts once)
+	failed  error // first write/sync error; latches the log (fail-stop)
 }
 
 // Options configures a Log.
@@ -41,33 +43,82 @@ func Open(path string, opts Options) (*Log, error) {
 	return &Log{f: f, path: path, sync: opts.Sync}, nil
 }
 
+// frameInto appends r's length-prefixed, CRC-framed encoding to buf.
+func frameInto(buf []byte, r *Record) []byte {
+	payload := r.encode(nil)
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, frame[:]...)
+	return append(buf, payload...)
+}
+
+// flushClass reports whether a record type demands a durability flush.
+func flushClass(t RecordType) bool {
+	return t == RecCommit || t == RecGroupCommit || t == RecAbort
+}
+
 // Append writes one record to the log. Commit, GroupCommit, and Abort
 // records are flushed (and fsynced when Options.Sync is set) before
 // returning, which is the WAL durability rule.
 func (l *Log) Append(r *Record) error {
+	return l.AppendBatch([]*Record{r})
+}
+
+// AppendBatch writes a batch of records with a single buffered write and at
+// most one fsync — the group-commit flush the run scheduler uses to retire
+// every commit unit of a run at once instead of paying one serialized flush
+// per entanglement group. Each record keeps its own frame and CRC, so a
+// crash mid-batch tears the batch only at a record boundary (plus at most
+// one torn record at the tail, which recovery discards): individual commit
+// units remain atomic, they are just made durable together.
+//
+// A write or sync error latches the log failed (fail-stop, as a DBMS
+// panics on a WAL write failure): a short write can leave a torn frame
+// mid-file, and appending valid records after it would make every later
+// record unrecoverable (ReadAll tolerates a torn tail, not a torn middle)
+// while their commits were acknowledged. Latched, every later append fails
+// loudly instead, and the on-disk log stays a recoverable prefix.
+func (l *Log) AppendBatch(rs []*Record) error {
+	if len(rs) == 0 {
+		return nil
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return fmt.Errorf("wal: log closed")
 	}
+	if l.failed != nil {
+		return fmt.Errorf("wal: log failed: %w", l.failed)
+	}
 	l.buf = l.buf[:0]
-	payload := r.encode(nil)
-	var frame [8]byte
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	l.buf = append(l.buf, frame[:]...)
-	l.buf = append(l.buf, payload...)
+	needSync := false
+	for _, r := range rs {
+		l.buf = frameInto(l.buf, r)
+		needSync = needSync || flushClass(r.Type)
+	}
 	if _, err := l.f.Write(l.buf); err != nil {
+		l.failed = err
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	l.lsn++
-	l.appends++
-	if l.sync && (r.Type == RecCommit || r.Type == RecGroupCommit || r.Type == RecAbort) {
+	l.lsn += int64(len(rs))
+	l.appends += int64(len(rs))
+	l.flushes++
+	if l.sync && needSync {
 		if err := l.f.Sync(); err != nil {
+			l.failed = err
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 	}
 	return nil
+}
+
+// Flushes returns the number of physical write calls issued — with batched
+// group commit this is what a run pays, not the record count.
+func (l *Log) Flushes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushes
 }
 
 // LSN returns the number of records appended since the log was opened.

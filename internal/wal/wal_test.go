@@ -3,6 +3,7 @@ package wal
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/storage"
@@ -384,5 +385,82 @@ func TestSyncModeCommits(t *testing.T) {
 	recs, err := ReadAll(path)
 	if err != nil || len(recs) != 2 {
 		t.Fatalf("recs=%d err=%v", len(recs), err)
+	}
+}
+
+func TestAppendBatchSingleFlush(t *testing.T) {
+	l, path := tmpLog(t)
+	defer l.Close()
+	batch := []*Record{
+		GroupCommit([]TxID{1, 2}),
+		GroupCommit([]TxID{3, 4}),
+		Commit(5),
+	}
+	if err := l.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Flushes(); got != 1 {
+		t.Fatalf("Flushes = %d, want 1 for the whole batch", got)
+	}
+	if got := l.LSN(); got != 3 {
+		t.Fatalf("LSN = %d, want 3", got)
+	}
+	recs, err := ReadAll(path)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("recs=%d err=%v", len(recs), err)
+	}
+	if recs[0].Type != RecGroupCommit || recs[2].Type != RecCommit {
+		t.Fatalf("batch order not preserved: %v %v %v", recs[0].Type, recs[1].Type, recs[2].Type)
+	}
+}
+
+func TestAppendBatchTornTail(t *testing.T) {
+	l, path := tmpLog(t)
+	if err := l.AppendBatch([]*Record{
+		GroupCommit([]TxID{1, 2}),
+		GroupCommit([]TxID{3, 4}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash can tear the batched write at any byte. Every prefix must
+	// parse to a whole-record prefix of the batch: 0, 1, or 2 records —
+	// never an error, never a partial record.
+	for cut := 0; cut <= len(data); cut++ {
+		p := filepath.Join(t.TempDir(), "cut.wal")
+		if err := os.WriteFile(p, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := ReadAll(p)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) > 2 {
+			t.Fatalf("cut %d: %d records from a 2-record batch", cut, len(recs))
+		}
+		for _, r := range recs {
+			if r.Type != RecGroupCommit || len(r.Group) != 2 {
+				t.Fatalf("cut %d: partial record surfaced: %+v", cut, r)
+			}
+		}
+	}
+}
+
+func TestFailedWriteLatchesLog(t *testing.T) {
+	l, _ := tmpLog(t)
+	// Force a write error by closing the fd out from under the log, as a
+	// disk failure would.
+	l.f.Close()
+	if err := l.Append(Commit(1)); err == nil {
+		t.Fatal("append on failed fd succeeded")
+	}
+	// The log must now be latched: no further appends, loudly.
+	err := l.Append(Commit(2))
+	if err == nil || !strings.Contains(err.Error(), "log failed") {
+		t.Fatalf("append after failure = %v, want latched log-failed error", err)
 	}
 }
