@@ -2,11 +2,14 @@
 // a from-scratch Go implementation of "Entangled Transactions" (Gupta,
 // Nikolic, Roy, Bender, Kot, Gehrke, Koch; PVLDB 4(7), 2011).
 //
-// A DB bundles the full stack: heap storage with hash indexes, a
-// hierarchical lock manager (Strict 2PL), a write-ahead log with
-// entanglement-aware crash recovery, classical ACID transactions, the
-// entangled-query evaluator, and the run-based entangled transaction
-// scheduler with group commit.
+// A DB bundles the full stack: multi-version (MVCC) heap storage with hash
+// indexes and CSN-stamped version chains, a hierarchical lock manager for
+// write serialization (plus read locks at the 2PL isolation levels), a
+// write-ahead log with entanglement-aware crash recovery, classical ACID
+// transactions (Serializable, ReadCommitted, and lock-free-read
+// SnapshotIsolation), the entangled-query evaluator grounding against
+// per-round snapshots, and the run-based entangled transaction scheduler
+// with group commit.
 //
 // Quick start:
 //
@@ -55,9 +58,10 @@ type (
 
 // Isolation levels and statuses, re-exported.
 const (
-	FullEntangled = core.FullEntangled
-	RelaxedReads  = core.RelaxedReads
-	NoWidowGuard  = core.NoWidowGuard
+	FullEntangled    = core.FullEntangled
+	RelaxedReads     = core.RelaxedReads
+	NoWidowGuard     = core.NoWidowGuard
+	SnapshotIsolated = core.SnapshotIsolated
 
 	StatusCommitted  = core.StatusCommitted
 	StatusRolledBack = core.StatusRolledBack
@@ -102,6 +106,11 @@ type Options struct {
 	// concurrent grounding and commit traffic on distinct tables does not
 	// convoy on one mutex.
 	LockShards int
+	// VacuumInterval enables periodic MVCC version garbage collection: the
+	// engine prunes row versions older than the GC watermark (the oldest
+	// active snapshot) on this cadence. Zero disables automatic vacuuming;
+	// DB.Vacuum remains available for manual passes.
+	VacuumInterval time.Duration
 	// Trace receives schedule events (e.g. *isolation.Recorder).
 	Trace core.TraceSink
 }
@@ -128,17 +137,22 @@ func Open(opts Options) (*DB, error) {
 	}
 	locks := lock.NewSharded(lockTimeout, opts.LockShards)
 	var log *wal.Log
+	var recoveredCSN uint64
 	if opts.Path != "" {
-		if _, err := wal.RecoverAll(opts.Path, cat); err != nil {
+		stats, err := wal.RecoverAll(opts.Path, cat)
+		if err != nil {
 			return nil, fmt.Errorf("entangle: recovery: %w", err)
 		}
-		var err error
+		recoveredCSN = stats.MaxCSN
 		log, err = wal.Open(opts.Path, wal.Options{Sync: opts.SyncWAL})
 		if err != nil {
 			return nil, err
 		}
 	}
 	txm := txn.NewManager(cat, locks, log)
+	// New commits must allocate CSNs past everything already recovered, so
+	// recovered version order and fresh snapshots stay consistent.
+	txm.SeedClock(recoveredCSN)
 	engine := core.NewEngine(txm, core.Options{
 		Isolation:      opts.Isolation,
 		RunFrequency:   opts.RunFrequency,
@@ -148,6 +162,7 @@ func Open(opts Options) (*DB, error) {
 		StmtLatency:    opts.StmtLatency,
 		GroundLatency:  opts.GroundLatency,
 		GroundWorkers:  opts.GroundWorkers,
+		VacuumInterval: opts.VacuumInterval,
 		Trace:          opts.Trace,
 	})
 	return &DB{cat: cat, locks: locks, log: log, txm: txm, engine: engine, path: opts.Path}, nil
@@ -250,6 +265,11 @@ func (db *DB) SubmitScript(script string) (*Handle, error) {
 	}
 	return db.engine.Submit(prog), nil
 }
+
+// Vacuum prunes MVCC row versions no active snapshot can reach and
+// returns the number of versions reclaimed. The watermark is the oldest
+// active snapshot (or the current commit clock when none is active).
+func (db *DB) Vacuum() int { return db.txm.Vacuum() }
 
 // Checkpoint snapshots the database and truncates the log (quiescent
 // checkpoint; call between runs).

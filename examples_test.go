@@ -1,0 +1,46 @@
+package repro
+
+// Examples smoke test: every example program must build and run end to end
+// against the current API. This is wired into CI (`make test` at the repo
+// root) so example drift fails the build instead of rotting silently.
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExamplesRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	examples, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(examples) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, entry := range examples {
+		if !entry.IsDir() {
+			continue
+		}
+		name := entry.Name()
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./examples/"+name)
+			cmd.Dir = "."
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if strings.TrimSpace(string(out)) == "" {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}

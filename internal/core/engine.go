@@ -48,6 +48,11 @@ type Options struct {
 	GroundWorkers int
 	// MaxGroundings bounds grounding enumeration per query.
 	MaxGroundings int
+	// VacuumInterval triggers periodic version garbage collection: the
+	// storage layer prunes row versions older than the GC watermark (the
+	// oldest active snapshot). Zero disables automatic vacuuming; callers
+	// can still vacuum through the transaction manager explicitly.
+	VacuumInterval time.Duration
 	// Trace receives schedule events (nil disables tracing).
 	Trace TraceSink
 }
@@ -84,18 +89,21 @@ func defaultGroundWorkers() int {
 
 // Stats are cumulative engine counters.
 type Stats struct {
-	Submitted     int64 // programs submitted
-	Runs          int64 // runs executed
-	EvalRounds    int64 // entangled-query evaluation rounds across runs
-	Commits       int64 // programs finally committed
-	GroupCommits  int64 // entanglement groups committed atomically
-	CommitBatches int64 // batched end-of-run WAL commit flushes
-	EntangleOps   int64 // entanglement operations performed
-	Requeues      int64 // aborts that returned a transaction to the pool
-	Timeouts      int64 // programs expired by their timeout
-	Rollbacks     int64 // program-requested rollbacks
-	Failures      int64 // programs failed with a non-retryable error
-	WidowsAverted int64 // ready transactions aborted because a group member could not commit
+	Submitted      int64 // programs submitted
+	Runs           int64 // runs executed
+	EvalRounds     int64 // entangled-query evaluation rounds across runs
+	Commits        int64 // programs finally committed
+	GroupCommits   int64 // entanglement groups committed atomically
+	CommitBatches  int64 // batched end-of-run WAL commit flushes
+	EntangleOps    int64 // entanglement operations performed
+	Requeues       int64 // aborts that returned a transaction to the pool
+	Timeouts       int64 // programs expired by their timeout
+	Rollbacks      int64 // program-requested rollbacks
+	Failures       int64 // programs failed with a non-retryable error
+	WidowsAverted  int64 // ready transactions aborted because a group member could not commit
+	WriteConflicts int64 // snapshot-isolation first-committer-wins losses (retried)
+	Vacuums        int64 // automatic version-GC passes
+	VersionsPruned int64 // row versions reclaimed by automatic vacuuming
 }
 
 // pending is a pooled program awaiting (re)execution.
@@ -133,9 +141,6 @@ type Engine struct {
 	statsMu sync.Mutex
 	stats   Stats
 
-	groundingMu sync.Mutex
-	grounding   map[uint64]bool // transactions currently grounding (RG attribution)
-
 	nextOp uint64 // entanglement operation ids (guarded by statsMu)
 }
 
@@ -143,15 +148,14 @@ type Engine struct {
 func NewEngine(txm *txn.Manager, opts Options) *Engine {
 	o := opts.withDefaults()
 	e := &Engine{
-		txm:       txm,
-		opts:      o,
-		conns:     make(chan struct{}, o.Connections),
-		arrivalq:  make(chan *pending, 1<<16),
-		wake:      make(chan struct{}, 1),
-		flush:     make(chan chan struct{}),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
-		grounding: make(map[uint64]bool),
+		txm:      txm,
+		opts:     o,
+		conns:    make(chan struct{}, o.Connections),
+		arrivalq: make(chan *pending, 1<<16),
+		wake:     make(chan struct{}, 1),
+		flush:    make(chan chan struct{}),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	if o.Trace != nil {
 		txm.SetObserver(&traceObserver{e: e})
@@ -235,8 +239,19 @@ func (e *Engine) loop() {
 	defer close(e.done)
 	ticker := time.NewTicker(e.opts.RetryInterval)
 	defer ticker.Stop()
+	// Version GC runs on its own cadence, between runs, from the scheduler
+	// goroutine — so it never races a run's finalize phase and the
+	// watermark (oldest active snapshot) bounds what it may prune.
+	var vacuumC <-chan time.Time
+	if e.opts.VacuumInterval > 0 {
+		vac := time.NewTicker(e.opts.VacuumInterval)
+		defer vac.Stop()
+		vacuumC = vac.C
+	}
 	for {
 		select {
+		case <-vacuumC:
+			e.vacuum()
 		case <-e.stop:
 			pool := e.pool
 			e.pool = nil
@@ -345,20 +360,12 @@ func (e *Engine) nextOpID() uint64 {
 	return e.nextOp
 }
 
-func (e *Engine) setGrounding(txIDs []uint64, on bool) {
-	e.groundingMu.Lock()
-	for _, id := range txIDs {
-		if on {
-			e.grounding[id] = true
-		} else {
-			delete(e.grounding, id)
-		}
-	}
-	e.groundingMu.Unlock()
-}
-
-func (e *Engine) isGrounding(tx uint64) bool {
-	e.groundingMu.Lock()
-	defer e.groundingMu.Unlock()
-	return e.grounding[tx]
+// vacuum runs one version-GC pass between runs, pruning versions below the
+// oldest-active-snapshot watermark.
+func (e *Engine) vacuum() {
+	pruned := e.txm.Vacuum()
+	e.statsMu.Lock()
+	e.stats.Vacuums++
+	e.stats.VersionsPruned += int64(pruned)
+	e.statsMu.Unlock()
 }

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// groundReader is the eq.Reader an evaluation round hands each pending
+// query: it reads through the round's pinned snapshot (plus the posing
+// transaction's own uncommitted writes) instead of taking shared locks —
+// the lock-free grounding path. Every query of a round grounds against the
+// same CSN, so evaluation still sees one fixed database state; the
+// snapshot is an even stronger fixed point than the old "all members are
+// blocked" argument, because not even transactions outside the run can
+// perturb it mid-round.
+//
+// Grounding reads are reported to the trace sink as RG events attributed
+// to the posing transaction, preserving the Appendix C.1 attribution the
+// isolation checker relies on. Autocommit members (no transaction) ground
+// silently, matching §4's "entangled queries outside a transaction block"
+// which hold no state after the round.
+type groundReader struct {
+	cat   *storage.Catalog
+	view  storage.Snapshot
+	txID  uint64 // posing transaction (0 for autocommit members)
+	trace TraceSink
+}
+
+func (g *groundReader) Scan(table string) ([]types.Tuple, error) {
+	tbl, err := g.cat.Get(table)
+	if err != nil {
+		return nil, fmt.Errorf("core: grounding read: %w", err)
+	}
+	rows := tbl.AllAsOf(g.view)
+	if g.trace != nil && g.txID != 0 {
+		g.trace.GroundingRead(g.txID, tbl.Name())
+	}
+	return rows, nil
+}

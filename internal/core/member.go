@@ -22,9 +22,13 @@ import (
 //     comparison point.
 
 // retryable reports whether an error warrants abort-and-requeue rather
-// than permanent failure.
+// than permanent failure: deadlock victims, lock-wait timeouts, and
+// snapshot-isolation first-committer-wins losers all retry with a fresh
+// transaction (and a fresh snapshot) in a later run.
 func retryable(err error) bool {
-	return errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrTimeout)
+	return errors.Is(err, lock.ErrDeadlock) ||
+		errors.Is(err, lock.ErrTimeout) ||
+		errors.Is(err, txn.ErrWriteConflict)
 }
 
 // check returns nil-able errors to the body but unwinds on retryable ones.
@@ -33,6 +37,9 @@ func (m *member) check(err error) error {
 		return nil
 	}
 	if retryable(err) {
+		if errors.Is(err, txn.ErrWriteConflict) {
+			m.run.e.bumpStat(func(s *Stats) { s.WriteConflicts++ })
+		}
 		panic(unwindRetry)
 	}
 	return err

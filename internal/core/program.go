@@ -17,10 +17,15 @@
 //     returned to the pool for the next run; transactions whose timeout
 //     expired leave the system with ErrTimeout.
 //
-// Quasi-read repeatability (§3.3.3) is enforced by locking: grounding reads
-// take shared table locks through the posing transaction, and each
-// entanglement participant additionally takes shared locks on the tables
-// its partners grounded on.
+// Grounding is lock-free: each evaluation round pins one MVCC snapshot and
+// every pending query grounds against it, so the read path of query
+// evaluation never touches the lock manager. Quasi-read repeatability
+// (§3.3.3) is then enforced at the locking isolation levels by taking
+// shared table locks on the grounded tables when answers are delivered —
+// own and partners' — and validating that no foreign commit touched them
+// since the round snapshot (stale groundings abort and retry). At
+// SnapshotIsolated no read locks exist at all; write conflicts resolve
+// first-committer-wins.
 package core
 
 import (
@@ -49,6 +54,17 @@ const (
 	// transactions commit even if an entanglement partner aborts, exposing
 	// the widowed-transaction anomaly. For ablation and anomaly tests only.
 	NoWidowGuard
+	// SnapshotIsolated runs members at snapshot isolation: reads (ordinary
+	// and grounding) go through CSN snapshots and take no locks at all;
+	// writes keep exclusive locks with first-committer-wins conflict
+	// detection; group commit stays on. Entangled answers advance the
+	// member's snapshot to the evaluation round's, so post-answer reads
+	// agree with the state the answer was computed against. Dirty reads
+	// are impossible, and reads are repeatable between entangled queries —
+	// an answered Entangle is a deliberate snapshot boundary, so a re-read
+	// across it may observe the newer round state. Write skew is possible
+	// (classic SI).
+	SnapshotIsolated
 )
 
 func (i Isolation) String() string {
@@ -59,6 +75,8 @@ func (i Isolation) String() string {
 		return "RELAXED-READS"
 	case NoWidowGuard:
 		return "NO-WIDOW-GUARD"
+	case SnapshotIsolated:
+		return "SNAPSHOT-ISOLATED"
 	default:
 		return fmt.Sprintf("Isolation(%d)", int(i))
 	}

@@ -59,10 +59,22 @@ var (
 )
 
 func levelFor(iso Isolation) txn.IsolationLevel {
-	if iso == RelaxedReads {
+	switch iso {
+	case RelaxedReads:
 		return txn.ReadCommitted
+	case SnapshotIsolated:
+		return txn.SnapshotIsolation
+	default:
+		return txn.Serializable
 	}
-	return txn.Serializable
+}
+
+// lockingLevel reports whether iso enforces repeatable (quasi-)reads with
+// shared locks and round-snapshot validation. RelaxedReads opts out by
+// definition; SnapshotIsolated relies on snapshots plus first-committer-
+// wins instead of read locks.
+func lockingLevel(iso Isolation) bool {
+	return iso != RelaxedReads && iso != SnapshotIsolated
 }
 
 // executeRun runs a batch of pooled transactions to quiescence: start all
@@ -205,48 +217,52 @@ func (e *Engine) releaseConn() { <-e.conns }
 // evaluateQueries runs one entangled-query evaluation round over the
 // blocked members and resumes everyone who received an answer (including
 // empty answers, per Appendix B). It returns the number of resumed members.
+//
+// The round pins ONE storage snapshot and every pending query grounds
+// against it — no shared locks, no short-lived grounding transactions, no
+// lock-manager traffic on the read path. Determinism is preserved because
+// a fixed snapshot is a stronger fixed point than the old blocked-members
+// argument: even commits from outside the run cannot shift the view
+// mid-round. At the locking isolation levels the answered members then
+// take shared locks on the grounded tables and validate that no foreign
+// commit touched them since the snapshot, which restores the §3.3.3
+// repeatable quasi-read guarantee end to end; a member whose validation
+// fails aborts and retries in a later run, exactly like a deadlock victim.
 func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 	e.statsMu.Lock()
 	e.stats.EvalRounds++
 	e.statsMu.Unlock()
 
-	// Build the pending set. Autocommit (-Q) members ground through a
-	// short-lived transaction whose locks are released right after the
-	// round — "entangled queries outside a transaction block".
+	snap := e.txm.AcquireSnapshot()
+	defer snap.Release()
+
 	pendings := make([]eq.Pending, len(blocked))
-	groundTxns := make(map[int]*txn.Txn)
-	var groundingIDs []uint64
 	for i, m := range blocked {
-		var reader eq.Reader
+		view := snap.View
+		var txID uint64
 		if m.tx != nil {
-			reader = m.tx
-			groundingIDs = append(groundingIDs, m.tx.ID())
-		} else {
-			gt, err := e.txm.Begin(txn.Serializable)
-			if err == nil {
-				reader = gt
-				groundTxns[i] = gt
-				groundingIDs = append(groundingIDs, gt.ID())
-			}
+			// A member grounds against the round snapshot plus its own
+			// uncommitted writes.
+			txID = m.tx.ID()
+			view.Self = txID
 		}
-		pendings[i] = eq.Pending{ID: i, Query: m.query, Reader: reader}
+		pendings[i] = eq.Pending{ID: i, Query: m.query, Reader: &groundReader{
+			cat:   e.txm.Catalog(),
+			view:  view,
+			txID:  txID,
+			trace: e.opts.Trace,
+		}}
 	}
-	// Grounding fans out across the bounded worker pool: every member of
-	// the run is blocked, so the pending queries read a stable snapshot and
-	// parallel grounding (with its simulated round trips overlapped) is
-	// safe. The coordinating-set search inside Evaluate still consumes the
-	// groundings in submission order, so the chosen answers match the
-	// serialized path's exactly.
-	e.setGrounding(groundingIDs, true)
+	// Grounding fans out across the bounded worker pool: every query reads
+	// the same immutable snapshot, so parallel grounding (with its simulated
+	// round trips overlapped) is safe. The coordinating-set search inside
+	// Evaluate still consumes the groundings in submission order, so the
+	// chosen answers match the serialized path's exactly.
 	res := eq.Evaluate(pendings, eq.EvalOptions{
 		MaxGroundings: e.opts.MaxGroundings,
 		GroundWorkers: e.opts.GroundWorkers,
 		GroundLatency: e.opts.GroundLatency,
 	})
-	e.setGrounding(groundingIDs, false)
-	for _, gt := range groundTxns {
-		gt.Commit()
-	}
 
 	// Entanglement components: answered members connected by partner edges
 	// form one entanglement operation each.
@@ -304,14 +320,21 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 				}
 			}
 		}
-		// Quasi-read locks (§3.3.3): at full isolation every participant
-		// takes shared locks on the tables its partners grounded on, making
-		// quasi-reads repeatable under Strict 2PL.
-		if e.opts.Isolation != RelaxedReads {
+		// Quasi-read locks (§3.3.3): at the locking levels every participant
+		// takes shared locks on its own grounded tables (the locks the
+		// grounding reads would have held under 2PL, acquired post-hoc) and
+		// on the tables its partners grounded on, making quasi-reads
+		// repeatable under Strict 2PL from here to commit.
+		if lockingLevel(e.opts.Isolation) {
 			for _, i := range comp {
 				m := blocked[i]
 				if m.tx == nil {
 					continue
+				}
+				for _, table := range res.GroundTables[i] {
+					if err := m.tx.LockTableShared(table); err != nil {
+						aborted[i] = true
+					}
 				}
 				for _, j := range comp {
 					if i == j {
@@ -327,6 +350,29 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 					}
 				}
 			}
+			// Snapshot validation: the locks only freeze the tables from now
+			// on; if a commit from outside the run slipped in between the
+			// round snapshot and the locks, every answer in this component is
+			// based on stale groundings — the whole component aborts and
+			// retries (like deadlock victims, invisible to the program). The
+			// check covers the union of the component's grounded tables,
+			// including those grounded by autocommit members, whose answers
+			// partners consumed all the same.
+			seen := make(map[string]bool)
+			var compTables []string
+			for _, i := range comp {
+				for _, table := range res.GroundTables[i] {
+					if !seen[table] {
+						seen[table] = true
+						compTables = append(compTables, table)
+					}
+				}
+			}
+			if e.groundChanged(compTables, snap.View.CSN) {
+				for _, i := range comp {
+					aborted[i] = true
+				}
+			}
 		}
 		if sink := e.opts.Trace; sink != nil {
 			sink.Entangle(opID, txIDs)
@@ -335,12 +381,25 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 
 	// Deliver. Empty answers resume the transaction too; NoPartner and
 	// Errored members stay blocked for the next round or the end of the
-	// run.
+	// run. Empty answers at the locking levels also lock-and-validate the
+	// member's own grounded tables — the member proceeds on the strength of
+	// "no partner values existed", which must stay true to commit.
 	resumed := 0
 	for i, m := range blocked {
 		a := res.Answers[i]
 		if a == nil {
 			continue
+		}
+		if !aborted[i] && a.Status == eq.EmptyAnswer && lockingLevel(e.opts.Isolation) && m.tx != nil {
+			for _, table := range res.GroundTables[i] {
+				if err := m.tx.LockTableShared(table); err != nil {
+					aborted[i] = true
+					break
+				}
+			}
+			if !aborted[i] && e.groundChanged(res.GroundTables[i], snap.View.CSN) {
+				aborted[i] = true
+			}
 		}
 		if aborted[i] {
 			r.mu.Lock()
@@ -353,6 +412,12 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 		}
 		switch a.Status {
 		case eq.Answered, eq.EmptyAnswer:
+			if m.tx != nil {
+				// A snapshot-isolated member's later reads should agree with
+				// the state its answer was computed against: advance its
+				// snapshot to the round's.
+				m.tx.RefreshSnapshot(snap.View)
+			}
 			r.mu.Lock()
 			m.state = stateRunning
 			m.query = nil
@@ -363,6 +428,17 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 		}
 	}
 	return resumed
+}
+
+// groundChanged reports whether any of tables carries a commit newer than
+// csn — the round-snapshot staleness check behind quasi-read validation.
+func (e *Engine) groundChanged(tables []string, csn uint64) bool {
+	for _, table := range tables {
+		if tbl, err := e.txm.Catalog().Get(table); err == nil && tbl.LastCSN() > csn {
+			return true
+		}
+	}
+	return false
 }
 
 // finalizeRun applies the §4 end-of-run rules: entanglement groups commit

@@ -20,21 +20,16 @@ type TraceSink interface {
 	Abort(tx uint64)
 }
 
-// traceObserver adapts txn.Observer events into TraceSink events,
-// reclassifying reads performed during entangled-query evaluation as
-// grounding reads.
+// traceObserver adapts txn.Observer events into TraceSink events.
+// Grounding reads no longer pass through the transaction layer — the
+// evaluation round's snapshot readers emit RG events directly — so every
+// observed transactional read is an ordinary read.
 type traceObserver struct {
 	e *Engine
 }
 
 func (t *traceObserver) OnRead(tx uint64, table string, row int64) {
-	sink := t.e.opts.Trace
-	if sink == nil {
-		return
-	}
-	if t.e.isGrounding(tx) {
-		sink.GroundingRead(tx, table)
-	} else {
+	if sink := t.e.opts.Trace; sink != nil {
 		sink.Read(tx, table)
 	}
 }

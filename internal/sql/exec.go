@@ -16,6 +16,7 @@ type DataTx interface {
 	Scan(table string) ([]types.Tuple, error)
 	ScanIDs(table string) ([]storage.RowID, []types.Tuple, error)
 	Lookup(table string, columns []string, key types.Tuple) ([]types.Tuple, error)
+	LookupIDs(table string, columns []string, key types.Tuple) ([]storage.RowID, []types.Tuple, error)
 	Insert(table string, row types.Tuple) (storage.RowID, error)
 	Update(table string, id storage.RowID, row types.Tuple) error
 	Delete(table string, id storage.RowID) error
@@ -338,7 +339,7 @@ func (s *Session) execSelect(tx DataTx, cat Catalog, st *SelectStmt) (*Result, e
 	env := &rowEnv{tables: st.From}
 	var data [][]types.Tuple
 	for _, ref := range st.From {
-		rows, err := tx.Scan(ref.Name)
+		rows, err := s.selectRows(tx, cat, st, ref)
 		if err != nil {
 			return nil, err
 		}
@@ -412,6 +413,25 @@ func (s *Session) execSelect(tx DataTx, cat Catalog, st *SelectStmt) (*Result, e
 	return res, nil
 }
 
+// selectRows fetches one FROM table's rows: a single-table SELECT whose
+// WHERE pins an equality index routes through the hash index, everything
+// else scans.
+func (s *Session) selectRows(tx DataTx, cat Catalog, st *SelectStmt, ref TableRef) ([]types.Tuple, error) {
+	if len(st.From) == 1 && st.Where != nil {
+		c := cat
+		if c == nil {
+			c = s.cat
+		}
+		if c != nil {
+			if tbl, err := c.Get(ref.Name); err == nil {
+				_, rows, err := s.scanOrProbe(tx, tbl, ref.Name, ref.Alias, st.Where)
+				return rows, err
+			}
+		}
+	}
+	return tx.Scan(ref.Name)
+}
+
 // applyBindings stores AS @var and bare-@var select items into the session
 // from the first result row, supporting both
 // "SELECT hometown AS @hometown ..." and the Appendix D shorthand
@@ -454,13 +474,84 @@ func (s *Session) schemaOf(tx DataTx, cat Catalog, table string) (*types.Schema,
 	return tbl.Schema(), nil
 }
 
+// equalityKeys extracts the row-independent equality conjuncts of a WHERE
+// clause over a single table: column = literal/@var/foldable-expression.
+// They are the probe candidates for index routing.
+func (s *Session) equalityKeys(where Expr, tx DataTx, table string, alias string) map[string]types.Value {
+	out := make(map[string]types.Value)
+	for _, cl := range flattenAnd(where) {
+		b, ok := cl.(*Binary)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		col, val := b.L, b.R
+		if _, ok := col.(*Col); !ok {
+			col, val = b.R, b.L
+		}
+		c, ok := col.(*Col)
+		if !ok {
+			continue
+		}
+		if c.Table != "" && !strings.EqualFold(c.Table, table) && !strings.EqualFold(c.Table, alias) {
+			continue
+		}
+		v, err := s.evalScalar(val, nil, tx)
+		if err != nil {
+			continue // row-dependent or unbound: not a probe constant
+		}
+		key := strings.ToLower(c.Name)
+		if _, dup := out[key]; !dup {
+			out[key] = v
+		}
+	}
+	return out
+}
+
+// scanOrProbe fetches the candidate (id, row) pairs for a single-table
+// statement: when the WHERE clause pins every column of some equality
+// index to a constant, the read routes through the hash index (row-granular
+// locks / snapshot point reads) instead of a full table scan. The caller
+// still evaluates the complete WHERE clause per row — the equality
+// conjuncts simply re-verify against the probe key.
+//
+// Locking trade-off: under the 2PL levels the probe takes IS + per-row S
+// locks instead of the table S lock a scan takes, so predicate phantoms
+// against concurrent inserts become possible (the documented txn.Lookup
+// semantics, as in an InnoDB index read without gap locks). Entangled
+// grounding and quasi-read protection are unaffected — they run on
+// Scan-level table locks and round-snapshot validation in internal/core.
+func (s *Session) scanOrProbe(tx DataTx, tbl *storage.Table, table string, alias string, where Expr) ([]storage.RowID, []types.Tuple, error) {
+	if where != nil {
+		eqKeys := s.equalityKeys(where, tx, table, alias)
+		if len(eqKeys) > 0 {
+			schema := tbl.Schema()
+			for _, ix := range tbl.Indexes() {
+				key := make(types.Tuple, 0, len(ix.Columns))
+				usable := true
+				for _, col := range ix.Columns {
+					v, ok := eqKeys[strings.ToLower(col)]
+					if !ok {
+						usable = false
+						break
+					}
+					key = append(key, coerce(v, schema.Columns[schema.Index(col)].Type))
+				}
+				if usable {
+					return tx.LookupIDs(table, ix.Columns, key)
+				}
+			}
+		}
+	}
+	return tx.ScanIDs(table)
+}
+
 func (s *Session) execUpdate(tx DataTx, cat Catalog, st *UpdateStmt) (*Result, error) {
 	tbl, err := cat.Get(st.Table)
 	if err != nil {
 		return nil, err
 	}
 	schema := tbl.Schema()
-	ids, rows, err := tx.ScanIDs(st.Table)
+	ids, rows, err := s.scanOrProbe(tx, tbl, st.Table, "", st.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -503,7 +594,7 @@ func (s *Session) execDelete(tx DataTx, cat Catalog, st *DeleteStmt) (*Result, e
 		return nil, err
 	}
 	schema := tbl.Schema()
-	ids, rows, err := tx.ScanIDs(st.Table)
+	ids, rows, err := s.scanOrProbe(tx, tbl, st.Table, "", st.Where)
 	if err != nil {
 		return nil, err
 	}

@@ -7,9 +7,13 @@ import (
 	"repro/internal/types"
 )
 
-// hashIndex is an equality index over one or more columns of a table. It is
-// maintained inline by Insert/Update/Delete while the table mutex is held,
-// so it needs no locking of its own.
+// hashIndex is an equality index over one or more columns of a table. With
+// version chains an index entry means "some stored version of this row has
+// this key" — entries are added when versions are installed and removed
+// only when rollback or GC drops the last version carrying the key. Lookups
+// therefore filter candidates through the reader's visibility check. The
+// index is maintained while the table mutex is held, so it needs no locking
+// of its own.
 type hashIndex struct {
 	name    string
 	columns []int // column positions in the table schema
@@ -28,8 +32,19 @@ func (ix *hashIndex) keyFor(row types.Tuple) string {
 	return key.Key()
 }
 
-func (ix *hashIndex) insert(id RowID, row types.Tuple) {
+// insert records id under the row's key; a row id appears at most once
+// per bucket no matter how many of its versions share the key. fresh
+// means the caller knows this is the row's first version, so the dedup
+// scan (O(bucket length)) is skipped — bulk loads stay linear.
+func (ix *hashIndex) insert(id RowID, row types.Tuple, fresh bool) {
 	k := ix.keyFor(row)
+	if !fresh {
+		for _, got := range ix.buckets[k] {
+			if got == id {
+				return
+			}
+		}
+	}
 	ix.buckets[k] = append(ix.buckets[k], id)
 }
 
@@ -53,7 +68,7 @@ func (ix *hashIndex) remove(id RowID, row types.Tuple) {
 func (ix *hashIndex) clear() { ix.buckets = make(map[string][]RowID) }
 
 // CreateIndex builds an equality index named name over the given columns.
-// The index is populated from existing rows.
+// The index is populated from existing versions.
 func (t *Table) CreateIndex(name string, columns ...string) error {
 	cols := make([]int, 0, len(columns))
 	for _, c := range columns {
@@ -69,8 +84,14 @@ func (t *Table) CreateIndex(name string, columns ...string) error {
 		return fmt.Errorf("storage: index %s already exists on %s", name, t.name)
 	}
 	ix := newHashIndex(name, cols)
-	for id, row := range t.rows {
-		ix.insert(id, row)
+	for id, vs := range t.rows {
+		first := true
+		for _, v := range vs {
+			if v.row != nil {
+				ix.insert(id, v.row, first)
+				first = false
+			}
+		}
 	}
 	t.indexes[name] = ix
 	return nil
@@ -133,44 +154,105 @@ func (t *Table) Indexes() []IndexInfo {
 	return out
 }
 
-// Lookup returns the RowIDs of rows whose given columns equal key, using an
-// index when one matches, otherwise a scan. Results are in ascending RowID
-// order for determinism.
-func (t *Table) Lookup(columns []string, key types.Tuple) ([]RowID, error) {
+// lookupResolved returns the (RowID, visible row) pairs whose visible row
+// (per resolve) equals key on the given columns, using an index for the
+// candidate set when one matches. Results are in ascending RowID order for
+// determinism; rows are shared references into the chains — callers clone
+// before releasing the lock. Caller holds t.mu (read).
+func (t *Table) lookupResolved(columns []string, key types.Tuple, resolve func([]version) (types.Tuple, bool)) ([]RowID, []types.Tuple, error) {
 	if len(columns) != len(key) {
-		return nil, fmt.Errorf("storage: lookup on %s: %d columns vs %d key values", t.name, len(columns), len(key))
+		return nil, nil, fmt.Errorf("storage: lookup on %s: %d columns vs %d key values", t.name, len(columns), len(key))
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if ix := t.findIndex(columns); ix != nil {
-		ids := ix.buckets[key.Key()]
-		out := make([]RowID, len(ids))
-		copy(out, ids)
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-		return out, nil
-	}
-	// Fallback scan.
 	cols := make([]int, len(columns))
 	for i, c := range columns {
 		idx := t.schema.Index(c)
 		if idx < 0 {
-			return nil, fmt.Errorf("storage: lookup on %s: no column %q", t.name, c)
+			return nil, nil, fmt.Errorf("storage: lookup on %s: no column %q", t.name, c)
 		}
 		cols[i] = idx
 	}
-	var out []RowID
-	for id, row := range t.rows {
-		match := true
+	match := func(row types.Tuple) bool {
 		for i, c := range cols {
 			if !row[c].Equal(key[i]) {
-				match = false
-				break
+				return false
 			}
 		}
-		if match {
-			out = append(out, id)
+		return true
+	}
+	var ids []RowID
+	var rows []types.Tuple
+	add := func(id RowID, vs []version) {
+		if row, ok := resolve(vs); ok && match(row) {
+			ids = append(ids, id)
+			rows = append(rows, row)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	if ix := t.findIndex(columns); ix != nil {
+		// Candidates from the bucket may carry the key only in an invisible
+		// version; re-check against the visible row.
+		for _, id := range ix.buckets[key.Key()] {
+			add(id, t.rows[id])
+		}
+	} else {
+		for id, vs := range t.rows {
+			add(id, vs)
+		}
+	}
+	sort.Sort(&idRowSort{ids: ids, rows: rows})
+	return ids, rows, nil
+}
+
+// idRowSort sorts parallel (id, row) slices by RowID.
+type idRowSort struct {
+	ids  []RowID
+	rows []types.Tuple
+}
+
+func (s *idRowSort) Len() int           { return len(s.ids) }
+func (s *idRowSort) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s *idRowSort) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+}
+
+// LookupTx returns the RowIDs of rows whose given columns equal key in
+// reader's current-state view.
+func (t *Table) LookupTx(reader uint64, columns []string, key types.Tuple) ([]RowID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids, _, err := t.lookupResolved(columns, key, func(vs []version) (types.Tuple, bool) {
+		return latestVisible(vs, reader)
+	})
+	return ids, err
+}
+
+// Lookup returns the RowIDs of rows whose given columns equal key in the
+// latest committed state.
+func (t *Table) Lookup(columns []string, key types.Tuple) ([]RowID, error) {
+	return t.LookupTx(0, columns, key)
+}
+
+// LookupAsOf returns the RowIDs of rows whose given columns equal key as
+// seen by snap — the lock-free indexed read.
+func (t *Table) LookupAsOf(snap Snapshot, columns []string, key types.Tuple) ([]RowID, error) {
+	ids, _, err := t.LookupRowsAsOf(snap, columns, key)
+	return ids, err
+}
+
+// LookupRowsAsOf is LookupAsOf returning the visible rows as well (cloned),
+// resolved in the same single pass under one lock acquisition — the hot
+// path of snapshot-isolated point reads.
+func (t *Table) LookupRowsAsOf(snap Snapshot, columns []string, key types.Tuple) ([]RowID, []types.Tuple, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids, rows, err := t.lookupResolved(columns, key, func(vs []version) (types.Tuple, bool) {
+		return visibleAt(vs, snap)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, row := range rows {
+		rows[i] = row.Clone()
+	}
+	return ids, rows, nil
 }

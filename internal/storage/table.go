@@ -1,12 +1,22 @@
-// Package storage implements the in-memory heap-table store underlying the
-// engine: a catalog of tables, slotted rows addressed by RowID, and
-// equality hash indexes. It plays the role MySQL/InnoDB plays under the
-// paper's middle-tier prototype.
+// Package storage implements the in-memory multi-version heap-table store
+// underlying the engine: a catalog of tables, per-RowID version chains
+// stamped with commit sequence numbers (CSNs), and equality hash indexes.
+// It plays the role MySQL/InnoDB plays under the paper's middle-tier
+// prototype — with InnoDB-style MVCC instead of a single row image.
 //
-// Storage itself is oblivious to transactions: concurrency control (Strict
-// 2PL) lives in internal/lock + internal/txn, and durability in
-// internal/wal. Tables are safe for concurrent use; the transaction layer
-// is responsible for serializing conflicting access through locks.
+// Storage is oblivious to concurrency control policy: write serialization
+// (X locks) lives in internal/lock + internal/txn, durability in
+// internal/wal. What storage provides is the mechanism both read paths
+// share:
+//
+//   - the locked path (Strict 2PL) reads the newest committed version (plus
+//     the reader's own uncommitted writes) via the *Tx methods;
+//   - the lock-free path reads through a Snapshot via the *AsOf methods —
+//     no lock-manager traffic at all.
+//
+// Writers install uncommitted versions tagged with their transaction id;
+// Stamp turns them into committed versions at a CSN, Rollback removes them.
+// GC prunes versions no active snapshot can reach.
 package storage
 
 import (
@@ -24,16 +34,18 @@ type RowID int64
 // InvalidRowID is returned by operations that fail to locate a row.
 const InvalidRowID RowID = -1
 
-// Table is a heap of rows with a fixed schema. All methods are safe for
-// concurrent use.
+// Table is a heap of row version chains with a fixed schema. All methods
+// are safe for concurrent use.
 type Table struct {
 	name   string
 	schema *types.Schema
 
-	mu      sync.RWMutex
-	rows    map[RowID]types.Tuple
-	nextID  RowID
-	indexes map[string]*hashIndex // by index name
+	mu       sync.RWMutex
+	rows     map[RowID][]version // oldest-first version chains
+	nextID   RowID
+	indexes  map[string]*hashIndex // by index name
+	lastCSN  uint64                // newest CSN stamped into this table
+	versions int                   // live version count (GC accounting)
 }
 
 // NewTable creates an empty table.
@@ -41,7 +53,7 @@ func NewTable(name string, schema *types.Schema) *Table {
 	return &Table{
 		name:    name,
 		schema:  schema,
-		rows:    make(map[RowID]types.Tuple),
+		rows:    make(map[RowID][]version),
 		indexes: make(map[string]*hashIndex),
 	}
 }
@@ -52,15 +64,64 @@ func (t *Table) Name() string { return t.name }
 // Schema returns the table schema.
 func (t *Table) Schema() *types.Schema { return t.schema }
 
-// Len returns the number of live rows.
+// Len returns the number of rows live in the latest committed state.
 func (t *Table) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.rows)
+	n := 0
+	for _, vs := range t.rows {
+		if _, ok := latestVisible(vs, 0); ok {
+			n++
+		}
+	}
+	return n
 }
 
-// Insert validates and stores a new row, returning its RowID.
-func (t *Table) Insert(row types.Tuple) (RowID, error) {
+// LastCSN returns the newest commit sequence number stamped into this
+// table. Evaluation rounds use it to validate that a grounding snapshot is
+// still current when quasi-read locks are taken.
+func (t *Table) LastCSN() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lastCSN
+}
+
+// VersionCount returns the total number of stored versions (live rows,
+// superseded images, tombstones, uncommitted writes).
+func (t *Table) VersionCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.versions
+}
+
+// appendVersion installs a version at the chain tail and indexes its key.
+// Caller holds t.mu.
+func (t *Table) appendVersion(id RowID, v version) {
+	fresh := len(t.rows[id]) == 0
+	t.rows[id] = append(t.rows[id], v)
+	t.versions++
+	if v.row != nil {
+		for _, idx := range t.indexes {
+			idx.insert(id, v.row, fresh)
+		}
+	}
+	if v.committed() && v.csn > t.lastCSN {
+		t.lastCSN = v.csn
+	}
+}
+
+// --- write path -----------------------------------------------------------
+//
+// The transactional mutators install uncommitted versions (txID != 0) that
+// Stamp or Rollback later resolve. The legacy mutators (Insert, InsertAt,
+// Update, Delete) write committed versions at CSN 0 — "committed since
+// forever", visible to every snapshot — which is what bulk loaders,
+// checkpoint restore, and storage-level tests want.
+
+// insertVersion validates and stores a new row under a fresh RowID. A
+// txID of 0 with a real csn is the load/replay path; txID != 0 with
+// uncommittedCSN is the transactional path.
+func (t *Table) insertVersion(row types.Tuple, txID, csn uint64) (RowID, error) {
 	if err := t.schema.Validate(row); err != nil {
 		return InvalidRowID, fmt.Errorf("storage: insert into %s: %w", t.name, err)
 	}
@@ -68,84 +129,214 @@ func (t *Table) Insert(row types.Tuple) (RowID, error) {
 	defer t.mu.Unlock()
 	id := t.nextID
 	t.nextID++
-	t.rows[id] = row.Clone()
-	for _, idx := range t.indexes {
-		idx.insert(id, row)
-	}
+	t.appendVersion(id, version{csn: csn, tx: txID, row: row.Clone()})
 	return id, nil
 }
 
-// InsertAt reinstates a row under a specific RowID (used by undo and WAL
-// replay). It fails if the RowID is occupied.
+// Insert stores a new row as committed-at-load (CSN 0), returning its
+// RowID. Transactions use InsertTx instead.
+func (t *Table) Insert(row types.Tuple) (RowID, error) {
+	return t.insertVersion(row, 0, 0)
+}
+
+// InsertTx stores a new row as an uncommitted version of txID.
+func (t *Table) InsertTx(txID uint64, row types.Tuple) (RowID, error) {
+	return t.insertVersion(row, txID, uncommittedCSN)
+}
+
+// InsertAt reinstates a row under a specific RowID (used by snapshot
+// restore and replay). It fails if the RowID is live in the latest
+// committed state.
 func (t *Table) InsertAt(id RowID, row types.Tuple) error {
+	return t.InsertAtCSN(id, row, 0)
+}
+
+// InsertAtCSN reinstates a row under a specific RowID as a version
+// committed at csn (WAL replay stamps the recovered commit order this way).
+func (t *Table) InsertAtCSN(id RowID, row types.Tuple, csn uint64) error {
 	if err := t.schema.Validate(row); err != nil {
 		return fmt.Errorf("storage: insert-at into %s: %w", t.name, err)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if _, ok := t.rows[id]; ok {
+	if _, live := latestVisible(t.rows[id], 0); live {
 		return fmt.Errorf("storage: %s row %d already exists", t.name, id)
 	}
-	t.rows[id] = row.Clone()
+	t.appendVersion(id, version{csn: csn, row: row.Clone()})
 	if id >= t.nextID {
 		t.nextID = id + 1
-	}
-	for _, idx := range t.indexes {
-		idx.insert(id, row)
 	}
 	return nil
 }
 
-// Get returns a copy of the row, or ok=false if absent.
-func (t *Table) Get(id RowID) (types.Tuple, bool) {
+// updateVersion appends a replacement version, returning the previous
+// image seen by (txID)'s current-state view.
+func (t *Table) updateVersion(id RowID, row types.Tuple, txID, csn uint64) (types.Tuple, error) {
+	if err := t.schema.Validate(row); err != nil {
+		return nil, fmt.Errorf("storage: update %s: %w", t.name, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, live := latestVisible(t.rows[id], txID)
+	if !live {
+		return nil, fmt.Errorf("storage: %s row %d not found", t.name, id)
+	}
+	t.appendVersion(id, version{csn: csn, tx: txID, row: row.Clone()})
+	return old, nil
+}
+
+// Update replaces the row at id with a committed-at-load version,
+// returning the previous image. Transactions use UpdateTx.
+func (t *Table) Update(id RowID, row types.Tuple) (types.Tuple, error) {
+	return t.updateVersion(id, row, 0, 0)
+}
+
+// UpdateTx replaces the row at id with an uncommitted version of txID.
+func (t *Table) UpdateTx(txID uint64, id RowID, row types.Tuple) (types.Tuple, error) {
+	return t.updateVersion(id, row, txID, uncommittedCSN)
+}
+
+// UpdateCSN replaces the row at id with a version committed at csn (WAL
+// replay).
+func (t *Table) UpdateCSN(id RowID, row types.Tuple, csn uint64) (types.Tuple, error) {
+	return t.updateVersion(id, row, 0, csn)
+}
+
+// deleteVersion appends a tombstone, returning the deleted image.
+func (t *Table) deleteVersion(id RowID, txID, csn uint64) (types.Tuple, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, live := latestVisible(t.rows[id], txID)
+	if !live {
+		return nil, fmt.Errorf("storage: %s row %d not found", t.name, id)
+	}
+	t.appendVersion(id, version{csn: csn, tx: txID})
+	return old, nil
+}
+
+// Delete removes the row at id (committed-at-load tombstone), returning
+// the deleted image. Transactions use DeleteTx.
+func (t *Table) Delete(id RowID) (types.Tuple, error) {
+	return t.deleteVersion(id, 0, 0)
+}
+
+// DeleteTx removes the row at id as an uncommitted tombstone of txID.
+func (t *Table) DeleteTx(txID uint64, id RowID) (types.Tuple, error) {
+	return t.deleteVersion(id, txID, uncommittedCSN)
+}
+
+// DeleteCSN removes the row at id with a tombstone committed at csn (WAL
+// replay).
+func (t *Table) DeleteCSN(id RowID, csn uint64) (types.Tuple, error) {
+	return t.deleteVersion(id, 0, csn)
+}
+
+// Stamp marks every uncommitted version txID holds on row id as committed
+// at csn. The transaction layer calls it once per written row at commit,
+// after the commit record is logged.
+func (t *Table) Stamp(txID uint64, id RowID, csn uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	vs := t.rows[id]
+	for i := range vs {
+		if !vs[i].committed() && vs[i].tx == txID {
+			vs[i].csn = csn
+		}
+	}
+	if csn > t.lastCSN {
+		t.lastCSN = csn
+	}
+}
+
+// Rollback removes every uncommitted version txID holds on row id (abort).
+// Index entries whose keys no longer appear in the chain are dropped; an
+// emptied chain disappears entirely.
+func (t *Table) Rollback(txID uint64, id RowID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	vs := t.rows[id]
+	kept := vs[:0]
+	var removed []types.Tuple
+	for _, v := range vs {
+		if !v.committed() && v.tx == txID {
+			if v.row != nil {
+				removed = append(removed, v.row)
+			}
+			t.versions--
+			continue
+		}
+		kept = append(kept, v)
+	}
+	if len(removed) == 0 && len(kept) == len(vs) {
+		return
+	}
+	if len(kept) == 0 {
+		delete(t.rows, id)
+	} else {
+		t.rows[id] = kept
+	}
+	t.unindexOrphans(id, kept, removed)
+}
+
+// unindexOrphans drops index entries for removed versions whose keys no
+// longer appear anywhere in the retained chain. Caller holds t.mu.
+func (t *Table) unindexOrphans(id RowID, kept []version, removed []types.Tuple) {
+	if len(removed) == 0 || len(t.indexes) == 0 {
+		return
+	}
+	for _, idx := range t.indexes {
+		live := make(map[string]bool, len(kept))
+		for _, v := range kept {
+			if v.row != nil {
+				live[idx.keyFor(v.row)] = true
+			}
+		}
+		seen := make(map[string]bool, len(removed))
+		for _, row := range removed {
+			k := idx.keyFor(row)
+			if live[k] || seen[k] {
+				continue
+			}
+			seen[k] = true
+			idx.remove(id, row)
+		}
+	}
+}
+
+// --- read paths -----------------------------------------------------------
+
+// GetTx returns a copy of the row as seen by reader's current-state view:
+// the newest committed version, or reader's own uncommitted write. Under
+// Strict 2PL the caller's locks make this the serializable read.
+func (t *Table) GetTx(reader uint64, id RowID) (types.Tuple, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	row, ok := t.rows[id]
+	row, ok := latestVisible(t.rows[id], reader)
 	if !ok {
 		return nil, false
 	}
 	return row.Clone(), true
 }
 
-// Update replaces the row at id, returning the previous image.
-func (t *Table) Update(id RowID, row types.Tuple) (types.Tuple, error) {
-	if err := t.schema.Validate(row); err != nil {
-		return nil, fmt.Errorf("storage: update %s: %w", t.name, err)
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	old, ok := t.rows[id]
+// Get returns a copy of the row in the latest committed state.
+func (t *Table) Get(id RowID) (types.Tuple, bool) { return t.GetTx(0, id) }
+
+// GetAsOf returns a copy of the row as seen by snap.
+func (t *Table) GetAsOf(snap Snapshot, id RowID) (types.Tuple, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	row, ok := visibleAt(t.rows[id], snap)
 	if !ok {
-		return nil, fmt.Errorf("storage: %s row %d not found", t.name, id)
+		return nil, false
 	}
-	for _, idx := range t.indexes {
-		idx.remove(id, old)
-		idx.insert(id, row)
-	}
-	t.rows[id] = row.Clone()
-	return old, nil
+	return row.Clone(), true
 }
 
-// Delete removes the row at id, returning the deleted image.
-func (t *Table) Delete(id RowID) (types.Tuple, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	old, ok := t.rows[id]
-	if !ok {
-		return nil, fmt.Errorf("storage: %s row %d not found", t.name, id)
-	}
-	delete(t.rows, id)
-	for _, idx := range t.indexes {
-		idx.remove(id, old)
-	}
-	return old, nil
-}
-
-// Scan calls fn for every row in RowID order. fn receives a shared
-// reference — it must not retain or mutate the tuple. Returning false stops
-// the scan. The table lock is held across the scan, so fn must not call
-// back into the table.
-func (t *Table) Scan(fn func(id RowID, row types.Tuple) bool) {
+// scanResolved iterates chains in RowID order, resolving each through
+// resolve, and calls fn on live rows. Caller must not retain or mutate the
+// tuple; returning false stops the scan. The table lock is held across the
+// scan, so fn must not call back into the table.
+func (t *Table) scanResolved(resolve func([]version) (types.Tuple, bool), fn func(id RowID, row types.Tuple) bool) {
 	t.mu.RLock()
 	ids := make([]RowID, 0, len(t.rows))
 	for id := range t.rows {
@@ -153,16 +344,37 @@ func (t *Table) Scan(fn func(id RowID, row types.Tuple) bool) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		if !fn(id, t.rows[id]) {
+		row, ok := resolve(t.rows[id])
+		if !ok {
+			continue
+		}
+		if !fn(id, row) {
 			break
 		}
 	}
 	t.mu.RUnlock()
 }
 
-// All returns a deterministic snapshot of all rows in RowID order.
+// ScanTx calls fn for every row of reader's current-state view in RowID
+// order.
+func (t *Table) ScanTx(reader uint64, fn func(id RowID, row types.Tuple) bool) {
+	t.scanResolved(func(vs []version) (types.Tuple, bool) { return latestVisible(vs, reader) }, fn)
+}
+
+// Scan calls fn for every row of the latest committed state in RowID order.
+func (t *Table) Scan(fn func(id RowID, row types.Tuple) bool) { t.ScanTx(0, fn) }
+
+// ScanAsOf calls fn for every row visible to snap in RowID order — the
+// lock-free snapshot read that grounding rounds and snapshot-isolated
+// transactions use.
+func (t *Table) ScanAsOf(snap Snapshot, fn func(id RowID, row types.Tuple) bool) {
+	t.scanResolved(func(vs []version) (types.Tuple, bool) { return visibleAt(vs, snap) }, fn)
+}
+
+// All returns a deterministic snapshot of the latest committed state in
+// RowID order.
 func (t *Table) All() []types.Tuple {
-	out := make([]types.Tuple, 0, t.Len())
+	var out []types.Tuple
 	t.Scan(func(_ RowID, row types.Tuple) bool {
 		out = append(out, row.Clone())
 		return true
@@ -170,12 +382,86 @@ func (t *Table) All() []types.Tuple {
 	return out
 }
 
-// Truncate removes all rows (used by recovery before replay).
+// AllAsOf returns every row visible to snap, cloned, in RowID order.
+func (t *Table) AllAsOf(snap Snapshot) []types.Tuple {
+	var out []types.Tuple
+	t.ScanAsOf(snap, func(_ RowID, row types.Tuple) bool {
+		out = append(out, row.Clone())
+		return true
+	})
+	return out
+}
+
+// CommittedCSN returns the CSN of the newest committed version of id
+// (tombstones included) — the first-committer-wins conflict check: a
+// snapshot-isolated writer whose snapshot is older than this CSN lost the
+// race.
+func (t *Table) CommittedCSN(id RowID) (uint64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	vs := t.rows[id]
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i].committed() {
+			return vs[i].csn, true
+		}
+	}
+	return 0, false
+}
+
+// Truncate removes all rows and versions (used by recovery before replay).
 func (t *Table) Truncate() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.rows = make(map[RowID]types.Tuple)
+	t.rows = make(map[RowID][]version)
+	t.versions = 0
 	for _, idx := range t.indexes {
 		idx.clear()
 	}
+}
+
+// GC prunes versions that no current or future snapshot can reach, given
+// that every active snapshot's CSN is at least watermark: for each chain
+// the newest committed version at or below the watermark is the boundary —
+// everything older is dropped, and a boundary tombstone is dropped too
+// (absence of a version reads the same as a tombstone). Uncommitted
+// versions are always retained. Returns the number of versions pruned.
+func (t *Table) GC(watermark uint64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pruned := 0
+	for id, vs := range t.rows {
+		boundary := -1
+		for i := len(vs) - 1; i >= 0; i-- {
+			if vs[i].committed() && vs[i].csn <= watermark {
+				boundary = i
+				break
+			}
+		}
+		if boundary < 0 {
+			continue
+		}
+		keepFrom := boundary
+		if vs[boundary].row == nil {
+			keepFrom = boundary + 1 // boundary tombstone conveys nothing
+		}
+		if keepFrom == 0 {
+			continue
+		}
+		kept := append([]version(nil), vs[keepFrom:]...)
+		var removed []types.Tuple
+		for _, v := range vs[:keepFrom] {
+			if v.row != nil {
+				removed = append(removed, v.row)
+			}
+		}
+		pruned += keepFrom
+		t.versions -= keepFrom
+		if len(kept) == 0 {
+			delete(t.rows, id)
+		} else {
+			t.rows[id] = kept
+		}
+		t.unindexOrphans(id, kept, removed)
+	}
+	return pruned
 }

@@ -1,0 +1,126 @@
+package txn
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// Commit sequence numbers and snapshot bookkeeping. The manager owns the
+// commit clock: every commit that wrote anything allocates the next CSN
+// under commitMu, stamps its versions, logs the CSN, and only then
+// publishes the clock — so a snapshot acquired at any moment sees whole
+// commits or nothing (commits are atomic to readers without any read
+// locks). Active snapshots are registered so the version GC watermark —
+// the oldest CSN any live reader can still demand — is always known.
+
+// snapshotTable tracks the active snapshots for watermark computation.
+type snapshotTable struct {
+	mu     sync.Mutex
+	active map[uint64]uint64 // handle -> snapshot CSN
+	nextID uint64
+}
+
+func newSnapshotTable() *snapshotTable {
+	return &snapshotTable{active: make(map[uint64]uint64)}
+}
+
+// register pins a snapshot at the CURRENT clock value, reading the clock
+// inside the table mutex. Watermark computation reads the clock under the
+// same mutex, so a registration and a watermark read are totally ordered:
+// either the watermark sees the new entry, or the registrant sees a clock
+// at least as new as the one the watermark used — a vacuum can never
+// prune versions a just-created snapshot still needs.
+func (st *snapshotTable) register(clock *atomic.Uint64) (handle, csn uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	csn = clock.Load()
+	st.nextID++
+	st.active[st.nextID] = csn
+	return st.nextID, csn
+}
+
+func (st *snapshotTable) update(handle, csn uint64) {
+	st.mu.Lock()
+	if _, ok := st.active[handle]; ok {
+		st.active[handle] = csn
+	}
+	st.mu.Unlock()
+}
+
+func (st *snapshotTable) release(handle uint64) {
+	st.mu.Lock()
+	delete(st.active, handle)
+	st.mu.Unlock()
+}
+
+// oldest returns the minimum active snapshot CSN, defaulting to the
+// current clock when none is active. The clock is read under the mutex —
+// see register.
+func (st *snapshotTable) oldest(clock *atomic.Uint64) uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	min := clock.Load()
+	for _, csn := range st.active {
+		if csn < min {
+			min = csn
+		}
+	}
+	return min
+}
+
+// CSN returns the newest published commit sequence number — the point in
+// time a fresh snapshot observes.
+func (m *Manager) CSN() uint64 { return m.clock.Load() }
+
+// SeedClock initializes the commit clock after recovery so new commits
+// allocate CSNs past everything already in the log. It must be called
+// before any transaction begins.
+func (m *Manager) SeedClock(csn uint64) { m.clock.Store(csn) }
+
+// Snapshot is a released-on-close consistent view of the database, used by
+// observers that are not transactions (entangled-query grounding rounds,
+// read-only analytics). Reads through it take no locks.
+type Snapshot struct {
+	View   storage.Snapshot
+	m      *Manager
+	handle uint64
+}
+
+// AcquireSnapshot pins a consistent snapshot of the current committed
+// state. The caller must Release it so the GC watermark can advance.
+func (m *Manager) AcquireSnapshot() *Snapshot {
+	handle, csn := m.snaps.register(&m.clock)
+	return &Snapshot{View: storage.Snapshot{CSN: csn}, m: m, handle: handle}
+}
+
+// Release unpins the snapshot. Safe to call more than once.
+func (s *Snapshot) Release() {
+	if s.m != nil {
+		s.m.snaps.release(s.handle)
+		s.m = nil
+	}
+}
+
+// Watermark returns the version-GC watermark: the oldest CSN any active
+// snapshot (transactional or pinned) can still read. Versions strictly
+// older than the boundary below this are unreachable.
+func (m *Manager) Watermark() uint64 {
+	return m.snaps.oldest(&m.clock)
+}
+
+// Vacuum prunes unreachable versions from every table using the current
+// watermark and returns the number of versions removed.
+func (m *Manager) Vacuum() int {
+	wm := m.Watermark()
+	pruned := 0
+	for _, name := range m.cat.Names() {
+		tbl, err := m.cat.Get(name)
+		if err != nil {
+			continue
+		}
+		pruned += tbl.GC(wm)
+	}
+	return pruned
+}

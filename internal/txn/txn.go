@@ -1,16 +1,30 @@
 // Package txn implements classical ACID transactions over the storage,
-// lock, and wal substrates: Strict Two-Phase Locking with table-level read
-// locks and row-level write locks (the regime §3.3.3 of the paper assumes:
-// "Minnie's transaction would have held a read lock on the Airlines table
-// until commit"), write-ahead logging with undo on abort, and group commit
-// for entanglement groups.
+// lock, and wal substrates. Writes always serialize through row-level
+// exclusive locks and install uncommitted versions in the MVCC store;
+// what varies per isolation level is the read path:
 //
-// Isolation levels:
-//
-//   - Serializable: all locks held to commit (Strict 2PL).
+//   - Serializable: Strict 2PL — table-level shared locks (the regime
+//     §3.3.3 of the paper assumes: "Minnie's transaction would have held a
+//     read lock on the Airlines table until commit") plus row S locks for
+//     index reads, all held to commit. Reads observe the newest committed
+//     version plus the transaction's own writes.
 //   - ReadCommitted: shared locks released at statement end; write locks
 //     still held to commit. This is the §4 relaxation of "altering the
 //     length of time locks are held".
+//   - SnapshotIsolation: reads take NO locks at all — the transaction pins
+//     a commit-sequence-number (CSN) snapshot at begin and every read
+//     resolves version chains against it. Write conflicts are detected
+//     first-committer-wins: updating or deleting a row whose newest
+//     committed version postdates the snapshot fails with
+//     ErrWriteConflict (retryable). This takes the read path off the lock
+//     manager entirely, which is what lets read-heavy workloads scale past
+//     the 2PL contention wall.
+//
+// Commit allocates a CSN under the commit mutex, logs it, stamps the
+// transaction's versions, and only then publishes the clock — so snapshots
+// observe whole commits or nothing. Group commit stamps every unit of a
+// batch before one publication, preserving the §4 entangled group-commit
+// atomicity.
 package txn
 
 import (
@@ -25,13 +39,15 @@ import (
 	"repro/internal/wal"
 )
 
-// IsolationLevel selects the locking discipline of a transaction.
+// IsolationLevel selects the concurrency-control discipline of a
+// transaction.
 type IsolationLevel int
 
 // Supported isolation levels.
 const (
 	Serializable IsolationLevel = iota
 	ReadCommitted
+	SnapshotIsolation
 )
 
 func (l IsolationLevel) String() string {
@@ -40,6 +56,8 @@ func (l IsolationLevel) String() string {
 		return "SERIALIZABLE"
 	case ReadCommitted:
 		return "READ COMMITTED"
+	case SnapshotIsolation:
+		return "SNAPSHOT"
 	default:
 		return fmt.Sprintf("IsolationLevel(%d)", int(l))
 	}
@@ -58,6 +76,10 @@ const (
 // Errors returned by transaction operations.
 var (
 	ErrNotActive = errors.New("txn: transaction is not active")
+	// ErrWriteConflict is the first-committer-wins outcome under snapshot
+	// isolation: another transaction committed a newer version of the row
+	// after this transaction's snapshot. The loser aborts and retries.
+	ErrWriteConflict = errors.New("txn: snapshot write conflict (first committer wins)")
 )
 
 // Observer receives operation notifications; the entangled-transaction
@@ -78,6 +100,10 @@ type Manager struct {
 	log    *wal.Log // nil disables durability
 	nextTx atomic.Uint64
 
+	clock    atomic.Uint64 // newest published commit sequence number
+	commitMu sync.Mutex    // serializes CSN allocation + stamping + publication
+	snaps    *snapshotTable
+
 	obsMu    sync.RWMutex
 	observer Observer
 }
@@ -85,7 +111,7 @@ type Manager struct {
 // NewManager wires a transaction manager over a catalog, lock manager, and
 // optional write-ahead log.
 func NewManager(cat *storage.Catalog, locks *lock.Manager, log *wal.Log) *Manager {
-	return &Manager{cat: cat, locks: locks, log: log}
+	return &Manager{cat: cat, locks: locks, log: log, snaps: newSnapshotTable()}
 }
 
 // Catalog exposes the underlying catalog (read-mostly helpers, DDL).
@@ -137,12 +163,11 @@ func (m *Manager) CreateIndex(table, index string, columns []string) error {
 	return nil
 }
 
-// undoOp reverses one applied write during abort.
-type undoOp struct {
-	kind  wal.RecordType
+// writeRef remembers one written row so commit can stamp its versions with
+// the allocated CSN and abort can remove them.
+type writeRef struct {
 	table *storage.Table
 	rowID storage.RowID
-	old   types.Tuple
 }
 
 // Txn is one classical transaction. A Txn is not safe for concurrent use by
@@ -153,10 +178,11 @@ type Txn struct {
 	mgr   *Manager
 	level IsolationLevel
 	state State
-	undo  []undoOp
+	undo  []writeRef
 
-	// ReadTables accumulates the tables read under ReadCommitted so the
-	// statement-end release can drop them.
+	snap       storage.Snapshot // SnapshotIsolation read view
+	snapHandle uint64           // registration in the manager's snapshot table
+
 	reads  int64
 	writes int64
 }
@@ -165,8 +191,14 @@ type Txn struct {
 func (m *Manager) Begin(level IsolationLevel) (*Txn, error) {
 	id := m.nextTx.Add(1)
 	t := &Txn{id: id, mgr: m, level: level}
+	if level == SnapshotIsolation {
+		handle, csn := m.snaps.register(&m.clock)
+		t.snap = storage.Snapshot{CSN: csn, Self: id}
+		t.snapHandle = handle
+	}
 	if m.log != nil {
 		if err := m.log.Append(wal.Begin(wal.TxID(id))); err != nil {
+			t.releaseSnapshot()
 			return nil, err
 		}
 	}
@@ -185,12 +217,40 @@ func (t *Txn) State() State { return t.state }
 // Stats returns the number of read and write operations performed.
 func (t *Txn) Stats() (reads, writes int64) { return t.reads, t.writes }
 
+// SnapshotView returns the transaction's read snapshot (zero unless the
+// transaction runs at SnapshotIsolation).
+func (t *Txn) SnapshotView() storage.Snapshot { return t.snap }
+
+// RefreshSnapshot advances a snapshot-isolated transaction's read view to
+// view's CSN (never backward). The run scheduler refreshes members to the
+// evaluation round's snapshot when delivering an entangled answer, so the
+// transaction's subsequent reads are consistent with the state the answer
+// was computed against.
+func (t *Txn) RefreshSnapshot(view storage.Snapshot) {
+	if t.level != SnapshotIsolation || view.CSN <= t.snap.CSN {
+		return
+	}
+	t.snap.CSN = view.CSN
+	t.mgr.snaps.update(t.snapHandle, view.CSN)
+}
+
+func (t *Txn) releaseSnapshot() {
+	if t.snapHandle != 0 {
+		t.mgr.snaps.release(t.snapHandle)
+		t.snapHandle = 0
+	}
+}
+
 func (t *Txn) ensureActive() error {
 	if t.state != Active {
 		return ErrNotActive
 	}
 	return nil
 }
+
+// lockFreeReads reports whether this transaction reads through its
+// snapshot instead of shared locks.
+func (t *Txn) lockFreeReads() bool { return t.level == SnapshotIsolation }
 
 // lockTableShared acquires a table-level S lock (the paper's read-lock
 // granularity). Exposed for the entangled layer's quasi-read locks.
@@ -200,7 +260,7 @@ func (t *Txn) lockTableShared(table string) error {
 
 // LockTableShared acquires a table-level shared lock on behalf of the
 // transaction without reading — used by the entangled-transaction layer to
-// enforce repeatable quasi-reads (§3.3.3).
+// enforce repeatable quasi-reads (§3.3.3) at the locking levels.
 func (t *Txn) LockTableShared(table string) error {
 	if err := t.ensureActive(); err != nil {
 		return err
@@ -209,36 +269,30 @@ func (t *Txn) LockTableShared(table string) error {
 }
 
 // statementEnd implements the ReadCommitted relaxation: shared locks are
-// surrendered once the statement completes.
+// surrendered once the statement completes. (Snapshot isolation takes no
+// shared locks in the first place.)
 func (t *Txn) statementEnd() {
 	if t.level == ReadCommitted {
 		t.mgr.locks.ReleaseShared(t.id)
 	}
 }
 
-// Scan returns every row of the table under a shared table lock.
+// Scan returns every row of the table: under the locking levels via a
+// shared table lock over the newest committed state, under snapshot
+// isolation lock-free through the transaction's snapshot.
 func (t *Txn) Scan(table string) ([]types.Tuple, error) {
-	if err := t.ensureActive(); err != nil {
-		return nil, err
-	}
-	tbl, err := t.mgr.cat.Get(table)
-	if err != nil {
-		return nil, err
-	}
-	if err := t.lockTableShared(table); err != nil {
-		return nil, err
-	}
-	defer t.statementEnd()
-	rows := tbl.All()
-	t.reads++
-	if o := t.mgr.obs(); o != nil {
-		o.OnRead(t.id, tbl.Name(), int64(lock.AllRows))
-	}
-	return rows, nil
+	rows, _, err := t.scan(table, false)
+	return rows, err
 }
 
-// ScanIDs returns every (RowID, row) pair under a shared table lock.
+// ScanIDs returns every (RowID, row) pair, with the same locking rules as
+// Scan.
 func (t *Txn) ScanIDs(table string) (ids []storage.RowID, rows []types.Tuple, err error) {
+	rows, ids, err = t.scan(table, true)
+	return ids, rows, err
+}
+
+func (t *Txn) scan(table string, wantIDs bool) ([]types.Tuple, []storage.RowID, error) {
 	if err := t.ensureActive(); err != nil {
 		return nil, nil, err
 	}
@@ -246,28 +300,37 @@ func (t *Txn) ScanIDs(table string) (ids []storage.RowID, rows []types.Tuple, er
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := t.lockTableShared(table); err != nil {
-		return nil, nil, err
-	}
-	defer t.statementEnd()
-	tbl.Scan(func(id storage.RowID, row types.Tuple) bool {
-		ids = append(ids, id)
+	var rows []types.Tuple
+	var ids []storage.RowID
+	collect := func(id storage.RowID, row types.Tuple) bool {
+		if wantIDs {
+			ids = append(ids, id)
+		}
 		rows = append(rows, row.Clone())
 		return true
-	})
+	}
+	if t.lockFreeReads() {
+		tbl.ScanAsOf(t.snap, collect)
+	} else {
+		if err := t.lockTableShared(table); err != nil {
+			return nil, nil, err
+		}
+		defer t.statementEnd()
+		tbl.ScanTx(t.id, collect)
+	}
 	t.reads++
 	if o := t.mgr.obs(); o != nil {
 		o.OnRead(t.id, tbl.Name(), int64(lock.AllRows))
 	}
-	return ids, rows, nil
+	return rows, ids, nil
 }
 
-// Lookup returns rows whose columns equal key. Like an InnoDB index read,
-// it locks at row granularity: IS on the table plus S on each matching
-// row, so point reads by different transactions on different rows do not
-// force table-level upgrades. (Phantoms are possible against concurrent
-// inserts; use Scan for a full-table read lock, which is what entangled
-// grounding reads use.)
+// Lookup returns rows whose columns equal key. Under the locking levels it
+// locks at row granularity like an InnoDB index read: IS on the table plus
+// S on each matching row, so point reads by different transactions on
+// different rows do not force table-level upgrades. (Phantoms are possible
+// against concurrent inserts; use Scan for a full-table read lock, which is
+// what quasi-read locking uses.) Under snapshot isolation it is lock-free.
 func (t *Txn) Lookup(table string, columns []string, key types.Tuple) ([]types.Tuple, error) {
 	_, rows, err := t.LookupIDs(table, columns, key)
 	return rows, err
@@ -283,23 +346,30 @@ func (t *Txn) LookupIDs(table string, columns []string, key types.Tuple) ([]stor
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := t.mgr.locks.Acquire(t.id, lock.TableRow{Table: table, Row: lock.AllRows}, lock.IS); err != nil {
-		return nil, nil, err
-	}
-	defer t.statementEnd()
-	ids, err := tbl.Lookup(columns, key)
-	if err != nil {
-		return nil, nil, err
-	}
-	outIDs := make([]storage.RowID, 0, len(ids))
-	out := make([]types.Tuple, 0, len(ids))
-	for _, id := range ids {
-		if err := t.mgr.locks.Acquire(t.id, lock.TableRow{Table: table, Row: int64(id)}, lock.S); err != nil {
+	var outIDs []storage.RowID
+	var out []types.Tuple
+	if t.lockFreeReads() {
+		outIDs, out, err = tbl.LookupRowsAsOf(t.snap, columns, key)
+		if err != nil {
 			return nil, nil, err
 		}
-		if row, ok := tbl.Get(id); ok {
-			outIDs = append(outIDs, id)
-			out = append(out, row)
+	} else {
+		if err := t.mgr.locks.Acquire(t.id, lock.TableRow{Table: table, Row: lock.AllRows}, lock.IS); err != nil {
+			return nil, nil, err
+		}
+		defer t.statementEnd()
+		ids, err := tbl.LookupTx(t.id, columns, key)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, id := range ids {
+			if err := t.mgr.locks.Acquire(t.id, lock.TableRow{Table: table, Row: int64(id)}, lock.S); err != nil {
+				return nil, nil, err
+			}
+			if row, ok := tbl.GetTx(t.id, id); ok {
+				outIDs = append(outIDs, id)
+				out = append(out, row)
+			}
 		}
 	}
 	t.reads++
@@ -309,7 +379,9 @@ func (t *Txn) LookupIDs(table string, columns []string, key types.Tuple) ([]stor
 	return outIDs, out, nil
 }
 
-// lockForWrite takes IX on the table and X on the row.
+// lockForWrite takes IX on the table and X on the row. Writes keep
+// exclusive locks at every isolation level — MVCC removes read locks, not
+// write serialization.
 func (t *Txn) lockForWrite(table string, rowID storage.RowID) error {
 	if err := t.mgr.locks.Acquire(t.id, lock.TableRow{Table: table, Row: lock.AllRows}, lock.IX); err != nil {
 		return err
@@ -317,8 +389,24 @@ func (t *Txn) lockForWrite(table string, rowID storage.RowID) error {
 	return t.mgr.locks.Acquire(t.id, lock.TableRow{Table: table, Row: int64(rowID)}, lock.X)
 }
 
+// checkWriteConflict enforces first-committer-wins for snapshot isolation:
+// with the row's X lock held, the newest committed version must not
+// postdate the snapshot.
+func (t *Txn) checkWriteConflict(tbl *storage.Table, id storage.RowID) error {
+	if t.level != SnapshotIsolation {
+		return nil
+	}
+	if csn, ok := tbl.CommittedCSN(id); ok && csn > t.snap.CSN {
+		return fmt.Errorf("%w: %s row %d committed at CSN %d after snapshot %d",
+			ErrWriteConflict, tbl.Name(), id, csn, t.snap.CSN)
+	}
+	return nil
+}
+
 // Insert adds a row, locking table IX first (which serializes against
-// whole-table readers) and then the new row X.
+// whole-table read lockers) and then the new row X. The row is installed as
+// an uncommitted version, invisible to every other transaction until
+// commit stamps it.
 func (t *Txn) Insert(table string, row types.Tuple) (storage.RowID, error) {
 	if err := t.ensureActive(); err != nil {
 		return storage.InvalidRowID, err
@@ -330,7 +418,7 @@ func (t *Txn) Insert(table string, row types.Tuple) (storage.RowID, error) {
 	if err := t.mgr.locks.Acquire(t.id, lock.TableRow{Table: table, Row: lock.AllRows}, lock.IX); err != nil {
 		return storage.InvalidRowID, err
 	}
-	id, err := tbl.Insert(row)
+	id, err := tbl.InsertTx(t.id, row)
 	if err != nil {
 		return storage.InvalidRowID, err
 	}
@@ -342,7 +430,7 @@ func (t *Txn) Insert(table string, row types.Tuple) (storage.RowID, error) {
 			return storage.InvalidRowID, err
 		}
 	}
-	t.undo = append(t.undo, undoOp{kind: wal.RecInsert, table: tbl, rowID: id})
+	t.undo = append(t.undo, writeRef{table: tbl, rowID: id})
 	t.writes++
 	if o := t.mgr.obs(); o != nil {
 		o.OnWrite(t.id, tbl.Name(), int64(id))
@@ -350,7 +438,7 @@ func (t *Txn) Insert(table string, row types.Tuple) (storage.RowID, error) {
 	return id, nil
 }
 
-// Update replaces the row at id.
+// Update replaces the row at id with a new uncommitted version.
 func (t *Txn) Update(table string, id storage.RowID, row types.Tuple) error {
 	if err := t.ensureActive(); err != nil {
 		return err
@@ -362,7 +450,10 @@ func (t *Txn) Update(table string, id storage.RowID, row types.Tuple) error {
 	if err := t.lockForWrite(table, id); err != nil {
 		return err
 	}
-	old, err := tbl.Update(id, row)
+	if err := t.checkWriteConflict(tbl, id); err != nil {
+		return err
+	}
+	old, err := tbl.UpdateTx(t.id, id, row)
 	if err != nil {
 		return err
 	}
@@ -371,7 +462,7 @@ func (t *Txn) Update(table string, id storage.RowID, row types.Tuple) error {
 			return err
 		}
 	}
-	t.undo = append(t.undo, undoOp{kind: wal.RecUpdate, table: tbl, rowID: id, old: old})
+	t.undo = append(t.undo, writeRef{table: tbl, rowID: id})
 	t.writes++
 	if o := t.mgr.obs(); o != nil {
 		o.OnWrite(t.id, tbl.Name(), int64(id))
@@ -379,7 +470,7 @@ func (t *Txn) Update(table string, id storage.RowID, row types.Tuple) error {
 	return nil
 }
 
-// Delete removes the row at id.
+// Delete removes the row at id with an uncommitted tombstone.
 func (t *Txn) Delete(table string, id storage.RowID) error {
 	if err := t.ensureActive(); err != nil {
 		return err
@@ -391,7 +482,10 @@ func (t *Txn) Delete(table string, id storage.RowID) error {
 	if err := t.lockForWrite(table, id); err != nil {
 		return err
 	}
-	old, err := tbl.Delete(id)
+	if err := t.checkWriteConflict(tbl, id); err != nil {
+		return err
+	}
+	old, err := tbl.DeleteTx(t.id, id)
 	if err != nil {
 		return err
 	}
@@ -400,7 +494,7 @@ func (t *Txn) Delete(table string, id storage.RowID) error {
 			return err
 		}
 	}
-	t.undo = append(t.undo, undoOp{kind: wal.RecDelete, table: tbl, rowID: id, old: old})
+	t.undo = append(t.undo, writeRef{table: tbl, rowID: id})
 	t.writes++
 	if o := t.mgr.obs(); o != nil {
 		o.OnWrite(t.id, tbl.Name(), int64(id))
@@ -408,47 +502,63 @@ func (t *Txn) Delete(table string, id storage.RowID) error {
 	return nil
 }
 
-// Commit makes the transaction's writes durable and releases its locks.
-func (t *Txn) Commit() error {
-	if err := t.ensureActive(); err != nil {
-		return err
+// stamp marks every version the transaction wrote as committed at csn.
+func (t *Txn) stamp(csn uint64) {
+	for _, w := range t.undo {
+		w.table.Stamp(t.id, w.rowID, csn)
 	}
-	if t.mgr.log != nil {
-		if err := t.mgr.log.Append(wal.Commit(wal.TxID(t.id))); err != nil {
-			return err
-		}
-	}
+}
+
+// finishCommitted transitions the transaction to Committed and releases its
+// resources.
+func (t *Txn) finishCommitted() {
 	t.state = Committed
 	t.undo = nil
+	t.releaseSnapshot()
 	t.mgr.locks.ReleaseAll(t.id)
 	if o := t.mgr.obs(); o != nil {
 		o.OnCommit(t.id)
 	}
+}
+
+// Commit makes the transaction's writes durable and visible, and releases
+// its locks. Write-bearing commits allocate the next CSN under the commit
+// mutex: log, stamp, publish — so concurrent snapshots see the commit
+// atomically.
+func (t *Txn) Commit() error {
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	m := t.mgr
+	m.commitMu.Lock()
+	var csn uint64
+	if len(t.undo) > 0 {
+		csn = m.clock.Load() + 1
+	}
+	if m.log != nil {
+		if err := m.log.Append(wal.Commit(wal.TxID(t.id), csn)); err != nil {
+			m.commitMu.Unlock()
+			return err
+		}
+	}
+	if csn != 0 {
+		t.stamp(csn)
+		m.clock.Store(csn)
+	}
+	m.commitMu.Unlock()
+	t.finishCommitted()
 	return nil
 }
 
-// Abort rolls back the transaction's writes (in reverse order) and releases
-// its locks. Abort of a non-active transaction is a no-op.
+// Abort rolls back the transaction by removing its uncommitted versions
+// and releases its locks. Abort of a non-active transaction is a no-op.
 func (t *Txn) Abort() error {
 	if t.state != Active {
 		return nil
 	}
 	for i := len(t.undo) - 1; i >= 0; i-- {
-		u := t.undo[i]
-		switch u.kind {
-		case wal.RecInsert:
-			if _, err := u.table.Delete(u.rowID); err != nil {
-				return fmt.Errorf("txn: undo insert: %w", err)
-			}
-		case wal.RecUpdate:
-			if _, err := u.table.Update(u.rowID, u.old); err != nil {
-				return fmt.Errorf("txn: undo update: %w", err)
-			}
-		case wal.RecDelete:
-			if err := u.table.InsertAt(u.rowID, u.old); err != nil {
-				return fmt.Errorf("txn: undo delete: %w", err)
-			}
-		}
+		w := t.undo[i]
+		w.table.Rollback(t.id, w.rowID)
 	}
 	if t.mgr.log != nil {
 		if err := t.mgr.log.Append(wal.Abort(wal.TxID(t.id))); err != nil {
@@ -457,6 +567,7 @@ func (t *Txn) Abort() error {
 	}
 	t.state = Aborted
 	t.undo = nil
+	t.releaseSnapshot()
 	t.mgr.locks.ReleaseAll(t.id)
 	if o := t.mgr.obs(); o != nil {
 		o.OnAbort(t.id)
@@ -490,9 +601,12 @@ func (m *Manager) CommitGroup(txns []*Txn) error {
 // append and at most one fsync (group commit across groups; the run
 // scheduler retires every committable group of a run this way). Atomicity
 // is per unit: a single-transaction unit emits one Commit record and a
-// multi-transaction unit one GroupCommit record, so recovery after a crash
-// mid-batch replays a prefix of whole units, never a partial group. All
-// transactions must be active; on a WAL error no unit commits.
+// multi-transaction unit one GroupCommit record, each carrying the unit's
+// CSN, so recovery after a crash mid-batch replays a prefix of whole
+// units, never a partial group. Version stamping happens for all units
+// before one clock publication, so snapshot readers see the entire batch
+// appear atomically. All transactions must be active; on a WAL error no
+// unit commits.
 func (m *Manager) CommitUnits(units [][]*Txn) error {
 	for _, unit := range units {
 		for _, t := range unit {
@@ -501,32 +615,55 @@ func (m *Manager) CommitUnits(units [][]*Txn) error {
 			}
 		}
 	}
+	m.commitMu.Lock()
+	next := m.clock.Load()
+	unitCSN := make([]uint64, len(units))
+	for i, unit := range units {
+		writes := false
+		for _, t := range unit {
+			if len(t.undo) > 0 {
+				writes = true
+				break
+			}
+		}
+		if writes {
+			next++
+			unitCSN[i] = next
+		}
+	}
 	if m.log != nil {
 		recs := make([]*wal.Record, 0, len(units))
-		for _, unit := range units {
+		for i, unit := range units {
 			if len(unit) == 1 {
-				recs = append(recs, wal.Commit(wal.TxID(unit[0].id)))
+				recs = append(recs, wal.Commit(wal.TxID(unit[0].id), unitCSN[i]))
 				continue
 			}
 			group := make([]wal.TxID, len(unit))
-			for i, t := range unit {
-				group[i] = wal.TxID(t.id)
+			for j, t := range unit {
+				group[j] = wal.TxID(t.id)
 			}
-			recs = append(recs, wal.GroupCommit(group))
+			recs = append(recs, wal.GroupCommit(group, unitCSN[i]))
 		}
 		if err := m.log.AppendBatch(recs); err != nil {
+			m.commitMu.Unlock()
 			return err
 		}
 	}
-	o := m.obs()
+	for i, unit := range units {
+		if unitCSN[i] == 0 {
+			continue
+		}
+		for _, t := range unit {
+			t.stamp(unitCSN[i])
+		}
+	}
+	if next != m.clock.Load() {
+		m.clock.Store(next)
+	}
+	m.commitMu.Unlock()
 	for _, unit := range units {
 		for _, t := range unit {
-			t.state = Committed
-			t.undo = nil
-			m.locks.ReleaseAll(t.id)
-			if o != nil {
-				o.OnCommit(t.id)
-			}
+			t.finishCommitted()
 		}
 	}
 	return nil

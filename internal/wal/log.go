@@ -219,15 +219,19 @@ func Update(tx TxID, table string, rowID storage.RowID, old, new types.Tuple) *R
 	return &Record{Type: RecUpdate, Tx: tx, Table: table, RowID: int64(rowID), Old: old, Row: new}
 }
 
-// Commit returns a COMMIT record for a single (non-entangled) transaction.
-func Commit(tx TxID) *Record { return &Record{Type: RecCommit, Tx: tx} }
+// Commit returns a COMMIT record for a single (non-entangled) transaction,
+// carrying the commit sequence number its versions were stamped with (0 for
+// a read-only commit).
+func Commit(tx TxID, csn uint64) *Record { return &Record{Type: RecCommit, Tx: tx, CSN: csn} }
 
 // Abort returns an ABORT record.
 func Abort(tx TxID) *Record { return &Record{Type: RecAbort, Tx: tx} }
 
 // GroupCommit returns a record committing an entire entanglement group
-// atomically.
-func GroupCommit(group []TxID) *Record { return &Record{Type: RecGroupCommit, Group: group} }
+// atomically at one commit sequence number.
+func GroupCommit(group []TxID, csn uint64) *Record {
+	return &Record{Type: RecGroupCommit, Group: group, CSN: csn}
+}
 
 // Entangle returns a record noting that the transactions in group
 // participated in entanglement operation op.

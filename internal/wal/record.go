@@ -67,14 +67,19 @@ func (rt RecordType) String() string {
 
 // Record is one log entry. Field usage depends on Type:
 //
-//   - Begin/Commit/Abort: Tx.
+//   - Begin/Abort: Tx.
+//   - Commit: Tx, CSN (commit sequence number; 0 for read-only commits).
 //   - Insert: Tx, Table, Row (new image), RowID.
 //   - Delete: Tx, Table, Row (old image), RowID.
 //   - Update: Tx, Table, RowID, Old, Row (new image).
-//   - GroupCommit: Group (all transaction ids committing atomically).
+//   - GroupCommit: Group (all transaction ids committing atomically), CSN.
 //   - Entangle: Tx = entanglement op id, Group = participating transactions.
 //   - CreateTable: Table, Schema columns flattened into Row as
 //     name/type pairs.
+//
+// The CSN on commit-class records lets recovery rebuild the version order
+// of the MVCC store exactly as the live system produced it, and reseed the
+// commit clock past the highest recovered CSN.
 type Record struct {
 	Type  RecordType
 	Tx    TxID
@@ -83,6 +88,7 @@ type Record struct {
 	Row   types.Tuple
 	Old   types.Tuple
 	Group []TxID
+	CSN   uint64
 }
 
 // encode appends the record payload (without framing) to buf.
@@ -98,6 +104,7 @@ func (r *Record) encode(buf []byte) []byte {
 	for _, id := range r.Group {
 		buf = binary.AppendUvarint(buf, uint64(id))
 	}
+	buf = binary.AppendUvarint(buf, r.CSN)
 	return buf
 }
 
@@ -155,6 +162,16 @@ func decodeRecord(buf []byte) (*Record, error) {
 		}
 		pos += w
 		r.Group = append(r.Group, TxID(id))
+	}
+	// Trailing CSN field. Absent in logs written before CSN stamping was
+	// introduced — treat those records as CSN 0 ("committed since
+	// forever"), which is exactly how replay loads pre-MVCC state.
+	if pos < len(buf) {
+		csn, w := binary.Uvarint(buf[pos:])
+		if w <= 0 {
+			return nil, fmt.Errorf("wal: bad csn")
+		}
+		r.CSN = csn
 	}
 	return r, nil
 }

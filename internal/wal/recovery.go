@@ -9,10 +9,11 @@ import (
 // RecoveryStats summarizes what recovery did.
 type RecoveryStats struct {
 	RecordsScanned   int
-	TxCommitted      int // transactions whose effects were redone
-	TxRolledBack     int // transactions discarded (no commit, or widowed group)
-	GroupsRecovered  int // entanglement groups redone atomically
-	GroupsRolledBack int // groups rolled back because a member lacked a commit
+	TxCommitted      int    // transactions whose effects were redone
+	TxRolledBack     int    // transactions discarded (no commit, or widowed group)
+	GroupsRecovered  int    // entanglement groups redone atomically
+	GroupsRolledBack int    // groups rolled back because a member lacked a commit
+	MaxCSN           uint64 // highest commit sequence number seen; seeds the clock
 }
 
 // Recover rebuilds database state from the log at path into cat. Tables
@@ -28,9 +29,11 @@ type RecoveryStats struct {
 //     group is rolled back — the §4 recovery rule that prevents widowed
 //     transactions from surviving a crash.
 //
-// Effects of winners are replayed in log order. Because the engine runs
-// Strict 2PL, conflicting writes of winners appear in the log in a
-// serializable order, so redo-only replay reproduces the committed state.
+// Effects of winners are replayed in log order, stamped with each winner's
+// logged CSN. Because writers hold exclusive row locks to commit (under
+// every isolation level, including snapshot isolation), conflicting writes
+// of winners appear in the log in commit-CSN order, so redo-only replay
+// rebuilds each row's version chain exactly as the live system ordered it.
 func Recover(path string, cat *storage.Catalog) (*RecoveryStats, error) {
 	records, err := ReadAll(path)
 	if err != nil {
@@ -38,8 +41,10 @@ func Recover(path string, cat *storage.Catalog) (*RecoveryStats, error) {
 	}
 	stats := &RecoveryStats{RecordsScanned: len(records)}
 
-	// Pass 1: analysis — committed set and entanglement groups.
+	// Pass 1: analysis — committed set (with each winner's CSN, so replay
+	// can rebuild version order) and entanglement groups.
 	committed := make(map[TxID]bool)
+	commitCSN := make(map[TxID]uint64)
 	seen := make(map[TxID]bool)
 	uf := newUnionFind()
 	for _, r := range records {
@@ -48,9 +53,17 @@ func Recover(path string, cat *storage.Catalog) (*RecoveryStats, error) {
 			seen[r.Tx] = true
 		case RecCommit:
 			committed[r.Tx] = true
+			commitCSN[r.Tx] = r.CSN
+			if r.CSN > stats.MaxCSN {
+				stats.MaxCSN = r.CSN
+			}
 		case RecGroupCommit:
 			for _, tx := range r.Group {
 				committed[tx] = true
+				commitCSN[tx] = r.CSN
+			}
+			if r.CSN > stats.MaxCSN {
+				stats.MaxCSN = r.CSN
 			}
 		case RecEntangle:
 			for _, tx := range r.Group {
@@ -133,7 +146,7 @@ func Recover(path string, cat *storage.Catalog) (*RecoveryStats, error) {
 			if err != nil {
 				return nil, fmt.Errorf("wal: recover insert: %w", err)
 			}
-			if err := tbl.InsertAt(storage.RowID(r.RowID), r.Row); err != nil {
+			if err := tbl.InsertAtCSN(storage.RowID(r.RowID), r.Row, commitCSN[r.Tx]); err != nil {
 				return nil, fmt.Errorf("wal: recover insert: %w", err)
 			}
 		case RecDelete:
@@ -144,7 +157,7 @@ func Recover(path string, cat *storage.Catalog) (*RecoveryStats, error) {
 			if err != nil {
 				return nil, fmt.Errorf("wal: recover delete: %w", err)
 			}
-			if _, err := tbl.Delete(storage.RowID(r.RowID)); err != nil {
+			if _, err := tbl.DeleteCSN(storage.RowID(r.RowID), commitCSN[r.Tx]); err != nil {
 				return nil, fmt.Errorf("wal: recover delete: %w", err)
 			}
 		case RecUpdate:
@@ -155,7 +168,7 @@ func Recover(path string, cat *storage.Catalog) (*RecoveryStats, error) {
 			if err != nil {
 				return nil, fmt.Errorf("wal: recover update: %w", err)
 			}
-			if _, err := tbl.Update(storage.RowID(r.RowID), r.Row); err != nil {
+			if _, err := tbl.UpdateCSN(storage.RowID(r.RowID), r.Row, commitCSN[r.Tx]); err != nil {
 				return nil, fmt.Errorf("wal: recover update: %w", err)
 			}
 		}

@@ -117,7 +117,7 @@ func TestRecoveryPropertyRandomHistories(t *testing.T) {
 				}
 			}
 			if ok {
-				log.Append(GroupCommit(members))
+				log.Append(GroupCommit(members, 0))
 				groupCommits[gid] = true
 			}
 		}
@@ -130,7 +130,7 @@ func TestRecoveryPropertyRandomHistories(t *testing.T) {
 			}
 			switch tx.outcome {
 			case 0:
-				log.Append(Commit(tx.id))
+				log.Append(Commit(tx.id, 0))
 			case 1:
 				log.Append(Abort(tx.id))
 			}

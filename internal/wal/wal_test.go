@@ -37,9 +37,9 @@ func TestAppendReadRoundTrip(t *testing.T) {
 		Update(1, "User", 0, types.Tuple{types.Int(36513), types.Str("SFO")}, types.Tuple{types.Int(36513), types.Str("LAX")}),
 		Delete(1, "User", 0, types.Tuple{types.Int(36513), types.Str("LAX")}),
 		Entangle(7, []TxID{1, 2}),
-		GroupCommit([]TxID{1, 2}),
+		GroupCommit([]TxID{1, 2}, 0),
 		Abort(3),
-		Commit(4),
+		Commit(4, 0),
 	}
 	for _, r := range recs {
 		if err := l.Append(r); err != nil {
@@ -82,7 +82,7 @@ func TestTornTailIgnored(t *testing.T) {
 	if err := l.Append(Begin(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Append(Commit(1)); err != nil {
+	if err := l.Append(Commit(1, 0)); err != nil {
 		t.Fatal(err)
 	}
 	l.Close()
@@ -103,7 +103,7 @@ func TestTornTailIgnored(t *testing.T) {
 func TestCorruptFinalRecordTreatedAsTorn(t *testing.T) {
 	l, path := tmpLog(t)
 	l.Append(Begin(1))
-	l.Append(Commit(1))
+	l.Append(Commit(1, 0))
 	l.Close()
 	data, _ := os.ReadFile(path)
 	data[len(data)-1] ^= 0xFF // flip a bit in the last record's payload
@@ -120,7 +120,7 @@ func TestCorruptFinalRecordTreatedAsTorn(t *testing.T) {
 func TestCorruptMidLogReported(t *testing.T) {
 	l, path := tmpLog(t)
 	l.Append(Begin(1))
-	l.Append(Commit(1))
+	l.Append(Commit(1, 0))
 	l.Close()
 	data, _ := os.ReadFile(path)
 	data[9] ^= 0xFF // corrupt the first record's payload
@@ -142,7 +142,7 @@ func seedLogForRecovery(t *testing.T, l *Log) {
 	// tx1: committed insert.
 	must(l.Append(Begin(1)))
 	must(l.Append(Insert(1, "User", 0, types.Tuple{types.Int(1), types.Str("SFO")})))
-	must(l.Append(Commit(1)))
+	must(l.Append(Commit(1, 0)))
 	// tx2: aborted insert (no commit record).
 	must(l.Append(Begin(2)))
 	must(l.Append(Insert(2, "User", 1, types.Tuple{types.Int(2), types.Str("NYC")})))
@@ -187,11 +187,11 @@ func TestRecoverUpdateDelete(t *testing.T) {
 	must(l.Append(Begin(1)))
 	must(l.Append(Insert(1, "User", 0, types.Tuple{types.Int(1), types.Str("SFO")})))
 	must(l.Append(Insert(1, "User", 1, types.Tuple{types.Int(2), types.Str("NYC")})))
-	must(l.Append(Commit(1)))
+	must(l.Append(Commit(1, 0)))
 	must(l.Append(Begin(2)))
 	must(l.Append(Update(2, "User", 0, types.Tuple{types.Int(1), types.Str("SFO")}, types.Tuple{types.Int(1), types.Str("LAX")})))
 	must(l.Append(Delete(2, "User", 1, types.Tuple{types.Int(2), types.Str("NYC")})))
-	must(l.Append(Commit(2)))
+	must(l.Append(Commit(2, 0)))
 	cat := storage.NewCatalog()
 	if _, err := Recover(path, cat); err != nil {
 		t.Fatal(err)
@@ -223,7 +223,7 @@ func TestRecoverPartialGroupRolledBack(t *testing.T) {
 	must(l.Append(Insert(1, "User", 0, types.Tuple{types.Int(1), types.Str("SFO")})))
 	must(l.Append(Insert(2, "User", 1, types.Tuple{types.Int(2), types.Str("NYC")})))
 	// Buggy individual commit of tx1 only; crash before tx2 commits.
-	must(l.Append(Commit(1)))
+	must(l.Append(Commit(1, 0)))
 	cat := storage.NewCatalog()
 	stats, err := Recover(path, cat)
 	if err != nil {
@@ -256,8 +256,8 @@ func TestRecoverTransitiveGroup(t *testing.T) {
 	must(l.Append(Insert(1, "User", 0, types.Tuple{types.Int(1), types.Str("A")})))
 	must(l.Append(Insert(2, "User", 1, types.Tuple{types.Int(2), types.Str("B")})))
 	must(l.Append(Insert(3, "User", 2, types.Tuple{types.Int(3), types.Str("C")})))
-	must(l.Append(Commit(1)))
-	must(l.Append(Commit(2)))
+	must(l.Append(Commit(1, 0)))
+	must(l.Append(Commit(2, 0)))
 	// tx3 never commits -> all three roll back.
 	cat := storage.NewCatalog()
 	if _, err := Recover(path, cat); err != nil {
@@ -282,7 +282,7 @@ func TestRecoverGroupCommitAtomic(t *testing.T) {
 	must(l.Append(Entangle(100, []TxID{1, 2})))
 	must(l.Append(Insert(1, "User", 0, types.Tuple{types.Int(1), types.Str("SFO")})))
 	must(l.Append(Insert(2, "User", 1, types.Tuple{types.Int(2), types.Str("NYC")})))
-	must(l.Append(GroupCommit([]TxID{1, 2})))
+	must(l.Append(GroupCommit([]TxID{1, 2}, 0)))
 	cat := storage.NewCatalog()
 	stats, err := Recover(path, cat)
 	if err != nil {
@@ -310,7 +310,7 @@ func TestCheckpointAndRecoverAll(t *testing.T) {
 	must(l.Append(Begin(1)))
 	id, _ := tbl.Insert(types.Tuple{types.Int(1), types.Str("SFO")})
 	must(l.Append(Insert(1, "User", id, types.Tuple{types.Int(1), types.Str("SFO")})))
-	must(l.Append(Commit(1)))
+	must(l.Append(Commit(1, 0)))
 
 	// Checkpoint: snapshot current state, truncate log.
 	must(Checkpoint(l, cat))
@@ -322,7 +322,7 @@ func TestCheckpointAndRecoverAll(t *testing.T) {
 	must(l.Append(Begin(2)))
 	id2, _ := tbl.Insert(types.Tuple{types.Int(2), types.Str("NYC")})
 	must(l.Append(Insert(2, "User", id2, types.Tuple{types.Int(2), types.Str("NYC")})))
-	must(l.Append(Commit(2)))
+	must(l.Append(Commit(2, 0)))
 
 	// Crash: recover into a fresh catalog.
 	fresh := storage.NewCatalog()
@@ -379,7 +379,7 @@ func TestSyncModeCommits(t *testing.T) {
 	if err := l.Append(Begin(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Append(Commit(1)); err != nil {
+	if err := l.Append(Commit(1, 0)); err != nil {
 		t.Fatal(err)
 	}
 	recs, err := ReadAll(path)
@@ -392,9 +392,9 @@ func TestAppendBatchSingleFlush(t *testing.T) {
 	l, path := tmpLog(t)
 	defer l.Close()
 	batch := []*Record{
-		GroupCommit([]TxID{1, 2}),
-		GroupCommit([]TxID{3, 4}),
-		Commit(5),
+		GroupCommit([]TxID{1, 2}, 0),
+		GroupCommit([]TxID{3, 4}, 0),
+		Commit(5, 0),
 	}
 	if err := l.AppendBatch(batch); err != nil {
 		t.Fatal(err)
@@ -417,8 +417,8 @@ func TestAppendBatchSingleFlush(t *testing.T) {
 func TestAppendBatchTornTail(t *testing.T) {
 	l, path := tmpLog(t)
 	if err := l.AppendBatch([]*Record{
-		GroupCommit([]TxID{1, 2}),
-		GroupCommit([]TxID{3, 4}),
+		GroupCommit([]TxID{1, 2}, 0),
+		GroupCommit([]TxID{3, 4}, 0),
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -455,11 +455,11 @@ func TestFailedWriteLatchesLog(t *testing.T) {
 	// Force a write error by closing the fd out from under the log, as a
 	// disk failure would.
 	l.f.Close()
-	if err := l.Append(Commit(1)); err == nil {
+	if err := l.Append(Commit(1, 0)); err == nil {
 		t.Fatal("append on failed fd succeeded")
 	}
 	// The log must now be latched: no further appends, loudly.
-	err := l.Append(Commit(2))
+	err := l.Append(Commit(2, 0))
 	if err == nil || !strings.Contains(err.Error(), "log failed") {
 		t.Fatalf("append after failure = %v, want latched log-failed error", err)
 	}
