@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck examples bench-smoke ci
+.PHONY: all build test race vet staticcheck examples bench-smoke bench-json pprof ci
 
 all: build
 
@@ -39,5 +39,21 @@ examples:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . > bench-smoke.txt 2>&1 || (cat bench-smoke.txt; exit 1)
 	@cat bench-smoke.txt
+
+# Machine-readable perf trajectory: one iteration of every benchmark family
+# rendered as BENCH_pr3.json (benchmark name -> experiment seconds;
+# benchmarks without the exp-seconds metric fall back to ns/op converted to
+# seconds). CI derives the same file from bench-smoke.txt and uploads it as
+# an artifact.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . > bench-smoke.txt 2>&1 || (cat bench-smoke.txt; exit 1)
+	$(GO) run ./cmd/benchjson < bench-smoke.txt > BENCH_pr3.json
+	@cat BENCH_pr3.json
+
+# CPU + heap profile of the Figure 6(b) grounding hot path (the cold vs
+# cached sweep); inspect with `go tool pprof cpu.prof` / `mem.prof`.
+pprof:
+	$(GO) test -run '^$$' -bench BenchmarkFigure6bGroundCache -benchtime 2x -cpuprofile cpu.prof -memprofile mem.prof .
+	@echo "inspect with: $(GO) tool pprof cpu.prof   (or mem.prof)"
 
 ci: build vet staticcheck test race

@@ -1,0 +1,66 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// object mapping benchmark name to experiment seconds, so the perf
+// trajectory across PRs is machine-readable (CI uploads BENCH_pr3.json as
+// an artifact).
+//
+// Benchmarks reporting the exp-seconds metric (the figure families) use it
+// directly; plain benchmarks fall back to ns/op converted to seconds.
+//
+//	go test -run '^$' -bench . -benchtime 1x . | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		var expSecs, nsOp float64
+		var haveExp, haveNs bool
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "exp-seconds":
+				expSecs, haveExp = v, true
+			case "ns/op":
+				nsOp, haveNs = v, true
+			}
+		}
+		switch {
+		case haveExp:
+			out[name] = expSecs
+		case haveNs:
+			out[name] = nsOp / 1e9
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(enc))
+}

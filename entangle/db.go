@@ -106,6 +106,13 @@ type Options struct {
 	// concurrent grounding and commit traffic on distinct tables does not
 	// convoy on one mutex.
 	LockShards int
+	// GroundCache enables the cross-round grounding cache: a pending
+	// entangled query is only re-grounded in a later evaluation round when
+	// the CSN fingerprint of its grounded tables advanced (a commit touched
+	// them) or the posing transaction itself wrote a grounded table. Off by
+	// default, so the figure benchmarks reproduce the paper's re-ground-
+	// every-round cost; Stats.GroundCacheHits/Misses report its behavior.
+	GroundCache bool
 	// VacuumInterval enables periodic MVCC version garbage collection: the
 	// engine prunes row versions older than the GC watermark (the oldest
 	// active snapshot) on this cadence. Zero disables automatic vacuuming;
@@ -162,6 +169,7 @@ func Open(opts Options) (*DB, error) {
 		StmtLatency:    opts.StmtLatency,
 		GroundLatency:  opts.GroundLatency,
 		GroundWorkers:  opts.GroundWorkers,
+		GroundCache:    opts.GroundCache,
 		VacuumInterval: opts.VacuumInterval,
 		Trace:          opts.Trace,
 	})

@@ -1,0 +1,123 @@
+package entangle
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Determinism regression for the cross-round grounding cache, mirroring
+// TestSerialParallelDeterminism: the same seeded workload — every pair's
+// first member submitted up front so it pends (and re-grounds) across
+// several evaluation rounds before its partner arrives — must produce
+// identical final table states with the cache off and on. Nothing writes
+// Flights mid-run, so the cached run answers the pending re-groundings from
+// the cache (asserted via Stats) while choosing exactly the groundings the
+// re-grounding run chooses.
+func runGroundCacheWorkload(t *testing.T, cached bool, pairs, seed int) (map[string][]string, Stats) {
+	t.Helper()
+	db, err := Open(Options{
+		GroundCache:    cached,
+		GroundWorkers:  1,
+		RunFrequency:   1,
+		RetryInterval:  time.Hour, // rounds driven by Flush only
+		DefaultTimeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ExecDDL(`
+		CREATE TABLE Flights (fno INT, dest VARCHAR);
+		CREATE TABLE Bookings (name VARCHAR, fno INT);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO Flights VALUES (%d, 'LA')`, 120+seed+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	script := func(me, them string) string {
+		return fmt.Sprintf(`
+			BEGIN TRANSACTION WITH TIMEOUT 30 SECONDS;
+			SELECT '%s', fno AS @fno INTO ANSWER R
+			WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA')
+			AND ('%s', fno) IN ANSWER R
+			CHOOSE 1;
+			INSERT INTO Bookings VALUES ('%s', @fno);
+			COMMIT;`, me, them, me)
+	}
+
+	// First members of every pair: partner-less, they pend and re-ground
+	// across the flushed rounds below.
+	var handles []*Handle
+	for p := 0; p < pairs; p++ {
+		h, err := db.SubmitScript(script(fmt.Sprintf("s%da%d", seed, p), fmt.Sprintf("s%db%d", seed, p)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for i := 0; i < 3; i++ {
+		db.Flush() // rounds of partner-less re-grounding (cache hits when on)
+	}
+	for p := 0; p < pairs; p++ {
+		h, err := db.SubmitScript(script(fmt.Sprintf("s%db%d", seed, p), fmt.Sprintf("s%da%d", seed, p)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	db.Flush()
+	for i, h := range handles {
+		if o := h.Wait(); o.Status != StatusCommitted {
+			t.Fatalf("cached=%v tx %d: %+v", cached, i, o)
+		}
+	}
+
+	state := make(map[string][]string)
+	for _, name := range db.Catalog().Names() {
+		tbl, err := db.Catalog().Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows []string
+		for _, row := range tbl.All() {
+			rows = append(rows, row.String())
+		}
+		sort.Strings(rows)
+		state[name] = rows
+	}
+	return state, db.Stats()
+}
+
+func TestSerialCachedDeterminism(t *testing.T) {
+	const pairs = 6
+	for seed := 1; seed <= 3; seed++ {
+		serial, _ := runGroundCacheWorkload(t, false, pairs, seed)
+		cachedState, st := runGroundCacheWorkload(t, true, pairs, seed)
+		if st.GroundCacheHits == 0 {
+			t.Fatalf("seed %d: cached run had no cache hits (%+v)", seed, st)
+		}
+		if len(serial) != len(cachedState) {
+			t.Fatalf("seed %d: table sets differ: %v vs %v", seed, serial, cachedState)
+		}
+		for name, want := range serial {
+			got := cachedState[name]
+			if len(want) != len(got) {
+				t.Fatalf("seed %d table %s: %d rows uncached vs %d cached", seed, name, len(want), len(got))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("seed %d table %s row %d: uncached %q vs cached %q", seed, name, i, want[i], got[i])
+				}
+			}
+		}
+		if n := len(cachedState["Bookings"]); n != 2*pairs {
+			t.Fatalf("seed %d: %d bookings, want %d", seed, n, 2*pairs)
+		}
+	}
+}

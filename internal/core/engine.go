@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/txn"
@@ -48,6 +49,14 @@ type Options struct {
 	GroundWorkers int
 	// MaxGroundings bounds grounding enumeration per query.
 	MaxGroundings int
+	// GroundCache enables the cross-round grounding cache: a pending
+	// entangled query is re-grounded only when the CSN fingerprint of its
+	// grounded tables has advanced (some commit touched them) or when the
+	// posing transaction itself wrote a grounded table. Off by default so
+	// the figure benchmarks keep reproducing the paper's re-ground-every-
+	// round middle-tier cost; BenchmarkFigure6bGroundCache measures the
+	// win.
+	GroundCache bool
 	// VacuumInterval triggers periodic version garbage collection: the
 	// storage layer prunes row versions older than the GC watermark (the
 	// oldest active snapshot). Zero disables automatic vacuuming; callers
@@ -104,6 +113,10 @@ type Stats struct {
 	WriteConflicts int64 // snapshot-isolation first-committer-wins losses (retried)
 	Vacuums        int64 // automatic version-GC passes
 	VersionsPruned int64 // row versions reclaimed by automatic vacuuming
+
+	GroundCacheHits   int64 // pending queries answered from the cross-round grounding cache
+	GroundCacheMisses int64 // pending queries re-grounded (cold, invalidated, or bypassed)
+	IndexedGroundings int64 // grounding atom probes served by hash indexes instead of scans
 }
 
 // pending is a pooled program awaiting (re)execution.
@@ -142,6 +155,14 @@ type Engine struct {
 	stats   Stats
 
 	nextOp uint64 // entanglement operation ids (guarded by statsMu)
+
+	// Grounding hot-path machinery: the cross-round grounding cache (nil
+	// when Options.GroundCache is off), the atomic index-probe counter the
+	// parallel grounding workers bump, and the pool recycling round scan
+	// buffers.
+	groundCache   *groundCache
+	indexedProbes atomic.Int64
+	scanBufs      sync.Pool
 }
 
 // NewEngine builds an engine over a transaction manager.
@@ -157,6 +178,9 @@ func NewEngine(txm *txn.Manager, opts Options) *Engine {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	if o.GroundCache {
+		e.groundCache = newGroundCache(0)
+	}
 	if o.Trace != nil {
 		txm.SetObserver(&traceObserver{e: e})
 	}
@@ -171,7 +195,9 @@ func (e *Engine) Txm() *txn.Manager { return e.txm }
 func (e *Engine) Stats() Stats {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
-	return e.stats
+	s := e.stats
+	s.IndexedGroundings = e.indexedProbes.Load()
+	return s
 }
 
 // Submit queues an entangled transaction for execution and returns a

@@ -2,10 +2,80 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/storage"
+	"repro/internal/txn"
 	"repro/internal/types"
 )
+
+// roundScans is an evaluation round's shared scan cache. Every query of a
+// round grounds against the same pinned snapshot, so N queries scanning the
+// same table share ONE materialized committed-state copy instead of paying
+// N AllAsOf clones — the dominant allocation of the old grounding path. A
+// poser holding uncommitted writes on a table bypasses the shared copy (its
+// grounding view must include its own versions). Top-level row buffers are
+// recycled across rounds through the engine's buffer pool.
+type roundScans struct {
+	view storage.Snapshot // committed view: round CSN, Self = 0
+	pool *sync.Pool       // of *[]types.Tuple scan buffers
+
+	mu     sync.Mutex
+	tables map[string]*scanEntry
+}
+
+// scanEntry materializes one table's shared scan exactly once; the
+// per-entry Once means concurrent workers materializing DIFFERENT tables
+// never serialize behind each other.
+type scanEntry struct {
+	once sync.Once
+	rows []types.Tuple
+}
+
+func newRoundScans(view storage.Snapshot, pool *sync.Pool) *roundScans {
+	view.Self = 0
+	return &roundScans{view: view, pool: pool, tables: make(map[string]*scanEntry)}
+}
+
+// rows returns the shared committed-snapshot scan of tbl, materializing it
+// on first use — exactly one snapshot scan per table per round no matter
+// how many queries ground on it or how many workers ground them.
+func (rs *roundScans) rows(tbl *storage.Table) []types.Tuple {
+	rs.mu.Lock()
+	e, ok := rs.tables[tbl.Name()]
+	if !ok {
+		e = &scanEntry{}
+		rs.tables[tbl.Name()] = e
+	}
+	rs.mu.Unlock()
+	e.once.Do(func() {
+		var buf []types.Tuple
+		if rs.pool != nil {
+			if p, ok := rs.pool.Get().(*[]types.Tuple); ok && p != nil {
+				buf = (*p)[:0]
+			}
+		}
+		e.rows = tbl.AppendAllAsOf(rs.view, buf)
+	})
+	return e.rows
+}
+
+// release recycles the round's scan buffers. Called after the evaluation
+// round's grounding tasks have all completed; nothing retains the scanned
+// tuples past the round (valuations and answers copy values out), so only
+// the top-level slices are worth pooling.
+func (rs *roundScans) release() {
+	rs.mu.Lock()
+	for name, e := range rs.tables {
+		delete(rs.tables, name)
+		if rs.pool != nil && e.rows != nil {
+			buf := e.rows[:0]
+			rs.pool.Put(&buf)
+		}
+	}
+	rs.mu.Unlock()
+}
 
 // groundReader is the eq.Reader an evaluation round hands each pending
 // query: it reads through the round's pinned snapshot (plus the posing
@@ -16,16 +86,61 @@ import (
 // blocked" argument, because not even transactions outside the run can
 // perturb it mid-round.
 //
+// The reader also implements eq.IndexedReader: equality-bound atoms probe
+// the table's hash indexes through the same snapshot visibility check
+// instead of materializing the whole relation, and full scans are served
+// from the round's shared scan cache when the poser has not written the
+// table.
+//
 // Grounding reads are reported to the trace sink as RG events attributed
-// to the posing transaction, preserving the Appendix C.1 attribution the
-// isolation checker relies on. Autocommit members (no transaction) ground
-// silently, matching §4's "entangled queries outside a transaction block"
-// which hold no state after the round.
+// to the posing transaction (once per table per query, matching the old
+// fetch-each-relation-once behavior), preserving the Appendix C.1
+// attribution the isolation checker relies on. Autocommit members (no
+// transaction) ground silently, matching §4's "entangled queries outside a
+// transaction block" which hold no state after the round.
 type groundReader struct {
-	cat   *storage.Catalog
-	view  storage.Snapshot
-	txID  uint64 // posing transaction (0 for autocommit members)
-	trace TraceSink
+	cat     *storage.Catalog
+	view    storage.Snapshot // round snapshot, Self = posing tx (if any)
+	txID    uint64           // posing transaction (0 for autocommit members)
+	tx      *txn.Txn         // posing transaction handle (nil for autocommit)
+	trace   TraceSink
+	scans   *roundScans   // shared round scan cache (nil: scan directly)
+	indexed *atomic.Int64 // engine's IndexedGroundings counter (nil ok)
+	traced  map[string]bool
+	wroteBy map[string]bool // memoized WroteTable answers (stable while blocked)
+}
+
+// traceRG reports one RG event per grounded table per query. A reader
+// serves exactly one grounding task, so no locking is needed.
+func (g *groundReader) traceRG(table string) {
+	if g.trace == nil || g.txID == 0 || g.traced[table] {
+		return
+	}
+	if g.traced == nil {
+		g.traced = make(map[string]bool)
+	}
+	g.traced[table] = true
+	g.trace.GroundingRead(g.txID, table)
+}
+
+// wrote reports whether the posing transaction holds uncommitted writes on
+// table — the case that must bypass shared (committed-state) caches. The
+// answer is memoized per table: the member is blocked while its query
+// grounds, so its write set cannot change mid-grounding, and per-valuation
+// index probes must not re-walk the undo log every time.
+func (g *groundReader) wrote(table string) bool {
+	if g.tx == nil {
+		return false
+	}
+	if w, ok := g.wroteBy[table]; ok {
+		return w
+	}
+	if g.wroteBy == nil {
+		g.wroteBy = make(map[string]bool)
+	}
+	w := g.tx.WroteTable(table)
+	g.wroteBy[table] = w
+	return w
 }
 
 func (g *groundReader) Scan(table string) ([]types.Tuple, error) {
@@ -33,9 +148,55 @@ func (g *groundReader) Scan(table string) ([]types.Tuple, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: grounding read: %w", err)
 	}
-	rows := tbl.AllAsOf(g.view)
-	if g.trace != nil && g.txID != 0 {
-		g.trace.GroundingRead(g.txID, tbl.Name())
+	g.traceRG(tbl.Name())
+	if g.wrote(tbl.Name()) {
+		// Private view including the poser's own uncommitted versions.
+		return tbl.AllAsOf(g.view), nil
+	}
+	if g.scans != nil {
+		return g.scans.rows(tbl), nil
+	}
+	shared := g.view
+	shared.Self = 0
+	return tbl.AllAsOf(shared), nil
+}
+
+// CanProbe reports whether table carries an equality index over the given
+// column positions (eq.IndexedReader). A positive answer commits the
+// planner to probing instead of scanning, so the grounding-read trace
+// event is emitted here — even if an empty outer atom means no Probe ever
+// executes, the query's read dependency on the table is recorded, exactly
+// as the old fetch-every-relation path did.
+func (g *groundReader) CanProbe(table string, cols []int) bool {
+	tbl, err := g.cat.Get(table)
+	if err != nil {
+		return false
+	}
+	if !tbl.HasIndexForCols(cols) {
+		return false
+	}
+	g.traceRG(tbl.Name())
+	return true
+}
+
+// Probe serves an indexed equality probe through the round snapshot
+// (eq.IndexedReader).
+func (g *groundReader) Probe(table string, cols []int, vals []types.Value) ([]types.Tuple, error) {
+	tbl, err := g.cat.Get(table)
+	if err != nil {
+		return nil, fmt.Errorf("core: grounding read: %w", err)
+	}
+	g.traceRG(tbl.Name())
+	view := g.view
+	if !g.wrote(tbl.Name()) {
+		view.Self = 0
+	}
+	rows, err := tbl.MatchAsOf(view, cols, vals)
+	if err != nil {
+		return nil, fmt.Errorf("core: grounding read: %w", err)
+	}
+	if g.indexed != nil {
+		g.indexed.Add(1)
 	}
 	return rows, nil
 }

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/eq"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// groundCache is the cross-round grounding cache (Options.GroundCache): a
+// pending entangled query that was grounded in an earlier round is NOT
+// re-grounded when nothing it reads has changed — the common case for the
+// long-pending partner-less transactions of the Figure 6(b) sweep, whose
+// re-grounding every round is the p-linear middle-tier cost the paper
+// measures.
+//
+// Entries are keyed by query identity (the canonical {C} H ⇐ B rendering,
+// so two members posing syntactically identical queries share one entry)
+// and validated against a CSN fingerprint: the LastCSN of every grounded
+// table at grounding time. MVCC makes the validation exact — if a table's
+// LastCSN still equals the fingerprint, no commit has touched it since, so
+// a scan at any later round snapshot returns byte-identical rows and the
+// cached groundings are the ones re-grounding would enumerate.
+//
+// Two cases must bypass or invalidate the cache:
+//
+//   - a committed write to any grounded table advances its LastCSN past the
+//     fingerprint: the entry is evicted and the query re-grounds (lookup);
+//   - the posing transaction itself holds uncommitted writes on a grounded
+//     table: its grounding view differs from the committed snapshot the
+//     entry was computed against, so the lookup bypasses the cache (the
+//     entry stays valid for other posers) and the store refuses to cache
+//     the own-writes result.
+//
+// A store is also refused when a table's LastCSN already exceeds the round
+// snapshot's CSN: the commit that advanced it was invisible to this round,
+// so the fingerprint could falsely validate against a later round that sees
+// it.
+type groundCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*groundCacheEntry
+	order   []string // FIFO eviction queue (may hold keys already removed)
+}
+
+type groundCacheEntry struct {
+	tables     []string // the query's grounded (body) tables
+	csns       []uint64 // Table.LastCSN fingerprint at grounding time
+	groundings []*eq.Grounding
+}
+
+// defaultGroundCacheCap bounds the number of cached queries so an engine
+// serving an unbounded stream of distinct queries cannot grow without
+// limit; pending queries are re-grounded on eviction, never answered
+// wrongly.
+const defaultGroundCacheCap = 4096
+
+func newGroundCache(capacity int) *groundCache {
+	if capacity <= 0 {
+		capacity = defaultGroundCacheCap
+	}
+	return &groundCache{cap: capacity, entries: make(map[string]*groundCacheEntry)}
+}
+
+// lookup returns the cached groundings for key when still current. A stale
+// entry (some grounded table's LastCSN moved past the fingerprint) is
+// evicted on sight.
+func (c *groundCache) lookup(key string, cat *storage.Catalog, poser *txn.Txn) ([]*eq.Grounding, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	for i, name := range e.tables {
+		tbl, err := cat.Get(name)
+		if err != nil || tbl.LastCSN() != e.csns[i] {
+			c.mu.Lock()
+			delete(c.entries, key)
+			c.mu.Unlock()
+			return nil, false
+		}
+		if poser != nil && poser.WroteTable(name) {
+			return nil, false
+		}
+	}
+	return e.groundings, true
+}
+
+// store records a freshly grounded result under key. snapCSN is the round
+// snapshot the grounding ran against.
+func (c *groundCache) store(key string, tables []string, snapCSN uint64, cat *storage.Catalog, poser *txn.Txn, groundings []*eq.Grounding) {
+	csns := make([]uint64, len(tables))
+	for i, name := range tables {
+		tbl, err := cat.Get(name)
+		if err != nil {
+			return
+		}
+		if poser != nil && poser.WroteTable(name) {
+			return
+		}
+		csn := tbl.LastCSN()
+		if csn > snapCSN {
+			return
+		}
+		csns[i] = csn
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		// Replace the entry wholesale rather than mutating in place:
+		// lookup hands out the previous entry's fields after dropping the
+		// mutex, and those must stay internally consistent.
+		c.entries[key] = &groundCacheEntry{tables: tables, csns: csns, groundings: groundings}
+		return
+	}
+	for len(c.entries) >= c.cap && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = &groundCacheEntry{tables: tables, csns: csns, groundings: groundings}
+	c.order = append(c.order, key)
+}

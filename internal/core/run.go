@@ -236,7 +236,14 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 	snap := e.txm.AcquireSnapshot()
 	defer snap.Release()
 
+	// All queries of the round ground against one pinned snapshot, so they
+	// share one materialized scan per table (posers that wrote a grounded
+	// table read privately instead).
+	scans := newRoundScans(snap.View, &e.scanBufs)
+	defer scans.release()
+
 	pendings := make([]eq.Pending, len(blocked))
+	cacheKeys := make([]string, len(blocked))
 	for i, m := range blocked {
 		view := snap.View
 		var txID uint64
@@ -246,12 +253,36 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 			txID = m.tx.ID()
 			view.Self = txID
 		}
-		pendings[i] = eq.Pending{ID: i, Query: m.query, Reader: &groundReader{
-			cat:   e.txm.Catalog(),
-			view:  view,
-			txID:  txID,
-			trace: e.opts.Trace,
+		p := eq.Pending{ID: i, Query: m.query, Reader: &groundReader{
+			cat:     e.txm.Catalog(),
+			view:    view,
+			txID:    txID,
+			tx:      m.tx,
+			trace:   e.opts.Trace,
+			scans:   scans,
+			indexed: &e.indexedProbes,
 		}}
+		// Cross-round grounding reuse: a pending query whose grounded
+		// tables' CSN fingerprint has not advanced is answered from its
+		// previous groundings without touching the reader.
+		if e.groundCache != nil {
+			cacheKeys[i] = m.query.String()
+			if gs, ok := e.groundCache.lookup(cacheKeys[i], e.txm.Catalog(), m.tx); ok {
+				p.Cached, p.HasCached = gs, true
+				e.bumpStat(func(s *Stats) { s.GroundCacheHits++ })
+				// Preserve RG attribution for the isolation checker: the
+				// cached result stands in for grounding reads of the same
+				// tables.
+				if sink := e.opts.Trace; sink != nil && txID != 0 {
+					for _, table := range m.query.BodyTables() {
+						sink.GroundingRead(txID, table)
+					}
+				}
+			} else {
+				e.bumpStat(func(s *Stats) { s.GroundCacheMisses++ })
+			}
+		}
+		pendings[i] = p
 	}
 	// Grounding fans out across the bounded worker pool: every query reads
 	// the same immutable snapshot, so parallel grounding (with its simulated
@@ -263,6 +294,19 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 		GroundWorkers: e.opts.GroundWorkers,
 		GroundLatency: e.opts.GroundLatency,
 	})
+
+	// Freshly grounded queries refill the cache (own-writes groundings and
+	// fingerprints already past the round snapshot are refused inside).
+	if e.groundCache != nil {
+		for i, m := range blocked {
+			if pendings[i].HasCached {
+				continue
+			}
+			if gs, ok := res.Groundings[i]; ok {
+				e.groundCache.store(cacheKeys[i], m.query.BodyTables(), snap.View.CSN, e.txm.Catalog(), m.tx, gs)
+			}
+		}
+	}
 
 	// Entanglement components: answered members connected by partner edges
 	// form one entanglement operation each.

@@ -56,6 +56,16 @@ type Pending struct {
 	// Reader supplies the grounding reads. If nil, evaluation fails with
 	// Errored.
 	Reader Reader
+	// Cached supplies this query's groundings from a previous round when
+	// HasCached is set: grounding (and its simulated DBMS round trip) is
+	// skipped and the Reader is not consulted. The caller is responsible
+	// for validating that the cached groundings are still current — the
+	// engine's cross-round grounding cache does so with a CSN fingerprint
+	// of the query's grounded tables.
+	Cached []*Grounding
+	// HasCached distinguishes an empty cached grounding list (a valid
+	// cached result) from no cached result.
+	HasCached bool
 }
 
 // Answer is the result delivered to one query.
@@ -84,6 +94,11 @@ type Result struct {
 	// GroundTables maps Pending.ID to the tables its grounding read — the
 	// quasi-read targets for its partners.
 	GroundTables map[int][]string
+	// Groundings maps Pending.ID to the full grounding enumeration of each
+	// successfully grounded query (cached or fresh). The engine's
+	// cross-round grounding cache stores these, keyed by query identity and
+	// the CSN fingerprint of the grounded tables.
+	Groundings map[int][]*Grounding
 }
 
 // EvalOptions tunes evaluation.
@@ -117,6 +132,7 @@ func Evaluate(pending []Pending, opts EvalOptions) *Result {
 		Answers:      make(map[int]*Answer, len(pending)),
 		Partners:     make(map[int][]int),
 		GroundTables: make(map[int][]string),
+		Groundings:   make(map[int][]*Grounding, len(pending)),
 	}
 	queries := make([]*Query, len(pending))
 	for i, p := range pending {
@@ -130,6 +146,7 @@ func Evaluate(pending []Pending, opts EvalOptions) *Result {
 			continue
 		}
 		res.GroundTables[p.ID] = p.Query.BodyTables()
+		res.Groundings[p.ID] = groundings[i]
 	}
 
 	// The pipeline barrier: however the groundings were produced, the
@@ -212,6 +229,12 @@ func GroundAll(pending []Pending, opts EvalOptions) ([][]*Grounding, []error) {
 	errs := make([]error, len(pending))
 	groundOne := func(i int) {
 		p := pending[i]
+		if p.HasCached {
+			// A validated cached grounding replaces the re-grounding round
+			// trip entirely — no reader access, no simulated latency.
+			groundings[i] = p.Cached
+			return
+		}
 		if opts.GroundLatency > 0 {
 			time.Sleep(opts.GroundLatency)
 		}

@@ -15,6 +15,27 @@ type Reader interface {
 	Scan(table string) ([]types.Tuple, error)
 }
 
+// IndexedReader is an optional Reader extension for readers whose tables
+// carry equality hash indexes. When the grounding planner finds an atom
+// whose argument positions cols are all equality-bound (constants,
+// variables bound by earlier atoms, or variables constrained equal to a
+// constant) and CanProbe reports an index over them, the join routes that
+// atom through Probe instead of materializing the whole relation — the
+// EMBANKS-style candidate pruning of the incremental grounding path.
+//
+// Probe must return exactly the rows Scan would return filtered to those
+// whose positions cols equal vals, in the same relative order, so that
+// probing and scanning enumerate identical groundings in identical order.
+type IndexedReader interface {
+	Reader
+	// CanProbe reports whether table supports an indexed equality probe
+	// over the given column positions.
+	CanProbe(table string, cols []int) bool
+	// Probe returns the rows of table whose column positions cols equal
+	// vals, in scan order.
+	Probe(table string, cols []int, vals []types.Value) ([]types.Tuple, error)
+}
+
 // MapReader is a trivial in-memory Reader for tests and offline evaluation.
 type MapReader map[string][]types.Tuple
 
@@ -27,6 +48,127 @@ func (m MapReader) Scan(table string) ([]types.Tuple, error) {
 	return rows, nil
 }
 
+// atomPlan is the access path chosen for one body atom: either an index
+// probe over its equality-bound positions or an iteration of the scanned
+// relation.
+type atomPlan struct {
+	atom      Atom
+	probe     bool
+	probeCols []int         // schema positions probed (probe only)
+	rows      []types.Tuple // scanned relation (scan only)
+}
+
+// eqBindings extracts the variables constrained equal to a non-NULL
+// constant (?v = c). They count as bound for atom ordering and index
+// probing, and reject rows early during matching. The valuation still binds
+// such variables to the row's value, exactly as the scan path does, so
+// int/date-interoperable constants cannot leak into answers.
+func eqBindings(q *Query) map[string]types.Value {
+	out := make(map[string]types.Value)
+	for _, c := range q.Where {
+		if c.Op != OpEq {
+			continue
+		}
+		v, k := c.Left, c.Right
+		if !v.IsVar {
+			v, k = k, v
+		}
+		if !v.IsVar || k.IsVar || k.Value.IsNull() {
+			continue
+		}
+		if prev, ok := out[v.Name]; ok && !prev.Equal(k.Value) {
+			// Contradictory constants: the eager constraint check rejects
+			// every row anyway; keep the first binding.
+			continue
+		}
+		out[v.Name] = k.Value
+	}
+	return out
+}
+
+// planBody orders the body atoms by boundness (greedily: the atom with the
+// most bound argument positions next, original order breaking ties) and
+// chooses an access path per atom: an index probe when the reader supports
+// one over the atom's bound positions, else a scan of the relation (fetched
+// once per relation). Reordering changes only enumeration order, never the
+// grounding set; it is deterministic, so serial, parallel, and cached
+// evaluation agree.
+func planBody(q *Query, r Reader, eqBound map[string]types.Value) ([]atomPlan, error) {
+	ir, _ := r.(IndexedReader)
+	n := len(q.Body)
+	bound := make(map[string]bool, len(eqBound))
+	for name := range eqBound {
+		bound[name] = true
+	}
+	boundCount := func(a Atom) int {
+		cnt := 0
+		for _, t := range a.Args {
+			if !t.IsVar || bound[t.Name] {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	used := make([]bool, n)
+	plans := make([]atomPlan, 0, n)
+	scans := make(map[string][]types.Tuple)
+	for len(plans) < n {
+		best, bestScore := -1, -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if s := boundCount(q.Body[i]); s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+		used[best] = true
+		atom := q.Body[best]
+		pl := atomPlan{atom: atom}
+		var boundPos []int
+		for j, t := range atom.Args {
+			if !t.IsVar || bound[t.Name] {
+				boundPos = append(boundPos, j)
+			}
+		}
+		if ir != nil && len(boundPos) > 0 {
+			if ir.CanProbe(atom.Rel, boundPos) {
+				pl.probe, pl.probeCols = true, boundPos
+			} else {
+				// Partial probe: an index over any single bound position
+				// still prunes candidates; the match loop re-verifies the
+				// remaining bound positions, so a subset probe is always
+				// semantically equivalent to the full one.
+				for _, c := range boundPos {
+					if ir.CanProbe(atom.Rel, []int{c}) {
+						pl.probe, pl.probeCols = true, []int{c}
+						break
+					}
+				}
+			}
+		}
+		if !pl.probe {
+			rows, ok := scans[atom.Rel]
+			if !ok {
+				var err error
+				rows, err = r.Scan(atom.Rel)
+				if err != nil {
+					return nil, fmt.Errorf("eq: grounding read of %s: %w", atom.Rel, err)
+				}
+				scans[atom.Rel] = rows
+			}
+			pl.rows = rows
+		}
+		plans = append(plans, pl)
+		for _, t := range atom.Args {
+			if t.IsVar {
+				bound[t.Name] = true
+			}
+		}
+	}
+	return plans, nil
+}
+
 // Ground enumerates the groundings of q against r: every valuation of the
 // body (nested-loop join with eager constraint application), instantiated
 // into head and postcondition atoms. Groundings are deduplicated by their
@@ -34,21 +176,24 @@ func (m MapReader) Scan(table string) ([]types.Tuple, error) {
 // deterministic for deterministic readers — the determinism assumption of
 // Appendix C.1.
 //
+// The join is boundness-ordered and index-routed: atoms with more bound
+// argument positions run first, and an atom whose bound positions are
+// covered by a reader index probes it per outer valuation instead of
+// iterating the scanned relation, falling back to scans when no index
+// matches.
+//
 // maxGroundings bounds the enumeration (0 = unlimited) as a safety valve
 // against runaway cross products.
 func Ground(q *Query, r Reader, maxGroundings int) ([]*Grounding, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	// Fetch each body relation once.
-	tables := make(map[string][]types.Tuple)
-	for _, rel := range q.BodyTables() {
-		rows, err := r.Scan(rel)
-		if err != nil {
-			return nil, fmt.Errorf("eq: grounding read of %s: %w", rel, err)
-		}
-		tables[rel] = rows
+	eqBound := eqBindings(q)
+	plans, err := planBody(q, r, eqBound)
+	if err != nil {
+		return nil, err
 	}
+	ir, _ := r.(IndexedReader)
 
 	var out []*Grounding
 	seen := make(map[string]bool)
@@ -59,7 +204,7 @@ func Ground(q *Query, r Reader, maxGroundings int) ([]*Grounding, error) {
 		if maxGroundings > 0 && len(out) >= maxGroundings {
 			return nil
 		}
-		if i == len(q.Body) {
+		if i == len(plans) {
 			// All constraints must hold (unbound ones indicate a constraint
 			// over non-body variables, rejected by Validate).
 			for _, c := range q.Where {
@@ -92,8 +237,30 @@ func Ground(q *Query, r Reader, maxGroundings int) ([]*Grounding, error) {
 			}
 			return nil
 		}
-		atom := q.Body[i]
-		rows := tables[atom.Rel]
+		pl := plans[i]
+		atom := pl.atom
+		rows := pl.rows
+		if pl.probe {
+			vals := make([]types.Value, len(pl.probeCols))
+			for k, c := range pl.probeCols {
+				t := atom.Args[c]
+				switch {
+				case !t.IsVar:
+					vals[k] = t.Value
+				default:
+					if v, ok := val[t.Name]; ok {
+						vals[k] = v
+					} else {
+						vals[k] = eqBound[t.Name]
+					}
+				}
+			}
+			var err error
+			rows, err = ir.Probe(atom.Rel, pl.probeCols, vals)
+			if err != nil {
+				return fmt.Errorf("eq: grounding read of %s: %w", atom.Rel, err)
+			}
+		}
 		for _, row := range rows {
 			if len(row) != len(atom.Args) {
 				return fmt.Errorf("eq: atom %s has arity %d but relation has arity %d", atom, len(atom.Args), len(row))
@@ -108,6 +275,10 @@ func Ground(q *Query, r Reader, maxGroundings int) ([]*Grounding, error) {
 							break
 						}
 					} else {
+						if c, isEq := eqBound[t.Name]; isEq && !c.Equal(row[j]) {
+							ok = false
+							break
+						}
 						val[t.Name] = row[j]
 						bound = append(bound, t.Name)
 					}

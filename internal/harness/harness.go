@@ -37,6 +37,10 @@ type Config struct {
 	// paper's serialized middle-tier evaluation (the linear-in-p cost of
 	// Figure 6(b)); 0 uses the engine's parallel default.
 	GroundWorkers int
+	// GroundCache enables the engine's cross-round grounding cache, so
+	// pending queries whose grounded tables did not change are not
+	// re-grounded every round (the BenchmarkFigure6bGroundCache knob).
+	GroundCache bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -82,6 +86,7 @@ func newDB(cfg Config, connections, runFreq int) (*entangle.DB, *workload.Datase
 		RunFrequency:   runFreq,
 		StmtLatency:    cfg.StmtLatency,
 		GroundWorkers:  cfg.GroundWorkers,
+		GroundCache:    cfg.GroundCache,
 		DefaultTimeout: 5 * time.Minute,
 		RetryInterval:  10 * time.Millisecond,
 	})
@@ -252,6 +257,7 @@ func MeasurePendingStats(cfg Config, p, f int) (float64, entangle.Stats, error) 
 		RunFrequency:   f,
 		GroundLatency:  500 * time.Microsecond,
 		GroundWorkers:  cfg.GroundWorkers,
+		GroundCache:    cfg.GroundCache,
 		DefaultTimeout: 10 * time.Minute,
 		RetryInterval:  500 * time.Millisecond,
 	})

@@ -215,6 +215,107 @@ func (s *idRowSort) Swap(i, j int) {
 	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
 }
 
+// findIndexByCols returns an index whose column-position set equals cols
+// (order-insensitive: a hash index answers an equality probe over its
+// column set no matter how the probe spells the columns). Caller holds
+// t.mu (read).
+func (t *Table) findIndexByCols(cols []int) *hashIndex {
+	for _, ix := range t.indexes {
+		if len(ix.columns) != len(cols) {
+			continue
+		}
+		match := true
+		for _, c := range ix.columns {
+			found := false
+			for _, want := range cols {
+				if c == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ix
+		}
+	}
+	return nil
+}
+
+// HasIndexForCols reports whether an equality probe over the given column
+// positions (any order, no duplicates) is index-accelerated. The grounding
+// planner uses it to decide whether an equality-bound atom probes or scans.
+func (t *Table) HasIndexForCols(cols []int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.findIndexByCols(cols) != nil
+}
+
+// MatchAsOf returns the rows visible to snap whose column positions cols
+// equal vals, cloned, in RowID order — the visibility-aware indexed lookup
+// the grounding hot path probes instead of materializing the whole table.
+// When an index covers the column set the candidates come from its bucket;
+// otherwise every chain is filtered (the scan fallback), so the result is
+// identical either way.
+func (t *Table) MatchAsOf(snap Snapshot, cols []int, vals []types.Value) ([]types.Tuple, error) {
+	if len(cols) != len(vals) {
+		return nil, fmt.Errorf("storage: match on %s: %d columns vs %d values", t.name, len(cols), len(vals))
+	}
+	width := len(t.schema.Columns)
+	for _, c := range cols {
+		if c < 0 || c >= width {
+			return nil, fmt.Errorf("storage: match on %s: column position %d out of range", t.name, c)
+		}
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	match := func(row types.Tuple) bool {
+		for i, c := range cols {
+			if !row[c].Equal(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	var ids []RowID
+	var rows []types.Tuple
+	add := func(id RowID, vs []version) {
+		if row, ok := visibleAt(vs, snap); ok && match(row) {
+			ids = append(ids, id)
+			rows = append(rows, row)
+		}
+	}
+	if ix := t.findIndexByCols(cols); ix != nil {
+		// Build the bucket key in the index's own column order; bucket
+		// candidates may carry the key only in an invisible version, so the
+		// visible row is re-checked by match.
+		key := make(types.Tuple, len(ix.columns))
+		for i, c := range ix.columns {
+			for j, probe := range cols {
+				if probe == c {
+					key[i] = vals[j]
+					break
+				}
+			}
+		}
+		for _, id := range ix.buckets[key.Key()] {
+			add(id, t.rows[id])
+		}
+	} else {
+		for id, vs := range t.rows {
+			add(id, vs)
+		}
+	}
+	sort.Sort(&idRowSort{ids: ids, rows: rows})
+	for i, row := range rows {
+		rows[i] = row.Clone()
+	}
+	return rows, nil
+}
+
 // LookupTx returns the RowIDs of rows whose given columns equal key in
 // reader's current-state view.
 func (t *Table) LookupTx(reader uint64, columns []string, key types.Tuple) ([]RowID, error) {

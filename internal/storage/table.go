@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -46,6 +47,8 @@ type Table struct {
 	indexes  map[string]*hashIndex // by index name
 	lastCSN  uint64                // newest CSN stamped into this table
 	versions int                   // live version count (GC accounting)
+
+	scans atomic.Int64 // full-table scans served (round-scan-cache accounting)
 }
 
 // NewTable creates an empty table.
@@ -332,11 +335,18 @@ func (t *Table) GetAsOf(snap Snapshot, id RowID) (types.Tuple, bool) {
 	return row.Clone(), true
 }
 
+// ScanCount returns the number of full-table scans this table has served.
+// The round-scan-cache regression tests use it to assert that an evaluation
+// round with k queries over one table materializes exactly one snapshot
+// scan.
+func (t *Table) ScanCount() int64 { return t.scans.Load() }
+
 // scanResolved iterates chains in RowID order, resolving each through
 // resolve, and calls fn on live rows. Caller must not retain or mutate the
 // tuple; returning false stops the scan. The table lock is held across the
 // scan, so fn must not call back into the table.
 func (t *Table) scanResolved(resolve func([]version) (types.Tuple, bool), fn func(id RowID, row types.Tuple) bool) {
+	t.scans.Add(1)
 	t.mu.RLock()
 	ids := make([]RowID, 0, len(t.rows))
 	for id := range t.rows {
@@ -384,12 +394,19 @@ func (t *Table) All() []types.Tuple {
 
 // AllAsOf returns every row visible to snap, cloned, in RowID order.
 func (t *Table) AllAsOf(snap Snapshot) []types.Tuple {
-	var out []types.Tuple
+	return t.AppendAllAsOf(snap, nil)
+}
+
+// AppendAllAsOf appends every row visible to snap (cloned, RowID order) to
+// buf and returns the extended slice — the allocation-lean variant the
+// evaluation round's scan cache uses to recycle its per-round buffers
+// instead of growing a fresh slice every round.
+func (t *Table) AppendAllAsOf(snap Snapshot, buf []types.Tuple) []types.Tuple {
 	t.ScanAsOf(snap, func(_ RowID, row types.Tuple) bool {
-		out = append(out, row.Clone())
+		buf = append(buf, row.Clone())
 		return true
 	})
-	return out
+	return buf
 }
 
 // CommittedCSN returns the CSN of the newest committed version of id

@@ -10,8 +10,61 @@ import (
 // format is self-describing: kind byte, then payload (varint for numeric
 // kinds, length-prefixed bytes for strings).
 
+// uvarintLen returns the number of bytes binary.AppendUvarint emits for x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// varintLen returns the number of bytes binary.AppendVarint emits for x
+// (zig-zag encoding, matching encoding/binary).
+func varintLen(x int64) int {
+	ux := uint64(x) << 1
+	if x < 0 {
+		ux = ^ux
+	}
+	return uvarintLen(ux)
+}
+
+// EncodedSize returns the exact number of bytes EncodeValue appends for v.
+func (v Value) EncodedSize() int {
+	switch v.kind {
+	case KindNull:
+		return 1
+	case KindString:
+		return 1 + uvarintLen(uint64(len(v.s))) + len(v.s)
+	default:
+		return 1 + varintLen(v.i)
+	}
+}
+
+// EncodedSize returns the exact number of bytes EncodeTuple appends for t.
+func (t Tuple) EncodedSize() int {
+	n := uvarintLen(uint64(len(t)))
+	for _, v := range t {
+		n += v.EncodedSize()
+	}
+	return n
+}
+
+// grow ensures buf has room for need more bytes with at most one
+// allocation.
+func grow(buf []byte, need int) []byte {
+	if cap(buf)-len(buf) >= need {
+		return buf
+	}
+	grown := make([]byte, len(buf), len(buf)+need)
+	copy(grown, buf)
+	return grown
+}
+
 // EncodeValue appends the binary encoding of v to buf and returns it.
 func EncodeValue(buf []byte, v Value) []byte {
+	buf = grow(buf, v.EncodedSize())
 	buf = append(buf, byte(v.kind))
 	switch v.kind {
 	case KindNull:
@@ -57,8 +110,11 @@ func DecodeValue(buf []byte) (Value, int, error) {
 	}
 }
 
-// EncodeTuple appends the binary encoding of t (length prefix + values).
+// EncodeTuple appends the binary encoding of t (length prefix + values),
+// growing buf at most once using the exact encoded size instead of
+// amortized doubling through repeated appends.
 func EncodeTuple(buf []byte, t Tuple) []byte {
+	buf = grow(buf, t.EncodedSize())
 	buf = binary.AppendUvarint(buf, uint64(len(t)))
 	for _, v := range t {
 		buf = EncodeValue(buf, v)

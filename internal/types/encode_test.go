@@ -1,0 +1,49 @@
+package types
+
+import "testing"
+
+// TestEncodedSizeExact: the size hints must match the encoder byte for
+// byte, or the single-allocation guarantee silently degrades to doubling.
+func TestEncodedSizeExact(t *testing.T) {
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'x'
+	}
+	tuples := []Tuple{
+		{},
+		{Null()},
+		{Int(0), Int(-1), Int(63), Int(64), Int(-65), Int(1 << 40), Int(-(1 << 40))},
+		{Str(""), Str("hello"), Str(string(long)), Bool(true), Bool(false), MustDate("2011-05-03")},
+	}
+	for _, tu := range tuples {
+		for _, v := range tu {
+			if got, want := len(EncodeValue(nil, v)), v.EncodedSize(); got != want {
+				t.Errorf("value %v: encoded %d bytes, EncodedSize %d", v, got, want)
+			}
+		}
+		if got, want := len(EncodeTuple(nil, tu)), tu.EncodedSize(); got != want {
+			t.Errorf("tuple %v: encoded %d bytes, EncodedSize %d", tu, got, want)
+		}
+	}
+}
+
+// TestEncodeTupleAllocsOnce: with the exact size hint, encoding into an
+// empty buffer performs exactly one allocation instead of growing through
+// repeated appends.
+func TestEncodeTupleAllocsOnce(t *testing.T) {
+	tu := Tuple{Int(42), Str("a moderately long string value"), Bool(true), MustDate("2011-05-03"), Null(), Int(-7)}
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = EncodeTuple(nil, tu)
+	})
+	if allocs > 1 {
+		t.Errorf("EncodeTuple allocated %.1f times per op, want 1", allocs)
+	}
+	// Appending into a pre-sized buffer must not allocate at all.
+	buf := make([]byte, 0, tu.EncodedSize())
+	allocs = testing.AllocsPerRun(200, func() {
+		buf = EncodeTuple(buf[:0], tu)
+	})
+	if allocs != 0 {
+		t.Errorf("EncodeTuple into sized buffer allocated %.1f times per op, want 0", allocs)
+	}
+}

@@ -43,14 +43,19 @@ func Open(path string, opts Options) (*Log, error) {
 	return &Log{f: f, path: path, sync: opts.Sync}, nil
 }
 
-// frameInto appends r's length-prefixed, CRC-framed encoding to buf.
+// frameInto appends r's length-prefixed, CRC-framed encoding to buf. The
+// payload is encoded in place after a reserved 8-byte frame header, then
+// the header is patched with the payload's length and CRC — no per-record
+// scratch allocation, so a batch append reuses the Log's single buffer for
+// every frame.
 func frameInto(buf []byte, r *Record) []byte {
-	payload := r.encode(nil)
-	var frame [8]byte
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	buf = append(buf, frame[:]...)
-	return append(buf, payload...)
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = r.encode(buf)
+	payload := buf[start+8:]
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:start+8], crc32.ChecksumIEEE(payload))
+	return buf
 }
 
 // flushClass reports whether a record type demands a durability flush.
