@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck examples bench-smoke bench-json pprof ci
+.PHONY: all build test race vet staticcheck examples serve-smoke bench-smoke bench-json pprof ci
 
 all: build
 
@@ -32,6 +32,13 @@ staticcheck:
 examples:
 	$(GO) test -run TestExamplesRunEndToEnd -count=1 .
 
+# Serving smoke: build the real youtopia-serve binary, start it, run the
+# remote quickstart against it as a second OS process, assert the
+# coordinated answers, and check SIGTERM drains gracefully (also covered
+# by `make test`; this target is the direct entry point and the CI gate).
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 -v .
+
 # One iteration of every benchmark family: a fast sanity pass that the
 # figure harnesses still run end to end (not a measurement). Output is
 # written to bench-smoke.txt, which CI uploads as an artifact; a failing
@@ -41,14 +48,14 @@ bench-smoke:
 	@cat bench-smoke.txt
 
 # Machine-readable perf trajectory: one iteration of every benchmark family
-# rendered as BENCH_pr3.json (benchmark name -> experiment seconds;
-# benchmarks without the exp-seconds metric fall back to ns/op converted to
-# seconds). CI derives the same file from bench-smoke.txt and uploads it as
-# an artifact.
+# — now including BenchmarkServerThroughput, the serving path — rendered as
+# BENCH_pr4.json (benchmark name -> experiment seconds; benchmarks without
+# the exp-seconds metric fall back to ns/op converted to seconds). CI
+# derives the same file from bench-smoke.txt and uploads it as an artifact.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . > bench-smoke.txt 2>&1 || (cat bench-smoke.txt; exit 1)
-	$(GO) run ./cmd/benchjson < bench-smoke.txt > BENCH_pr3.json
-	@cat BENCH_pr3.json
+	$(GO) run ./cmd/benchjson < bench-smoke.txt > BENCH_pr4.json
+	@cat BENCH_pr4.json
 
 # CPU + heap profile of the Figure 6(b) grounding hot path (the cold vs
 # cached sweep); inspect with `go tool pprof cpu.prof` / `mem.prof`.

@@ -8,16 +8,21 @@ package repro
 // for full-size runs).
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/entangle"
+	"repro/entangle/client"
 	"repro/internal/eq"
 	"repro/internal/harness"
 	"repro/internal/lock"
+	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/types"
@@ -423,6 +428,132 @@ func BenchmarkWALAppend(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServerThroughput drives the network service layer end to end:
+// N loopback TCP clients run a mixed load — classical inserts and reads
+// plus entangled pair coordinations (client 2k pairs with client 2k+1) —
+// against one server. This puts the wire protocol, the per-connection
+// dispatch, and the run scheduler on one measured path, so the serving
+// stack is part of the perf trajectory from PR 4 on.
+func BenchmarkServerThroughput(b *testing.B) {
+	for _, clients := range []int{2, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				secs, ops, err := measureServerThroughput(clients, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(secs, "exp-seconds")
+				b.ReportMetric(float64(ops)/secs, "ops/sec")
+			}
+		})
+	}
+}
+
+// measureServerThroughput runs rounds of mixed load through `clients`
+// loopback connections and returns (wall seconds, operations performed).
+// Each round per client is three operations: one INSERT, one SELECT, and
+// one entangled coordination (submit + wait of half a pair).
+func measureServerThroughput(clients, rounds int) (float64, int, error) {
+	db, err := entangle.Open(entangle.Options{RunFrequency: 2})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer db.Close()
+	srv := server.New(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(context.Background())
+	addr := ln.Addr().String()
+
+	admin, err := client.Dial(addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer admin.Close()
+	if err := admin.ExecDDL(`
+		CREATE TABLE Flights (fno INT, fdate DATE, dest VARCHAR);
+		CREATE TABLE Bookings (name VARCHAR, fno INT, fdate DATE);
+		CREATE TABLE Notes (id INT, who VARCHAR);
+	`); err != nil {
+		return 0, 0, err
+	}
+	if _, err := admin.Exec(`
+		INSERT INTO Flights VALUES (122, '2011-05-03', 'LA');
+		INSERT INTO Flights VALUES (123, '2011-05-04', 'LA');
+	`); err != nil {
+		return 0, 0, err
+	}
+
+	pairScript := func(me, them string) string {
+		return fmt.Sprintf(`
+		BEGIN TRANSACTION WITH TIMEOUT 60 SECONDS;
+		SELECT '%s', fno AS @fno, fdate AS @fdate INTO ANSWER FlightRes
+		WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA')
+		AND ('%s', fno, fdate) IN ANSWER FlightRes
+		CHOOSE 1;
+		INSERT INTO Bookings VALUES ('%s', @fno, @fdate);
+		COMMIT;`, me, them, me)
+	}
+
+	conns := make([]*client.Client, clients)
+	for i := range conns {
+		if conns[i], err = client.Dial(addr); err != nil {
+			return 0, 0, err
+		}
+		defer conns[i].Close()
+	}
+
+	var (
+		wg    sync.WaitGroup
+		ops   atomic.Int64
+		fails atomic.Int64
+	)
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := conns[i]
+			partner := i ^ 1 // client 2k coordinates with 2k+1
+			for r := 0; r < rounds; r++ {
+				me := fmt.Sprintf("c%d_r%d", i, r)
+				them := fmt.Sprintf("c%d_r%d", partner, r)
+				if _, err := c.Exec(fmt.Sprintf("INSERT INTO Notes VALUES (%d, '%s')", i*rounds+r, me)); err != nil {
+					fails.Add(1)
+					return
+				}
+				ops.Add(1)
+				if _, err := c.Query(fmt.Sprintf("SELECT who FROM Notes WHERE id=%d", i*rounds+r)); err != nil {
+					fails.Add(1)
+					return
+				}
+				ops.Add(1)
+				if partner < clients {
+					h, err := c.SubmitScript(pairScript(me, them))
+					if err != nil {
+						fails.Add(1)
+						return
+					}
+					if o := h.Wait(); o.Status != entangle.StatusCommitted {
+						fails.Add(1)
+						return
+					}
+					ops.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	if n := fails.Load(); n > 0 {
+		return 0, 0, fmt.Errorf("server throughput: %d clients failed", n)
+	}
+	return secs, int(ops.Load()), nil
 }
 
 func BenchmarkEnginePairEndToEnd(b *testing.B) {

@@ -1,0 +1,105 @@
+// Command youtopia-serve exposes the entangled-transaction engine over
+// TCP: the first deployment shape where two OS processes — two users —
+// coordinate through an entangled query, as in the paper's Figure 1.
+//
+//	youtopia-serve -addr 127.0.0.1:7171 -wal /var/lib/youtopia/wal
+//
+// Clients connect with entangle/client (or youtopia-shell -connect, or
+// anything speaking the internal/wire frame protocol). SIGINT/SIGTERM
+// triggers a graceful drain: listeners close, in-flight requests finish,
+// pooled transactions get their final scheduling runs, then the WAL
+// closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/entangle"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7171", "listen address")
+		walPath     = flag.String("wal", "", "write-ahead log path (empty = in-memory)")
+		syncWAL     = flag.Bool("sync", false, "fsync commit records")
+		freq        = flag.Int("f", 1, "run frequency (arrivals per run)")
+		conns       = flag.Int("connections", 0, "engine connection limit (0 = default 100)")
+		groundCache = flag.Bool("ground-cache", true, "enable the cross-round grounding cache")
+		drainWait   = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	db, err := entangle.Open(entangle.Options{
+		Path:         *walPath,
+		SyncWAL:      *syncWAL,
+		RunFrequency: *freq,
+		Connections:  *conns,
+		GroundCache:  *groundCache,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "youtopia-serve:", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(db)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe(*addr) }()
+
+	// Report the bound address once a listener is up (":0" resolves to a
+	// real port), so scripts and the smoke test can parse it.
+	var bound string
+	for i := 0; i < 100; i++ {
+		if addrs := srv.Addrs(); len(addrs) > 0 {
+			bound = addrs[0].String()
+			break
+		}
+		select {
+		case err := <-serveErr:
+			fmt.Fprintln(os.Stderr, "youtopia-serve:", err)
+			os.Exit(1)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	fmt.Printf("youtopia-serve: listening on %s\n", bound)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Println("youtopia-serve: signal received, draining")
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "youtopia-serve:", err)
+		db.Close()
+		os.Exit(1)
+	}
+
+	// Graceful drain. Network and engine drain run concurrently on one
+	// budget: a client parked in Wait on a transaction whose partner never
+	// arrives is settled only by the engine drain (deterministic
+	// StatusTimedOut/ErrDraining), which in turn lets the network side
+	// finish that in-flight request — sequencing them would deadlock until
+	// the budget expired. New submissions fail once the engine starts
+	// draining; that is the point of SIGTERM.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	engineDrained := make(chan error, 1)
+	go func() { engineDrained <- db.Drain(drainCtx) }()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "youtopia-serve: network drain:", err)
+	}
+	if err := <-engineDrained; err != nil {
+		fmt.Fprintln(os.Stderr, "youtopia-serve: engine drain:", err)
+	}
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "youtopia-serve: close:", err)
+		os.Exit(1)
+	}
+	fmt.Println("youtopia-serve: bye")
+}

@@ -4,10 +4,15 @@
 // so two shells (or one shell with \async) can coordinate through
 // entangled queries.
 //
+// By default the engine runs embedded in the shell process. With
+// -connect host:port the shell becomes a remote client of a
+// youtopia-serve process instead — same SQL, same meta commands — and two
+// shells connected to one server coordinate across OS processes.
+//
 // Meta commands:
 //
 //	\tables          list tables
-//	\stats           engine counters
+//	\stats           engine counters (JSON snapshot)
 //	\async           submit the next BEGIN...COMMIT block without waiting
 //	\wait            wait for all outstanding async transactions
 //	\quit            exit
@@ -15,44 +20,134 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/entangle"
+	"repro/entangle/client"
+	"repro/internal/types"
+	"repro/internal/wire"
 )
+
+// result is the column/row shape both backends produce.
+type result struct {
+	Columns      []string
+	Rows         []types.Tuple
+	RowsAffected int
+}
+
+// waiter abstracts entangle.Handle and client.Handle.
+type waiter interface{ Wait() entangle.Outcome }
+
+// backend is the shell's engine surface, satisfied embedded and remote.
+type backend interface {
+	// Exec runs classical statements through an interactive session (host
+	// variables persist; BEGIN/COMMIT blocks without entangled queries are
+	// legal too, but the shell routes whole blocks through Submit).
+	Exec(src string) (*result, error)
+	// Submit routes a whole script through the run scheduler.
+	Submit(script string) (waiter, error)
+	Tables() ([]wire.TableInfo, error)
+	Stats() (entangle.StatsSnapshot, error)
+	Close() error
+}
+
+// localBackend embeds the engine in the shell process.
+type localBackend struct {
+	db *entangle.DB
+	is *entangle.InteractiveSession
+}
+
+func (l *localBackend) Exec(src string) (*result, error) {
+	res, err := l.is.Exec(src)
+	if err != nil || res == nil {
+		return nil, err
+	}
+	return &result{Columns: res.Columns, Rows: res.Rows, RowsAffected: res.RowsAffected}, nil
+}
+
+func (l *localBackend) Submit(script string) (waiter, error) { return l.db.SubmitScript(script) }
+
+func (l *localBackend) Tables() ([]wire.TableInfo, error) {
+	return wire.TableInfos(l.db.Catalog()), nil
+}
+
+func (l *localBackend) Stats() (entangle.StatsSnapshot, error) { return l.db.StatsSnapshot(), nil }
+
+func (l *localBackend) Close() error {
+	l.is.Close()
+	return l.db.Close()
+}
+
+// remoteBackend speaks to a youtopia-serve process.
+type remoteBackend struct {
+	c  *client.Client
+	is *client.InteractiveSession
+}
+
+func (r *remoteBackend) Exec(src string) (*result, error) {
+	res, err := r.is.Exec(src)
+	if err != nil || res == nil {
+		return nil, err
+	}
+	return &result{Columns: res.Columns, Rows: res.Rows, RowsAffected: res.RowsAffected}, nil
+}
+
+func (r *remoteBackend) Submit(script string) (waiter, error) { return r.c.SubmitScript(script) }
+
+func (r *remoteBackend) Tables() ([]wire.TableInfo, error) { return r.c.Tables() }
+
+func (r *remoteBackend) Stats() (entangle.StatsSnapshot, error) { return r.c.Stats() }
+
+func (r *remoteBackend) Close() error {
+	r.is.Close()
+	return r.c.Close()
+}
 
 func main() {
 	var (
-		walPath = flag.String("wal", "", "write-ahead log path (empty = in-memory)")
-		freq    = flag.Int("f", 1, "run frequency (arrivals per run)")
+		walPath = flag.String("wal", "", "write-ahead log path (empty = in-memory; embedded mode only)")
+		freq    = flag.Int("f", 1, "run frequency (arrivals per run; embedded mode only)")
+		connect = flag.String("connect", "", "connect to a youtopia-serve address instead of running embedded")
 	)
 	flag.Parse()
 
-	db, err := entangle.Open(entangle.Options{Path: *walPath, RunFrequency: *freq})
+	var (
+		be  backend
+		err error
+	)
+	if *connect != "" {
+		var c *client.Client
+		c, err = client.Dial(*connect)
+		if err == nil {
+			be = &remoteBackend{c: c, is: c.Interactive()}
+			fmt.Printf("connected to %s\n", *connect)
+		}
+	} else {
+		var db *entangle.DB
+		db, err = entangle.Open(entangle.Options{Path: *walPath, RunFrequency: *freq})
+		if err == nil {
+			be = &localBackend{db: db, is: db.Interactive()}
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "youtopia-shell:", err)
 		os.Exit(1)
 	}
-	defer db.Close()
+	defer be.Close()
 
 	fmt.Println("Youtopia entangled-transaction shell. \\quit to exit.")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 
-	// Classical statements run through an interactive session, so host
-	// variables persist across statements. Transactions containing
-	// entangled queries must be entered as whole BEGIN...COMMIT blocks,
-	// which are submitted to the run scheduler.
-	interactive := db.Interactive()
-	defer interactive.Close()
-
 	var (
 		buf      strings.Builder
 		inTxn    bool
 		async    bool
-		pending  []*entangle.Handle
+		pending  []waiter
 		pendName []string
 	)
 	prompt := func() {
@@ -74,12 +169,22 @@ func main() {
 			case "\\quit", "\\q":
 				return
 			case "\\tables":
-				for _, name := range db.Catalog().Names() {
-					tbl, _ := db.Catalog().Get(name)
-					fmt.Printf("  %s %s (%d rows)\n", name, tbl.Schema(), tbl.Len())
+				tables, err := be.Tables()
+				if err != nil {
+					fmt.Println("  error:", err)
+					break
+				}
+				for _, tbl := range tables {
+					fmt.Printf("  %s %s (%d rows)\n", tbl.Name, tbl.Schema, tbl.Rows)
 				}
 			case "\\stats":
-				fmt.Printf("  %+v\n", db.Stats())
+				snap, err := be.Stats()
+				if err != nil {
+					fmt.Println("  error:", err)
+					break
+				}
+				data, _ := json.MarshalIndent(snap, "  ", "  ")
+				fmt.Println("  " + string(data))
 			case "\\async":
 				async = true
 				fmt.Println("  next transaction will be submitted asynchronously")
@@ -118,7 +223,7 @@ func main() {
 		inTxn = false
 
 		if wasTxn {
-			h, err := db.SubmitScript(script)
+			h, err := be.Submit(script)
 			if err != nil {
 				fmt.Println("  error:", err)
 			} else if async {
@@ -134,7 +239,7 @@ func main() {
 			}
 			async = false
 		} else {
-			res, err := interactive.Exec(script)
+			res, err := be.Exec(script)
 			switch {
 			case err != nil:
 				fmt.Println("  error:", err)

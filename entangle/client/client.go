@@ -1,0 +1,374 @@
+// Package client is the remote counterpart of package entangle: it speaks
+// the internal/wire frame protocol to a youtopia-serve process and mirrors
+// the DB surface — ExecDDL, Exec/Query, SubmitScript with Handle.Wait,
+// interactive sessions — so a program ports from embedded to remote by
+// changing one constructor:
+//
+//	db, _ := entangle.Open(entangle.Options{})     // embedded
+//	db, _ := client.Dial("127.0.0.1:7171")         // remote
+//
+// A Client multiplexes one TCP connection: requests carry IDs, responses
+// are correlated back, and a blocked Wait never stalls other calls. All
+// methods are safe for concurrent use.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/entangle"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Result mirrors entangle.Result for the fields that travel: columns,
+// rows, and the affected-row count.
+type Result = wire.Result
+
+// Outcome re-exports the engine outcome type; Handle.Wait returns the same
+// statuses (and sentinel errors, via errors.Is) as the embedded API.
+type Outcome = entangle.Outcome
+
+// ErrClosed is returned for calls on a closed client (or one whose
+// connection died; the underlying cause is wrapped).
+var ErrClosed = errors.New("client: connection closed")
+
+// Options tunes Dial.
+type Options struct {
+	// DialTimeout bounds the TCP connect and the protocol handshake (the
+	// version-checking ping), so Dial cannot hang against an endpoint that
+	// accepts connections but never answers. Default 5s.
+	DialTimeout time.Duration
+}
+
+// Client is a remote DB handle over one TCP connection.
+type Client struct {
+	nc net.Conn
+
+	writeMu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *wire.Response
+	err     error // terminal connection error, once set
+}
+
+// Dial connects to a youtopia-serve address ("host:port") and verifies
+// protocol compatibility with a ping.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
+
+// DialOptions is Dial with explicit options.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	timeout := opts.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	c := &Client{nc: nc, pending: make(map[uint64]chan *wire.Response)}
+	// The handshake runs under a read deadline: a peer that accepts TCP but
+	// never speaks the protocol fails the ping instead of hanging Dial.
+	nc.SetReadDeadline(time.Now().Add(timeout))
+	go c.readLoop()
+	resp, err := c.roundTrip(wire.Request{Op: wire.OpPing})
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: ping: %w", err)
+	}
+	if resp.Version != wire.ProtocolVersion {
+		nc.Close()
+		return nil, fmt.Errorf("client: protocol version mismatch: server %d, client %d",
+			resp.Version, wire.ProtocolVersion)
+	}
+	nc.SetReadDeadline(time.Time{})
+	return c, nil
+}
+
+// Close tears down the connection. In-flight calls fail with ErrClosed.
+// Programs already submitted keep running server-side to their own
+// outcome.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	return c.nc.Close()
+}
+
+// readLoop delivers responses to their waiting callers until the
+// connection dies, then fails everything pending.
+func (c *Client) readLoop() {
+	for {
+		var resp wire.Response
+		if err := wire.ReadInto(c.nc, &resp); err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			c.nc.Close()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- &resp
+		}
+	}
+}
+
+// fail marks the client broken and releases every pending caller.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan *wire.Response)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// roundTrip sends one request and blocks for its response.
+func (c *Client) roundTrip(req wire.Request) (*wire.Response, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	ch := make(chan *wire.Response, 1)
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := wire.WriteFrame(c.nc, req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		err = fmt.Errorf("%w: %v", ErrClosed, err)
+		c.fail(err)
+		return nil, err
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	return resp, nil
+}
+
+// call is roundTrip plus server-error unwrapping.
+func (c *Client) call(req wire.Request) (*wire.Response, error) {
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		if e := wire.ErrorForCode(resp.ErrCode, resp.Error); e != nil {
+			return nil, e
+		}
+		return nil, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Ping round-trips a liveness check.
+func (c *Client) Ping() error {
+	_, err := c.call(wire.Request{Op: wire.OpPing})
+	return err
+}
+
+// ExecDDL runs CREATE TABLE / CREATE INDEX statements.
+func (c *Client) ExecDDL(script string) error {
+	_, err := c.call(wire.Request{Op: wire.OpDDL, SQL: script})
+	return err
+}
+
+// Exec runs a classical statement (or bare script) in autocommit mode and
+// returns the last statement's result, like entangle.DB.Exec.
+func (c *Client) Exec(script string) (*Result, error) {
+	resp, err := c.call(wire.Request{Op: wire.OpExec, SQL: script})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Result == nil {
+		return &Result{}, nil
+	}
+	return resp.Result, nil
+}
+
+// Query runs a single SELECT and returns its rows.
+func (c *Client) Query(src string) (*Result, error) { return c.Exec(src) }
+
+// SubmitScript submits a SQL script (BEGIN...COMMIT blocks may contain
+// entangled queries) to the server's run scheduler and returns immediately
+// with a Handle.
+func (c *Client) SubmitScript(script string) (*Handle, error) {
+	resp, err := c.call(wire.Request{Op: wire.OpSubmit, SQL: script})
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{c: c, id: resp.Handle}, nil
+}
+
+// Stats fetches the engine counter snapshot.
+func (c *Client) Stats() (entangle.StatsSnapshot, error) {
+	var snap entangle.StatsSnapshot
+	resp, err := c.call(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(resp.Stats, &snap); err != nil {
+		return snap, fmt.Errorf("client: decode stats: %w", err)
+	}
+	return snap, nil
+}
+
+// Tables lists the catalog.
+func (c *Client) Tables() ([]wire.TableInfo, error) {
+	resp, err := c.call(wire.Request{Op: wire.OpTables})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tables, nil
+}
+
+// Handle awaits a submitted program's outcome, mirroring entangle.Handle.
+// The server delivers an outcome exactly once (and prunes its side of the
+// handle), so retrieval is single-flighted here: concurrent Wait/Poll
+// calls share one server request and every later call reads the cache.
+type Handle struct {
+	c  *Client
+	id uint64
+
+	fetchMu sync.Mutex // single-flights the outcome retrieval
+	mu      sync.Mutex // guards out/got
+	out     Outcome
+	got     bool
+}
+
+func (h *Handle) cached() (Outcome, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.out, h.got
+}
+
+// Wait blocks until the program completes and returns its outcome. A
+// connection failure while waiting reports StatusFailed with the transport
+// error; the program itself still runs to completion server-side.
+func (h *Handle) Wait() Outcome {
+	h.fetchMu.Lock()
+	defer h.fetchMu.Unlock()
+	if o, ok := h.cached(); ok {
+		return o
+	}
+	resp, err := h.c.call(wire.Request{Op: wire.OpWait, Handle: h.id})
+	return h.settle(resp, err)
+}
+
+// Poll reports the outcome without blocking server-side; ok is false while
+// the program is still in flight (or while another goroutine's Wait is
+// already fetching the outcome). A transport error reports ok=true with
+// StatusFailed, like Wait.
+func (h *Handle) Poll() (Outcome, bool) {
+	if !h.fetchMu.TryLock() {
+		// A Wait (or another Poll) is mid-retrieval; its result will land
+		// in the cache. Report "not yet" rather than racing it.
+		if o, ok := h.cached(); ok {
+			return o, true
+		}
+		return Outcome{}, false
+	}
+	defer h.fetchMu.Unlock()
+	if o, ok := h.cached(); ok {
+		return o, true
+	}
+	resp, err := h.c.call(wire.Request{Op: wire.OpPoll, Handle: h.id})
+	if err == nil && !resp.Done {
+		return Outcome{}, false
+	}
+	return h.settle(resp, err), true
+}
+
+func (h *Handle) settle(resp *wire.Response, err error) Outcome {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.got {
+		return h.out
+	}
+	switch {
+	case err != nil:
+		h.out = Outcome{Status: entangle.StatusFailed, Err: err}
+	case resp.Outcome == nil:
+		h.out = Outcome{Status: entangle.StatusFailed, Err: errors.New("client: response missing outcome")}
+	default:
+		h.out = resp.Outcome.ToOutcome()
+	}
+	h.got = true
+	return h.out
+}
+
+// InteractiveSession mirrors entangle.InteractiveSession over the wire:
+// statement-at-a-time classical transactions with BEGIN/COMMIT/ROLLBACK
+// and persistent host variables. Not safe for concurrent use, like its
+// embedded counterpart.
+type InteractiveSession struct {
+	c      *Client
+	id     uint64
+	err    error // session_open failure, reported on first Exec
+	closed bool
+}
+
+// Interactive opens a session. Errors surface on the first Exec, matching
+// the embedded API's signature.
+func (c *Client) Interactive() *InteractiveSession {
+	resp, err := c.call(wire.Request{Op: wire.OpSessionOpen})
+	if err != nil {
+		return &InteractiveSession{c: c, err: err}
+	}
+	return &InteractiveSession{c: c, id: resp.Session}
+}
+
+// Exec executes one statement (or a semicolon-separated batch) in the
+// session and returns the last result.
+func (s *InteractiveSession) Exec(src string) (*Result, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.closed {
+		return nil, errors.New("client: session closed")
+	}
+	resp, err := s.c.call(wire.Request{Op: wire.OpSessionExec, Session: s.id, SQL: src})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Result == nil {
+		return &Result{}, nil
+	}
+	return resp.Result, nil
+}
+
+// Close ends the session; an open transaction block rolls back.
+func (s *InteractiveSession) Close() error {
+	if s.err != nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	_, err := s.c.call(wire.Request{Op: wire.OpSessionClose, Session: s.id})
+	return err
+}
+
+// Values re-exports tuple construction so remote programs read like
+// embedded ones.
+func Values(vs ...types.Value) types.Tuple { return entangle.Values(vs...) }

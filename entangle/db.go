@@ -26,6 +26,7 @@
 package entangle
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -177,7 +178,7 @@ func Open(opts Options) (*DB, error) {
 }
 
 // Close stops the engine and closes the log. Pending transactions fail
-// with ErrEngineClosed.
+// with ErrEngineClosed; call Drain first for a graceful shutdown.
 func (db *DB) Close() error {
 	db.engine.Close()
 	if db.log != nil {
@@ -185,6 +186,15 @@ func (db *DB) Close() error {
 	}
 	return nil
 }
+
+// Drain gracefully winds the engine down: new submissions are rejected,
+// pooled transactions get final scheduling runs until everything completes
+// or no further progress is possible, and the stragglers (transactions
+// whose entanglement partner can no longer arrive) are deterministically
+// aborted with StatusTimedOut/core.ErrDraining. Returns ctx.Err() if the
+// deadline cut the drain short. Call Close afterwards to release the
+// engine and the log; the server's SIGTERM path does exactly that.
+func (db *DB) Drain(ctx context.Context) error { return db.engine.Drain(ctx) }
 
 // Engine exposes the entangled transaction engine.
 func (db *DB) Engine() *core.Engine { return db.engine }

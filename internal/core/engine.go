@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -134,8 +135,9 @@ type Engine struct {
 
 	conns chan struct{} // connection-pool semaphore
 
-	mu     sync.Mutex
-	closed bool
+	mu       sync.Mutex
+	closed   bool
+	draining bool
 
 	// arrivalq carries submitted programs to the scheduler, which ingests
 	// them one at a time between runs — every RunFrequency-th ingested
@@ -145,11 +147,18 @@ type Engine struct {
 	// pool is the dormant transaction pool; scheduler-goroutine local.
 	pool     []*pending
 	arrivals int
+	// drainAborted (scheduler-goroutine local) is set once Drain has
+	// aborted the pool: any arrival that slipped past the Submit-side
+	// draining check (published to arrivalq after the final abort swept the
+	// queue) is failed at ingestion instead of pooled, so nothing can run —
+	// let alone commit — after Drain returned.
+	drainAborted bool
 
-	wake  chan struct{}
-	flush chan chan struct{}
-	stop  chan struct{}
-	done  chan struct{}
+	wake   chan struct{}
+	flush  chan chan struct{}
+	drainq chan drainMsg
+	stop   chan struct{}
+	done   chan struct{}
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -175,6 +184,7 @@ func NewEngine(txm *txn.Manager, opts Options) *Engine {
 		arrivalq: make(chan *pending, 1<<16),
 		wake:     make(chan struct{}, 1),
 		flush:    make(chan chan struct{}),
+		drainq:   make(chan drainMsg),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -209,22 +219,29 @@ func (e *Engine) Submit(p Program) *Handle {
 		timeout = e.opts.DefaultTimeout
 	}
 	ent := &pending{prog: p, deadline: time.Now().Add(timeout), handle: h}
+	// The enqueue happens under e.mu, the same lock Close and Drain take to
+	// flip their flags, so a program is either published before the flag
+	// (and swept by the scheduler's shutdown/drain pass) or refused — never
+	// stranded in arrivalq with a handle nobody will settle. The send is
+	// non-blocking: arrivalq holds 64k entries, and past that failing
+	// loudly beats blocking inside the lock.
 	e.mu.Lock()
-	if e.closed {
+	if e.closed || e.draining {
 		e.mu.Unlock()
 		h.done <- Outcome{Status: StatusFailed, Err: ErrEngineClosed}
+		return h
+	}
+	select {
+	case e.arrivalq <- ent:
+	default:
+		e.mu.Unlock()
+		h.done <- Outcome{Status: StatusFailed, Err: ErrSubmitQueueFull}
 		return h
 	}
 	e.mu.Unlock()
 	e.statsMu.Lock()
 	e.stats.Submitted++
 	e.statsMu.Unlock()
-	select {
-	case e.arrivalq <- ent:
-	case <-e.done:
-		h.done <- Outcome{Status: StatusFailed, Err: ErrEngineClosed}
-		return h
-	}
 	select {
 	case e.wake <- struct{}{}:
 	default:
@@ -297,6 +314,15 @@ func (e *Engine) loop() {
 		case reply := <-e.flush:
 			e.runIfDue(true)
 			reply <- struct{}{}
+		case msg := <-e.drainq:
+			if msg.abort {
+				// Terminal: no further runs — whatever remains (or arrives
+				// late) is failed, never executed.
+				e.abortPoolForDrain()
+			} else {
+				e.runIfDue(true)
+			}
+			msg.reply <- len(e.pool) + len(e.arrivalq)
 		case <-e.wake:
 			e.runIfDue(false)
 		case <-ticker.C:
@@ -323,6 +349,13 @@ func (e *Engine) runIfDue(force bool) {
 		for !trigger {
 			select {
 			case ent := <-e.arrivalq:
+				if e.drainAborted {
+					e.statsMu.Lock()
+					e.stats.Timeouts++
+					e.statsMu.Unlock()
+					ent.handle.done <- Outcome{Status: StatusTimedOut, Err: ErrDraining, Attempts: ent.attempts}
+					continue
+				}
 				e.pool = append(e.pool, ent)
 				e.arrivals++
 				if e.arrivals >= e.opts.RunFrequency {
@@ -384,6 +417,91 @@ func (e *Engine) nextOpID() uint64 {
 	e.nextOp++
 	e.stats.EntangleOps++
 	return e.nextOp
+}
+
+// drainMsg asks the scheduler to execute one forced run (and, with abort
+// set, to fail whatever remains pooled). The reply is the number of
+// transactions still pending afterwards.
+type drainMsg struct {
+	abort bool
+	reply chan int
+}
+
+// Drain stops intake and gives every pooled transaction a final chance to
+// complete: new Submits fail with ErrEngineClosed, then the scheduler
+// executes forced runs until the pool is empty or a run makes no progress
+// (the pool did not shrink — every remaining transaction is waiting for a
+// partner that can no longer arrive). Stragglers are then aborted
+// deterministically with StatusTimedOut/ErrDraining, mirroring a timeout
+// cut short, instead of the blanket ErrEngineClosed failure of a bare
+// Close. Drain is terminal: the engine never accepts work again, and the
+// usual Close must still follow. Returns ctx.Err() when the deadline
+// expired before the pool emptied (remaining work is still aborted).
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrEngineClosed
+	}
+	e.draining = true
+	e.mu.Unlock()
+
+	prev := -1
+	for {
+		if err := ctx.Err(); err != nil {
+			e.drainStep(true)
+			return err
+		}
+		n := e.drainStep(false)
+		if n == 0 {
+			// Seal: a Submit racing the draining check may still publish to
+			// arrivalq after this count; the abort step marks the scheduler
+			// so such stragglers are failed at ingestion, never run.
+			e.drainStep(true)
+			return nil
+		}
+		if prev >= 0 && n >= prev {
+			// No progress: nothing committed or left the pool this round.
+			e.drainStep(true)
+			return nil
+		}
+		prev = n
+	}
+}
+
+// drainStep runs one scheduler round on the drain channel; the engine may
+// already be closed (racing Close), in which case there is nothing to do.
+func (e *Engine) drainStep(abort bool) int {
+	msg := drainMsg{abort: abort, reply: make(chan int, 1)}
+	select {
+	case e.drainq <- msg:
+		return <-msg.reply
+	case <-e.done:
+		return 0
+	}
+}
+
+// abortPoolForDrain fails everything still pooled (scheduler goroutine
+// only) and marks the engine so late-slipping arrivals fail at ingestion.
+func (e *Engine) abortPoolForDrain() {
+	e.drainAborted = true
+	pool := e.pool
+	e.pool = nil
+	for {
+		select {
+		case ent := <-e.arrivalq:
+			pool = append(pool, ent)
+			continue
+		default:
+		}
+		break
+	}
+	for _, ent := range pool {
+		e.statsMu.Lock()
+		e.stats.Timeouts++
+		e.statsMu.Unlock()
+		ent.handle.done <- Outcome{Status: StatusTimedOut, Err: ErrDraining, Attempts: ent.attempts}
+	}
 }
 
 // vacuum runs one version-GC pass between runs, pruning versions below the

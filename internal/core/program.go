@@ -118,6 +118,15 @@ var (
 	ErrEngineClosed = errors.New("core: engine closed")
 	// ErrRolledBack: the body requested rollback.
 	ErrRolledBack = errors.New("core: transaction rolled back by program")
+	// ErrDraining: the engine was draining for shutdown and the transaction
+	// could not complete in the final runs it was given (typically: its
+	// entanglement partner never arrived). Reported with StatusTimedOut —
+	// drain deterministically cuts the §3.1 timeout short.
+	ErrDraining = errors.New("core: engine draining; transaction aborted before completion")
+	// ErrSubmitQueueFull: the arrival queue (64k entries) is saturated; the
+	// submission is refused rather than blocking the caller inside the
+	// engine lock.
+	ErrSubmitQueueFull = errors.New("core: submission queue full")
 )
 
 // Status is the final disposition of a submitted program.
@@ -153,22 +162,49 @@ type Outcome struct {
 	Attempts int // number of runs the transaction participated in
 }
 
-// Handle tracks a submitted program.
+// Handle tracks a submitted program. Wait and Poll are safe for
+// concurrent use from multiple goroutines (the network server waits on
+// and polls the same handle from different requests).
 type Handle struct {
-	done chan Outcome
+	done chan Outcome  // the engine sends the outcome exactly once
+	fin  chan struct{} // closed once out is settled
 	out  Outcome
-	got  bool
 }
 
-func newHandle() *Handle { return &Handle{done: make(chan Outcome, 1)} }
+func newHandle() *Handle {
+	return &Handle{done: make(chan Outcome, 1), fin: make(chan struct{})}
+}
+
+// settle records the outcome received from done and releases every other
+// waiter. Exactly one goroutine can receive from done, so exactly one
+// settles.
+func (h *Handle) settle(o Outcome) {
+	h.out = o
+	close(h.fin)
+}
 
 // Wait blocks until the program reaches a final state.
 func (h *Handle) Wait() Outcome {
-	if !h.got {
-		h.out = <-h.done
-		h.got = true
+	select {
+	case o := <-h.done:
+		h.settle(o)
+	case <-h.fin:
 	}
 	return h.out
+}
+
+// Poll reports the outcome without blocking; ok is false while the
+// program is still in flight.
+func (h *Handle) Poll() (Outcome, bool) {
+	select {
+	case o := <-h.done:
+		h.settle(o)
+		return o, true
+	case <-h.fin:
+		return h.out, true
+	default:
+		return Outcome{}, false
+	}
 }
 
 // internal sentinels for unwinding a program body.

@@ -1,0 +1,473 @@
+// Package server is the network service layer: it exposes an
+// *entangle.DB over TCP using the length-prefixed JSON frame protocol of
+// internal/wire, so separate OS processes — separate users — can pose
+// coordinating entangled queries against one engine. This is the paper's
+// Figure 1 deployment shape: clients connect to a service, and the service
+// unifies their answers.
+//
+// One TCP connection is one client. Requests on a connection execute
+// concurrently (a parked OpWait does not block an OpExec that follows it);
+// responses are correlated by request ID. Connection-scoped state —
+// submitted-program handles and interactive sessions — dies with the
+// connection: open interactive transactions roll back, while submitted
+// programs keep running to their own outcome (a disconnect must not undo
+// a coordination that partners already depend on).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/entangle"
+	"repro/internal/wire"
+)
+
+// Server serves one DB over any number of listeners.
+type Server struct {
+	db *entangle.DB
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[*conn]struct{}
+	closed bool
+
+	connWg sync.WaitGroup // connection read loops
+	reqWg  sync.WaitGroup // in-flight requests (drained by Shutdown)
+}
+
+// New wraps a DB. The caller keeps ownership of the DB: Shutdown quiesces
+// the network side only, so the usual db.Drain + db.Close still follow.
+func New(db *entangle.DB) *Server {
+	return &Server{
+		db:    db,
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[*conn]struct{}),
+	}
+}
+
+// ErrServerClosed is returned by Serve and ListenAndServe after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// ListenAndServe listens on addr (e.g. "127.0.0.1:7171") and serves until
+// Shutdown. Like http.ListenAndServe it blocks; run it on its own
+// goroutine.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown (or a fatal accept
+// error). The listener is closed when Serve returns.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		c := &conn{
+			srv:      s,
+			nc:       nc,
+			handles:  make(map[uint64]*entangle.Handle),
+			sessions: make(map[uint64]*session),
+			slots:    make(chan struct{}, maxInflightPerConn),
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.connWg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.connWg.Done()
+			c.serve()
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown drains the network side: listeners close (no new connections),
+// connections stop reading new requests, in-flight requests finish (bounded
+// by ctx), then every connection is torn down — open interactive
+// transactions roll back. Returns ctx.Err() when in-flight work was cut
+// off. The DB itself is untouched; follow with db.Drain and db.Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	lns := make([]net.Listener, 0, len(s.lns))
+	for ln := range s.lns {
+		lns = append(lns, ln)
+	}
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	for _, ln := range lns {
+		ln.Close()
+	}
+	// Stop intake without killing the write side: expire reads so each
+	// connection's read loop exits, leaving in-flight handlers free to
+	// respond.
+	for _, c := range conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.reqWg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	for _, c := range conns {
+		c.close()
+	}
+	s.connWg.Wait()
+	return err
+}
+
+// Addrs returns the listen addresses (useful with ":0" test listeners).
+func (s *Server) Addrs() []net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []net.Addr
+	for ln := range s.lns {
+		out = append(out, ln.Addr())
+	}
+	return out
+}
+
+// writeTimeout bounds one response write. A client that stops reading its
+// socket eventually fills the TCP send buffer; without a deadline the
+// blocked WriteFrame would hold writeMu forever and park every later
+// handler on this connection.
+const writeTimeout = 30 * time.Second
+
+// maxInflightPerConn caps concurrently executing requests per connection.
+// The read loop blocks once the cap is reached — natural backpressure on a
+// pipelining client instead of one goroutine per frame without bound.
+const maxInflightPerConn = 64
+
+// session wraps an interactive session with its serializing lock:
+// InteractiveSession is statement-at-a-time and not safe for concurrent
+// use, but nothing stops a client from pipelining two session_exec frames.
+type session struct {
+	mu sync.Mutex
+	is *entangle.InteractiveSession
+}
+
+// conn is one client connection.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	writeMu  sync.Mutex     // serializes response frames
+	inflight sync.WaitGroup // requests dispatched on this connection
+	slots    chan struct{}  // per-connection request cap (maxInflightPerConn)
+
+	mu          sync.Mutex
+	handles     map[uint64]*entangle.Handle
+	sessions    map[uint64]*session
+	nextHandle  uint64
+	nextSession uint64
+	closed      bool
+}
+
+// serve is the connection read loop: decode a frame, dispatch the request
+// on its own goroutine (so a parked Wait never blocks the connection), and
+// keep reading. Any framing error ends the connection — after a torn frame
+// the stream cannot be trusted.
+//
+// The socket must outlive the read loop: during Shutdown the loop exits
+// via read deadline while handlers (a parked Wait whose outcome the
+// engine drain is about to settle) still owe responses, so close waits
+// for them. Every program has a timeout, so the handlers — and therefore
+// the teardown of a genuinely dead connection — are bounded.
+func (c *conn) serve() {
+	defer func() {
+		c.inflight.Wait()
+		c.close()
+	}()
+	for {
+		payload, err := wire.ReadFrame(c.nc)
+		if err != nil {
+			return
+		}
+		var req wire.Request
+		if err := json.Unmarshal(payload, &req); err != nil {
+			// The frame was well-formed but the JSON was not: report once,
+			// then give up on the stream.
+			c.writeResp(wire.Response{Error: fmt.Sprintf("bad request: %v", err)})
+			return
+		}
+		// Backpressure: block reading further frames once the connection has
+		// maxInflightPerConn requests executing.
+		c.slots <- struct{}{}
+		// Register the request under the server lock so it cannot race
+		// Shutdown's reqWg.Wait (Add at counter zero concurrent with Wait is
+		// undefined): either the request is registered before closed is set
+		// and Shutdown waits for it, or it is refused.
+		c.srv.mu.Lock()
+		if c.srv.closed {
+			c.srv.mu.Unlock()
+			<-c.slots
+			c.writeResp(fail(req.ID, errors.New("server shutting down")))
+			return
+		}
+		c.srv.reqWg.Add(1)
+		c.inflight.Add(1)
+		c.srv.mu.Unlock()
+		go func() {
+			defer c.srv.reqWg.Done()
+			defer c.inflight.Done()
+			defer func() { <-c.slots }()
+			c.writeResp(c.handle(req))
+		}()
+	}
+}
+
+func (c *conn) writeResp(resp wire.Response) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	// The deadline bounds how long a non-reading client can hold writeMu
+	// (and with it every later handler on this connection).
+	c.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+	err := wire.WriteFrame(c.nc, resp)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, wire.ErrFrameTooLarge) || errors.Is(err, wire.ErrEncode) {
+		// Nothing reached the stream yet: substitute an error response so
+		// the client's request does not hang on a silently dropped reply
+		// (e.g. a SELECT whose rows exceed MaxFrameSize).
+		if wire.WriteFrame(c.nc, wire.Response{ID: resp.ID,
+			Error: fmt.Sprintf("response could not be encoded: %v", err)}) == nil {
+			return
+		}
+	}
+	// The stream is broken (or mid-frame): tear the connection down so the
+	// peer sees a closed socket instead of waiting forever.
+	c.nc.Close()
+}
+
+// close tears down the connection and its sessions (open transactions roll
+// back). Idempotent.
+func (c *conn) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	sessions := c.sessions
+	c.sessions = nil
+	c.handles = nil
+	c.mu.Unlock()
+
+	for _, ses := range sessions {
+		ses.mu.Lock()
+		ses.is.Close()
+		ses.mu.Unlock()
+	}
+	c.nc.Close()
+}
+
+// fail builds an error response, attaching the sentinel code when the
+// error maps onto one of the engine's.
+func fail(id uint64, err error) wire.Response {
+	return wire.Response{ID: id, Error: err.Error(), ErrCode: wire.CodeForError(err)}
+}
+
+// handle executes one request. Every path returns exactly one response.
+func (c *conn) handle(req wire.Request) wire.Response {
+	switch req.Op {
+	case wire.OpPing:
+		return wire.Response{ID: req.ID, OK: true, Version: wire.ProtocolVersion}
+
+	case wire.OpExec:
+		res, err := c.srv.db.Exec(req.SQL)
+		if err != nil {
+			return fail(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, OK: true, Result: toWireResult(res)}
+
+	case wire.OpDDL:
+		if err := c.srv.db.ExecDDL(req.SQL); err != nil {
+			return fail(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, OK: true}
+
+	case wire.OpSubmit:
+		h, err := c.srv.db.SubmitScript(req.SQL)
+		if err != nil {
+			return fail(req.ID, err)
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			// The connection died between read and dispatch; the program
+			// still runs (see package comment), but there is nobody to tell.
+			return fail(req.ID, errors.New("connection closed"))
+		}
+		c.nextHandle++
+		id := c.nextHandle
+		c.handles[id] = h
+		c.mu.Unlock()
+		return wire.Response{ID: req.ID, OK: true, Handle: id}
+
+	case wire.OpWait:
+		h, err := c.lookupHandle(req.Handle)
+		if err != nil {
+			return fail(req.ID, err)
+		}
+		o := h.Wait()
+		// The outcome is delivered exactly once per handle; the client
+		// library caches it (and single-flights concurrent Wait/Poll), so
+		// the entry can be pruned — otherwise a long-lived connection leaks
+		// one handle per submitted script.
+		c.dropHandle(req.Handle)
+		return wire.Response{ID: req.ID, OK: true, Done: true, Outcome: wire.FromOutcome(o)}
+
+	case wire.OpPoll:
+		h, err := c.lookupHandle(req.Handle)
+		if err != nil {
+			return fail(req.ID, err)
+		}
+		if o, ok := h.Poll(); ok {
+			c.dropHandle(req.Handle)
+			return wire.Response{ID: req.ID, OK: true, Done: true, Outcome: wire.FromOutcome(o)}
+		}
+		return wire.Response{ID: req.ID, OK: true, Done: false}
+
+	case wire.OpSessionOpen:
+		ses := &session{is: c.srv.db.Interactive()}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			ses.is.Close()
+			return fail(req.ID, errors.New("connection closed"))
+		}
+		c.nextSession++
+		id := c.nextSession
+		c.sessions[id] = ses
+		c.mu.Unlock()
+		return wire.Response{ID: req.ID, OK: true, Session: id}
+
+	case wire.OpSessionExec:
+		ses, err := c.lookupSession(req.Session)
+		if err != nil {
+			return fail(req.ID, err)
+		}
+		ses.mu.Lock()
+		res, err := ses.is.Exec(req.SQL)
+		ses.mu.Unlock()
+		if err != nil {
+			return fail(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, OK: true, Result: toWireResult(res)}
+
+	case wire.OpSessionClose:
+		c.mu.Lock()
+		ses := c.sessions[req.Session]
+		delete(c.sessions, req.Session)
+		c.mu.Unlock()
+		if ses == nil {
+			return fail(req.ID, fmt.Errorf("unknown session %d", req.Session))
+		}
+		ses.mu.Lock()
+		err := ses.is.Close()
+		ses.mu.Unlock()
+		if err != nil {
+			return fail(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, OK: true}
+
+	case wire.OpStats:
+		snap, err := json.Marshal(c.srv.db.StatsSnapshot())
+		if err != nil {
+			return fail(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, OK: true, Stats: snap}
+
+	case wire.OpTables:
+		return wire.Response{ID: req.ID, OK: true, Tables: wire.TableInfos(c.srv.db.Catalog())}
+
+	default:
+		return fail(req.ID, fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+func (c *conn) lookupHandle(id uint64) (*entangle.Handle, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h := c.handles[id]; h != nil {
+		return h, nil
+	}
+	return nil, fmt.Errorf("unknown handle %d", id)
+}
+
+func (c *conn) dropHandle(id uint64) {
+	c.mu.Lock()
+	delete(c.handles, id)
+	c.mu.Unlock()
+}
+
+func (c *conn) lookupSession(id uint64) (*session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.sessions[id]; s != nil {
+		return s, nil
+	}
+	return nil, fmt.Errorf("unknown session %d", id)
+}
+
+func toWireResult(res *entangle.Result) *wire.Result {
+	if res == nil {
+		return nil
+	}
+	return &wire.Result{
+		Columns:      res.Columns,
+		Rows:         res.Rows,
+		RowsAffected: res.RowsAffected,
+	}
+}

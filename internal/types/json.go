@@ -1,0 +1,93 @@
+package types
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON encoding for values, used by the wire protocol (internal/wire) and
+// anything else that ships tuples across process boundaries. The encoding
+// is a one-key object tagging the kind — NULL is the JSON null — so a
+// Tuple ([]Value) marshals to a plain JSON array with no wrapper types:
+//
+//	NULL          null
+//	INT 42        {"int":42}
+//	VARCHAR "LA"  {"str":"LA"}
+//	BOOL true     {"bool":true}
+//	DATE          {"date":"2011-05-03"}
+//
+// Dates travel in their display form (YYYY-MM-DD) rather than raw
+// epoch-days so that frames stay debuggable with nothing but netcat.
+
+type jsonValue struct {
+	Int  *int64  `json:"int,omitempty"`
+	Str  *string `json:"str,omitempty"`
+	Bool *bool   `json:"bool,omitempty"`
+	Date *string `json:"date,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.kind {
+	case KindNull:
+		return []byte("null"), nil
+	case KindInt:
+		i := v.i
+		return json.Marshal(jsonValue{Int: &i})
+	case KindString:
+		s := v.s
+		return json.Marshal(jsonValue{Str: &s})
+	case KindBool:
+		b := v.i != 0
+		return json.Marshal(jsonValue{Bool: &b})
+	case KindDate:
+		d := v.String()
+		return json.Marshal(jsonValue{Date: &d})
+	default:
+		return nil, fmt.Errorf("types: cannot marshal kind %d", v.kind)
+	}
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	// Fast path: JSON null is the NULL value.
+	if string(data) == "null" {
+		*v = Null()
+		return nil
+	}
+	var jv jsonValue
+	if err := json.Unmarshal(data, &jv); err != nil {
+		return fmt.Errorf("types: bad value encoding: %w", err)
+	}
+	set := 0
+	if jv.Int != nil {
+		set++
+	}
+	if jv.Str != nil {
+		set++
+	}
+	if jv.Bool != nil {
+		set++
+	}
+	if jv.Date != nil {
+		set++
+	}
+	if set != 1 {
+		return fmt.Errorf("types: value encoding must set exactly one of int/str/bool/date, got %d in %s", set, data)
+	}
+	switch {
+	case jv.Int != nil:
+		*v = Int(*jv.Int)
+	case jv.Str != nil:
+		*v = Str(*jv.Str)
+	case jv.Bool != nil:
+		*v = Bool(*jv.Bool)
+	default:
+		d, err := DateFromString(*jv.Date)
+		if err != nil {
+			return err
+		}
+		*v = d
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package types
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	values := []Value{
+		Null(),
+		Int(0),
+		Int(-42),
+		Int(1 << 40),
+		Str(""),
+		Str("LA"),
+		Str(`quotes " and \ slashes`),
+		Bool(true),
+		Bool(false),
+		MustDate("2011-05-03"),
+		MustDate("1969-12-31"),
+	}
+	for _, v := range values {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var got Value
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !got.Equal(v) || got.Kind() != v.Kind() {
+			t.Errorf("round trip %v (%s): got %v kind %v", v, data, got, got.Kind())
+		}
+	}
+}
+
+func TestTupleJSONRoundTrip(t *testing.T) {
+	tup := Tuple{Str("Mickey"), Int(122), MustDate("2011-05-03"), Null(), Bool(true)}
+	data, err := json.Marshal(tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Tuple
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	if len(got) != len(tup) {
+		t.Fatalf("length %d != %d", len(got), len(tup))
+	}
+	for i := range tup {
+		if !got[i].Equal(tup[i]) || got[i].Kind() != tup[i].Kind() {
+			t.Errorf("slot %d: %v != %v", i, got[i], tup[i])
+		}
+	}
+}
+
+func TestValueJSONRejectsMalformed(t *testing.T) {
+	bad := []string{
+		`{}`,                              // nothing set
+		`{"int":1,"str":"x"}`,             // two kinds
+		`{"date":"not-a-date"}`,           // bad date
+		`5`,                               // bare scalar
+		`"x"`,                             // bare string
+		`{"int":"x"}`,                     // wrong payload type
+		`[1,2]`,                           // array
+		`{"int":1,"bool":true}`,           // two kinds again
+		`{"str":"a","date":"2011-05-03"}`, // two kinds again
+	}
+	for _, src := range bad {
+		var v Value
+		if err := json.Unmarshal([]byte(src), &v); err == nil {
+			t.Errorf("expected error for %s, got %v", src, v)
+		}
+	}
+}

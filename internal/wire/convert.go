@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"errors"
+
+	"repro/internal/core"
+)
+
+// Conversions between engine types and their wire forms, shared by the
+// server (encode) and the client (decode) so sentinel errors and statuses
+// survive the trip: errors.Is(o.Err, core.ErrTimeout) holds on the client
+// exactly when it held on the server.
+
+// CodeForError returns the wire code for an engine sentinel error ("" for
+// other errors, which travel as plain text).
+func CodeForError(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, core.ErrDraining):
+		return ErrCodeDraining
+	case errors.Is(err, core.ErrTimeout):
+		return ErrCodeTimeout
+	case errors.Is(err, core.ErrEngineClosed):
+		return ErrCodeEngineClosed
+	case errors.Is(err, core.ErrRolledBack):
+		return ErrCodeRolledBack
+	default:
+		return ""
+	}
+}
+
+// ErrorForCode inverts CodeForError; for unknown codes it falls back to a
+// plain error built from text.
+func ErrorForCode(code, text string) error {
+	switch code {
+	case ErrCodeDraining:
+		return core.ErrDraining
+	case ErrCodeTimeout:
+		return core.ErrTimeout
+	case ErrCodeEngineClosed:
+		return core.ErrEngineClosed
+	case ErrCodeRolledBack:
+		return core.ErrRolledBack
+	}
+	if text == "" {
+		return nil
+	}
+	return errors.New(text)
+}
+
+// FromOutcome renders a core outcome in wire form.
+func FromOutcome(o core.Outcome) *Outcome {
+	out := &Outcome{Status: o.Status.String(), Attempts: o.Attempts}
+	if o.Err != nil {
+		out.Error = o.Err.Error()
+		out.ErrCode = CodeForError(o.Err)
+	}
+	return out
+}
+
+// ToOutcome rebuilds the core outcome on the client side.
+func (o *Outcome) ToOutcome() core.Outcome {
+	out := core.Outcome{Attempts: o.Attempts, Err: ErrorForCode(o.ErrCode, o.Error)}
+	switch o.Status {
+	case core.StatusCommitted.String():
+		out.Status = core.StatusCommitted
+	case core.StatusRolledBack.String():
+		out.Status = core.StatusRolledBack
+	case core.StatusTimedOut.String():
+		out.Status = core.StatusTimedOut
+	default:
+		out.Status = core.StatusFailed
+	}
+	return out
+}

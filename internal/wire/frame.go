@@ -1,0 +1,88 @@
+// Package wire defines the network protocol between youtopia-serve and
+// entangle/client: length-prefixed JSON frames over a byte stream.
+//
+// Framing is deliberately minimal — a 4-byte big-endian payload length
+// followed by one JSON document — so a session can be driven (and
+// debugged) from any language with a socket and a JSON library. The JSON
+// payloads are the Request/Response types in messages.go. Stdlib only.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single frame's payload. A peer announcing a larger
+// frame is malformed (or hostile); readers reject the length before
+// allocating, so garbage length prefixes cannot trigger huge allocations.
+const MaxFrameSize = 8 << 20 // 8 MiB
+
+// ErrFrameTooLarge is returned for frames whose announced payload exceeds
+// MaxFrameSize.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// ErrEncode is wrapped around marshal failures in WriteFrame. Both it and
+// ErrFrameTooLarge are reported before any byte reaches the stream, so the
+// caller may safely substitute a different frame (e.g. an error response).
+var ErrEncode = errors.New("wire: encode")
+
+// headerSize is the length-prefix size in bytes.
+const headerSize = 4
+
+// WriteFrame marshals v and writes one frame. Safe for any JSON-
+// serializable v; the caller serializes concurrent writers.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrEncode, err)
+	}
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, headerSize+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[headerSize:], payload)
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame's payload. io.EOF is returned unwrapped on a
+// clean close (no bytes read); a connection dying mid-frame returns
+// io.ErrUnexpectedEOF. Oversized frames return ErrFrameTooLarge without
+// reading (or allocating) the payload.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	return payload, nil
+}
+
+// ReadInto reads one frame and unmarshals it into v.
+func ReadInto(r io.Reader, v any) error {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("wire: decode frame: %w", err)
+	}
+	return nil
+}

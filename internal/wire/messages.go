@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"encoding/json"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// ProtocolVersion is bumped on incompatible frame-shape changes; Ping
+// responses carry it so clients can detect mismatched servers.
+const ProtocolVersion = 1
+
+// Request ops. One TCP connection carries any mix; the server answers each
+// request with exactly one Response bearing the same ID, not necessarily
+// in order (a Wait parks server-side while later requests proceed).
+const (
+	// OpPing: liveness + protocol version check.
+	OpPing = "ping"
+	// OpExec: run a classical SQL script (autocommit; DDL allowed) and
+	// return the last statement's result. Entangled queries are rejected —
+	// they need OpSubmit so the run scheduler can coordinate them.
+	OpExec = "exec"
+	// OpDDL: run a DDL-only script (CREATE TABLE / CREATE INDEX).
+	OpDDL = "ddl"
+	// OpSubmit: submit a (typically BEGIN...COMMIT, possibly entangled)
+	// script to the run scheduler; returns a server-side handle id
+	// immediately.
+	OpSubmit = "submit"
+	// OpWait: block until the handle's program completes; returns its
+	// Outcome.
+	OpWait = "wait"
+	// OpPoll: non-blocking completion check on a handle.
+	OpPoll = "poll"
+	// OpSessionOpen: open an interactive session (statement-at-a-time
+	// classical transactions: BEGIN/COMMIT/ROLLBACK, host variables).
+	OpSessionOpen = "session_open"
+	// OpSessionExec: execute statements in an interactive session.
+	OpSessionExec = "session_exec"
+	// OpSessionClose: close an interactive session (open transaction rolls
+	// back).
+	OpSessionClose = "session_close"
+	// OpStats: engine counter snapshot (the \stats frame).
+	OpStats = "stats"
+	// OpTables: catalog listing.
+	OpTables = "tables"
+)
+
+// Request is the client→server frame payload.
+type Request struct {
+	ID      uint64 `json:"id"`
+	Op      string `json:"op"`
+	SQL     string `json:"sql,omitempty"`     // exec / ddl / submit / session_exec
+	Handle  uint64 `json:"handle,omitempty"`  // wait / poll
+	Session uint64 `json:"session,omitempty"` // session_exec / session_close
+}
+
+// Response is the server→client frame payload. Exactly one per request,
+// correlated by ID. OK false carries Error (and ErrCode when the error is
+// one of the engine's sentinel conditions).
+//
+// One exception to the correlation rule: a well-framed request whose JSON
+// cannot be decoded at all has an unrecoverable ID, so the server answers
+// with ID 0 and then closes the connection (the stream can no longer be
+// trusted). Clients should treat an ID-0 error response as fatal to the
+// connection, not to any particular request.
+type Response struct {
+	ID      uint64 `json:"id"`
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+	ErrCode string `json:"err_code,omitempty"`
+
+	Version int             `json:"version,omitempty"` // ping
+	Result  *Result         `json:"result,omitempty"`  // exec / session_exec
+	Handle  uint64          `json:"handle,omitempty"`  // submit
+	Session uint64          `json:"session,omitempty"` // session_open
+	Done    bool            `json:"done,omitempty"`    // poll: outcome present
+	Outcome *Outcome        `json:"outcome,omitempty"` // wait / poll
+	Stats   json.RawMessage `json:"stats,omitempty"`   // stats (entangle.StatsSnapshot)
+	Tables  []TableInfo     `json:"tables,omitempty"`  // tables
+}
+
+// Result is a query result in wire form; rows reuse the value encoding of
+// internal/types (see types/json.go).
+type Result struct {
+	Columns      []string      `json:"columns,omitempty"`
+	Rows         []types.Tuple `json:"rows,omitempty"`
+	RowsAffected int           `json:"rows_affected,omitempty"`
+}
+
+// Outcome is a program's final disposition in wire form. Status is the
+// core.Status string (COMMITTED, ROLLED-BACK, TIMED-OUT, FAILED).
+type Outcome struct {
+	Status   string `json:"status"`
+	Error    string `json:"error,omitempty"`
+	ErrCode  string `json:"err_code,omitempty"`
+	Attempts int    `json:"attempts"`
+}
+
+// ErrCode values let the client map sentinel failures back onto the
+// engine's error variables, so errors.Is works across the wire.
+const (
+	ErrCodeTimeout      = "timeout"       // core.ErrTimeout
+	ErrCodeEngineClosed = "engine_closed" // core.ErrEngineClosed
+	ErrCodeRolledBack   = "rolled_back"   // core.ErrRolledBack
+	ErrCodeDraining     = "draining"      // core.ErrDraining
+)
+
+// TableInfo is one catalog entry.
+type TableInfo struct {
+	Name   string `json:"name"`
+	Schema string `json:"schema"`
+	Rows   int    `json:"rows"`
+}
+
+// TableInfos renders a catalog in wire form — one shared implementation
+// for the server's tables frame and the shell's embedded \tables, so the
+// two listings cannot drift.
+func TableInfos(cat *storage.Catalog) []TableInfo {
+	var out []TableInfo
+	for _, name := range cat.Names() {
+		tbl, err := cat.Get(name)
+		if err != nil {
+			continue // dropped between Names and Get
+		}
+		out = append(out, TableInfo{Name: name, Schema: tbl.Schema().String(), Rows: tbl.Len()})
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package repro
+
+// Serve smoke: the full two-OS-process deployment. A real youtopia-serve
+// binary is built and started, the remote quickstart runs against it as a
+// separate process, the coordinated answers are asserted, and SIGTERM
+// must drain gracefully. `make serve-smoke` runs exactly this test; it is
+// also part of `make test` so drift fails CI twice over.
+
+import (
+	"bufio"
+	"context"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve smoke skipped in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	bin := filepath.Join(t.TempDir(), "youtopia-serve")
+	build := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/youtopia-serve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build youtopia-serve: %v\n%s", err, out)
+	}
+
+	// Start the server on an ephemeral port and parse the bound address
+	// from its banner.
+	srv := exec.CommandContext(ctx, bin, "-addr", "127.0.0.1:0")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = srv.Stdout
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	serverDone := make(chan error, 1)
+
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+		serverDone <- srv.Wait()
+	}()
+	t.Cleanup(func() {
+		srv.Process.Kill()
+	})
+
+	var addr string
+	for line := range lines {
+		if rest, ok := strings.CutPrefix(line, "youtopia-serve: listening on "); ok {
+			addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("server never reported its address")
+	}
+
+	// The remote quickstart runs as its own OS process against the server.
+	quick := exec.CommandContext(ctx, "go", "run", "./examples/remote", "-connect", addr)
+	out, err := quick.CombinedOutput()
+	if err != nil {
+		t.Fatalf("remote quickstart: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"Mickey: COMMITTED",
+		"Minnie: COMMITTED",
+		"booked flight",
+		"group commits",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("quickstart output missing %q:\n%s", want, text)
+		}
+	}
+	// Both users booked the same flight: every "booked flight" line names
+	// the same flight number.
+	var flights []string
+	for _, line := range strings.Split(text, "\n") {
+		if i := strings.Index(line, "booked flight "); i >= 0 {
+			flights = append(flights, strings.Fields(line[i:])[2])
+		}
+	}
+	if len(flights) != 2 || flights[0] != flights[1] {
+		t.Errorf("expected two bookings on one flight, got %v:\n%s", flights, text)
+	}
+
+	// SIGTERM drains gracefully.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var tail []string
+	for line := range lines {
+		tail = append(tail, line)
+	}
+	if err := <-serverDone; err != nil {
+		t.Fatalf("server exit: %v (output: %s)", err, strings.Join(tail, " / "))
+	}
+	joined := strings.Join(tail, "\n")
+	if !strings.Contains(joined, "draining") || !strings.Contains(joined, "bye") {
+		t.Errorf("graceful shutdown banner missing:\n%s", joined)
+	}
+}
