@@ -48,14 +48,15 @@ bench-smoke:
 	@cat bench-smoke.txt
 
 # Machine-readable perf trajectory: one iteration of every benchmark family
-# — now including BenchmarkServerThroughput, the serving path — rendered as
-# BENCH_pr4.json (benchmark name -> experiment seconds; benchmarks without
+# — now including BenchmarkAblationSolver, the exact-vs-greedy
+# coordinating-set ablation — rendered as
+# BENCH_pr5.json (benchmark name -> experiment seconds; benchmarks without
 # the exp-seconds metric fall back to ns/op converted to seconds). CI
 # derives the same file from bench-smoke.txt and uploads it as an artifact.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . > bench-smoke.txt 2>&1 || (cat bench-smoke.txt; exit 1)
-	$(GO) run ./cmd/benchjson < bench-smoke.txt > BENCH_pr4.json
-	@cat BENCH_pr4.json
+	$(GO) run ./cmd/benchjson < bench-smoke.txt > BENCH_pr5.json
+	@cat BENCH_pr5.json
 
 # CPU + heap profile of the Figure 6(b) grounding hot path (the cold vs
 # cached sweep); inspect with `go tool pprof cpu.prof` / `mem.prof`.

@@ -203,6 +203,53 @@ func BenchmarkAblationIsolation(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationSolver isolates the coordinating-set solver: the exact
+// branch-and-bound search (solver=exact) against the pre-exact greedy
+// closure (solver=greedy, SolveBudget<0). On the disjoint Figure 6(c)
+// structures the two must match answers and stay within noise of each
+// other — exactness there costs only the component decomposition. On the
+// competing chain-contest workload (a pair and a 3-cycle contending for
+// one member) greedy answers 2 of every group where exact answers the
+// provably maximum 3; the answered-per-group metric exposes it.
+func BenchmarkAblationSolver(b *testing.B) {
+	budgets := map[string]int{"exact": 0, "greedy": -1}
+	for _, solver := range []string{"exact", "greedy"} {
+		for _, s := range []workload.Structure{workload.SpokeHub, workload.Cycle} {
+			b.Run(fmt.Sprintf("disjoint/%s/%s/k=5", solver, s), func(b *testing.B) {
+				cfg := benchCfg(60)
+				cfg.SolveBudget = budgets[solver]
+				for i := 0; i < b.N; i++ {
+					secs, err := harness.MeasureStructure(cfg, s, 5, 10)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(secs, "exp-seconds")
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("competing/%s/chain", solver), func(b *testing.B) {
+			cfg := benchCfg(0)
+			cfg.SolveBudget = budgets[solver]
+			const groups = 12
+			for i := 0; i < b.N; i++ {
+				secs, answered, err := harness.MeasureCompeting(cfg, workload.ChainContest, 0, groups, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				want := 3 * groups
+				if solver == "greedy" {
+					want = 2 * groups
+				}
+				if answered != want {
+					b.Fatalf("%s solver answered %d, want %d", solver, answered, want)
+				}
+				b.ReportMetric(secs, "exp-seconds")
+				b.ReportMetric(float64(answered)/groups, "answered/group")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationRunFrequency isolates the §4 scheduling knob: cost of a
 // fixed workload under different run frequencies.
 func BenchmarkAblationRunFrequency(b *testing.B) {

@@ -35,11 +35,12 @@ func main() {
 		freqs6c = flag.String("f6c", "10,50", "run frequencies for 6c")
 		workers = flag.Int("workers", 1, "grounding pool size (1 = paper's serialized middle tier, matching the published figures; 0 = engine parallel default)")
 		gcache  = flag.Bool("groundcache", false, "enable the cross-round grounding cache (pending queries re-ground only when their tables' CSN fingerprint advances)")
+		solveB  = flag.Int("solvebudget", 0, "exact coordinating-set search budget in nodes (0 = default; negative = greedy-closure ablation)")
 	)
 	flag.Parse()
 
-	cfg := harness.Config{N: *n, Users: *users, StmtLatency: *latency, Seed: *seed, GroundWorkers: *workers, GroundCache: *gcache}
-	fmt.Printf("youtopia-bench: N=%d users=%d latency=%v seed=%d workers=%d groundcache=%v\n\n", *n, *users, *latency, *seed, *workers, *gcache)
+	cfg := harness.Config{N: *n, Users: *users, StmtLatency: *latency, Seed: *seed, GroundWorkers: *workers, GroundCache: *gcache, SolveBudget: *solveB}
+	fmt.Printf("youtopia-bench: N=%d users=%d latency=%v seed=%d workers=%d groundcache=%v solvebudget=%d\n\n", *n, *users, *latency, *seed, *workers, *gcache, *solveB)
 
 	run6a := func() {
 		series, err := harness.Figure6a(cfg, ints(*conns))

@@ -72,4 +72,22 @@ func main() {
 	} {
 		fmt.Printf("  %-12s entangled=%v autocommit=%v\n", k, k.Entangled(), k.Autocommit())
 	}
+
+	fmt.Println("\ncompeting structures (overlapping coordination; exact-solver territory):")
+	for _, c := range []struct {
+		kind    workload.CompetingKind
+		buyers  int
+		contest string
+	}{
+		{workload.HubContest, 0, "two hubs contend for one spoke (deterministic tie)"},
+		{workload.MarketContest, 4, "N buyers, one seller, one award"},
+		{workload.ChainContest, 0, "pair vs 3-cycle through a shared member (greedy answers 2, exact 3)"},
+	} {
+		progs, err := d.BuildCompeting(c.kind, c.buyers, 0)
+		if err != nil {
+			fmt.Println("youtopia-gen:", err)
+			return
+		}
+		fmt.Printf("  %-16s %d programs — %s\n", c.kind, len(progs), c.contest)
+	}
 }

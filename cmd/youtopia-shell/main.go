@@ -13,6 +13,7 @@
 //
 //	\tables          list tables
 //	\stats           engine counters (JSON snapshot)
+//	\checkpoint      snapshot + truncate the WAL (embedded -wal mode only)
 //	\async           submit the next BEGIN...COMMIT block without waiting
 //	\wait            wait for all outstanding async transactions
 //	\quit            exit
@@ -52,6 +53,9 @@ type backend interface {
 	Submit(script string) (waiter, error)
 	Tables() ([]wire.TableInfo, error)
 	Stats() (entangle.StatsSnapshot, error)
+	// Checkpoint snapshots the database and truncates the WAL (embedded
+	// mode only; requires -wal).
+	Checkpoint() error
 	Close() error
 }
 
@@ -77,6 +81,8 @@ func (l *localBackend) Tables() ([]wire.TableInfo, error) {
 
 func (l *localBackend) Stats() (entangle.StatsSnapshot, error) { return l.db.StatsSnapshot(), nil }
 
+func (l *localBackend) Checkpoint() error { return l.db.Checkpoint() }
+
 func (l *localBackend) Close() error {
 	l.is.Close()
 	return l.db.Close()
@@ -101,6 +107,10 @@ func (r *remoteBackend) Submit(script string) (waiter, error) { return r.c.Submi
 func (r *remoteBackend) Tables() ([]wire.TableInfo, error) { return r.c.Tables() }
 
 func (r *remoteBackend) Stats() (entangle.StatsSnapshot, error) { return r.c.Stats() }
+
+func (r *remoteBackend) Checkpoint() error {
+	return fmt.Errorf("\\checkpoint is embedded-mode only (the server owns its WAL)")
+}
 
 func (r *remoteBackend) Close() error {
 	r.is.Close()
@@ -185,6 +195,12 @@ func main() {
 				}
 				data, _ := json.MarshalIndent(snap, "  ", "  ")
 				fmt.Println("  " + string(data))
+			case "\\checkpoint":
+				if err := be.Checkpoint(); err != nil {
+					fmt.Println("  error:", err)
+					break
+				}
+				fmt.Println("  checkpoint complete (snapshot written, log truncated)")
 			case "\\async":
 				async = true
 				fmt.Println("  next transaction will be submitted asynchronously")

@@ -247,3 +247,208 @@ func TestCrashDuringGroupCommitBatch(t *testing.T) {
 		t.Fatal("full log did not recover both pairs")
 	}
 }
+
+// TestCheckpointCSNSurvivesRestart is the regression test for the lost
+// commit clock: a checkpoint truncates the log, so without the snapshot-
+// header CSN a restart would reseed the clock at 0 and reuse sequence
+// numbers that version visibility and ground-cache fingerprints already
+// depend on. The clock must strictly advance across checkpoint + restart.
+func TestCheckpointCSNSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "csn.wal")
+	db, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ExecDDL("CREATE TABLE T (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO T VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	csn0 := db.Engine().Txm().CSN()
+	if csn0 == 0 {
+		t.Fatal("commit clock did not advance before checkpoint")
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	// The truncated log alone carries no commits; the snapshot header must
+	// reseed the clock.
+	cat := storage.NewCatalog()
+	stats, err := wal.RecoverAll(path, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SnapshotCSN != csn0 || stats.MaxCSN != csn0 {
+		t.Fatalf("recovery stats SnapshotCSN=%d MaxCSN=%d, want both %d", stats.SnapshotCSN, stats.MaxCSN, csn0)
+	}
+
+	db2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.Engine().Txm().CSN(); got != csn0 {
+		t.Fatalf("restart seeded clock at %d, want %d", got, csn0)
+	}
+	if _, err := db2.Exec("INSERT INTO T VALUES (99)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Engine().Txm().CSN(); got <= csn0 {
+		t.Fatalf("clock did not strictly advance after restart: %d <= %d", got, csn0)
+	}
+	res, err := db2.Query("SELECT a FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("recovered %d rows, want 4", len(res.Rows))
+	}
+}
+
+// TestCheckpointConcurrentCommitsAtomic hammers Checkpoint against a
+// stream of two-table transactions (each commits matching rows to L and R)
+// and treats every checkpoint boundary as a crash point: the (snapshot,
+// log) file pair captured after each checkpoint must recover to a state
+// where L and R agree exactly — a torn snapshot (L scanned pre-commit, R
+// post-commit) with the repairing log records truncated away would break
+// the invariant, and so would any committed write lost by truncation.
+func TestCheckpointConcurrentCommitsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.wal")
+	db, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ExecDDL(`
+		CREATE TABLE L (v INT);
+		CREATE TABLE R (v INT);
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	const perWriter = 50
+	var wg sync.WaitGroup
+	var committed atomic.Int64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				v := int64(w*perWriter + i)
+				o := db.RunDirect(Program{Body: func(tx *Tx) error {
+					if _, err := tx.Insert("L", Values(Int(v))); err != nil {
+						return err
+					}
+					_, err := tx.Insert("R", Values(Int(v)))
+					return err
+				}})
+				if o.Status != StatusCommitted {
+					t.Errorf("writer %d insert %d: %+v", w, i, o)
+					return
+				}
+				committed.Add(1)
+				// Pace the stream so plenty of checkpoints land between
+				// (and around) commits instead of the writers finishing
+				// inside the first checkpoint.
+				time.Sleep(500 * time.Microsecond)
+			}
+		}(w)
+	}
+
+	// Checkpoint continuously while the writers commit, capturing the
+	// (snapshot, log) pair right after each checkpoint — a crash at that
+	// moment recovers exactly these bytes.
+	type capture struct{ snap, log []byte }
+	var captures []capture
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for stop := false; !stop; {
+		select {
+		case <-done:
+			stop = true
+		case <-time.After(2 * time.Millisecond):
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Errorf("checkpoint: %v", err)
+			break
+		}
+		snap, err := os.ReadFile(wal.SnapshotPath(path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		logBytes, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		captures = append(captures, capture{snap, logBytes})
+	}
+	if t.Failed() {
+		return
+	}
+	if len(captures) < 3 {
+		t.Fatalf("only %d checkpoints raced the writers; test too weak", len(captures))
+	}
+
+	check := func(label string, snap, logBytes []byte, wantRows int) {
+		cdir := t.TempDir()
+		cpath := filepath.Join(cdir, "crash.wal")
+		if err := os.WriteFile(cpath, logBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(wal.SnapshotPath(cpath), snap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cat := storage.NewCatalog()
+		if _, err := wal.RecoverAll(cpath, cat); err != nil {
+			t.Fatalf("%s: recovery: %v", label, err)
+		}
+		rows := func(table string) map[int64]int {
+			tbl, err := cat.Get(table)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			out := make(map[int64]int)
+			for _, r := range tbl.All() {
+				out[r[0].Int64()]++
+			}
+			return out
+		}
+		l, r := rows("L"), rows("R")
+		if len(l) != len(r) {
+			t.Fatalf("%s: torn commit recovered: %d L rows vs %d R rows", label, len(l), len(r))
+		}
+		for v, n := range l {
+			if n != 1 || r[v] != 1 {
+				t.Fatalf("%s: value %d recovered L=%d R=%d times", label, v, n, r[v])
+			}
+		}
+		if wantRows >= 0 && len(l) != wantRows {
+			t.Fatalf("%s: recovered %d committed pairs, want %d", label, len(l), wantRows)
+		}
+	}
+	// Validate every crash point when few, a spread when many.
+	stride := 1
+	if len(captures) > 60 {
+		stride = len(captures) / 60
+	}
+	for i := 0; i < len(captures); i += stride {
+		check(fmt.Sprintf("capture %d", i), captures[i].snap, captures[i].log, -1)
+	}
+	// The final durable state must hold every committed write.
+	finalSnap, err := os.ReadFile(wal.SnapshotPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalLog, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("final", finalSnap, finalLog, int(committed.Load()))
+}

@@ -114,6 +114,14 @@ type Options struct {
 	// default, so the figure benchmarks reproduce the paper's re-ground-
 	// every-round cost; Stats.GroundCacheHits/Misses report its behavior.
 	GroundCache bool
+	// SolveBudget bounds the exact coordinating-set search per evaluation
+	// round, in search nodes (0 = the default budget). Rounds that exhaust
+	// the budget fall back to the greedy closure and are counted in
+	// Stats.SolveFallbacks. Negative always runs the greedy closure — the
+	// pre-exact solver, kept only for ablation benchmarks, which does NOT
+	// guarantee a maximum-size answered set when coordination structures
+	// compete.
+	SolveBudget int
 	// VacuumInterval enables periodic MVCC version garbage collection: the
 	// engine prunes row versions older than the GC watermark (the oldest
 	// active snapshot) on this cadence. Zero disables automatic vacuuming;
@@ -171,6 +179,7 @@ func Open(opts Options) (*DB, error) {
 		GroundLatency:  opts.GroundLatency,
 		GroundWorkers:  opts.GroundWorkers,
 		GroundCache:    opts.GroundCache,
+		SolveBudget:    opts.SolveBudget,
 		VacuumInterval: opts.VacuumInterval,
 		Trace:          opts.Trace,
 	})
@@ -289,13 +298,27 @@ func (db *DB) SubmitScript(script string) (*Handle, error) {
 // active snapshot (or the current commit clock when none is active).
 func (db *DB) Vacuum() int { return db.txm.Vacuum() }
 
-// Checkpoint snapshots the database and truncates the log (quiescent
-// checkpoint; call between runs).
+// Checkpoint snapshots the database and truncates the log. The checkpoint
+// quiesces the transaction manager first: in-flight work (scheduler runs,
+// direct transactions, open interactive blocks, DDL) drains while new work
+// blocks, so no commit can land between the snapshot scan and the log
+// truncation — a racing commit would otherwise be torn across tables in
+// the snapshot while its log records were erased. The snapshot header
+// records the commit clock, and recovery restarts the clock from
+// max(snapshot CSN, log CSNs), so sequence numbers are never reused across
+// a checkpointed restart.
+//
+// Checkpoint blocks until in-flight work drains; an interactive session
+// holding an open BEGIN block stalls it (and new work) until that block
+// ends. Do NOT call Checkpoint from inside a Program body or an open
+// interactive block — it would wait on its own unit of work and deadlock.
 func (db *DB) Checkpoint() error {
 	if db.log == nil {
 		return fmt.Errorf("entangle: no WAL configured")
 	}
-	return wal.Checkpoint(db.log, db.cat)
+	return db.txm.Quiesced(func(csn uint64) error {
+		return wal.Checkpoint(db.log, db.cat, csn)
+	})
 }
 
 // Flush synchronously executes one scheduling run (deterministic testing).

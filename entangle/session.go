@@ -83,8 +83,14 @@ func (s *InteractiveSession) execOne(st sql.Stmt) (*Result, error) {
 		if s.tx != nil {
 			return nil, fmt.Errorf("entangle: transaction already open")
 		}
+		// An open interactive block is one unit of work against the
+		// checkpoint quiescence gate: a checkpoint waits for COMMIT or
+		// ROLLBACK, so it can never tear this transaction's log records
+		// away from its commit record.
+		s.db.txm.Enter()
 		tx, err := s.db.engine.BeginClassical()
 		if err != nil {
+			s.db.txm.Exit()
 			return nil, err
 		}
 		s.tx = tx
@@ -95,6 +101,7 @@ func (s *InteractiveSession) execOne(st sql.Stmt) (*Result, error) {
 		}
 		err := s.tx.Commit()
 		s.tx = nil
+		s.db.txm.Exit()
 		return &Result{}, err
 	case *sql.RollbackStmt:
 		if s.tx == nil {
@@ -102,6 +109,7 @@ func (s *InteractiveSession) execOne(st sql.Stmt) (*Result, error) {
 		}
 		err := s.tx.Abort()
 		s.tx = nil
+		s.db.txm.Exit()
 		return &Result{}, err
 	case *sql.CreateTableStmt, *sql.CreateIndexStmt:
 		if s.tx != nil {
@@ -117,11 +125,14 @@ func (s *InteractiveSession) execOne(st sql.Stmt) (*Result, error) {
 				// Statement failure poisons the block: roll back.
 				s.tx.Abort()
 				s.tx = nil
+				s.db.txm.Exit()
 				return nil, err
 			}
 			return res, nil
 		}
-		// Autocommit statement.
+		// Autocommit statement: one self-contained unit of work.
+		s.db.txm.Enter()
+		defer s.db.txm.Exit()
 		tx, err := s.db.engine.BeginClassical()
 		if err != nil {
 			return nil, err
@@ -143,6 +154,7 @@ func (s *InteractiveSession) Close() error {
 	if s.tx != nil {
 		err := s.tx.Abort()
 		s.tx = nil
+		s.db.txm.Exit()
 		return err
 	}
 	return nil

@@ -24,6 +24,9 @@ type StatsSnapshot struct {
 	GroundCacheHits   int64 `json:"ground_cache_hits"`
 	GroundCacheMisses int64 `json:"ground_cache_misses"`
 	IndexedGroundings int64 `json:"indexed_groundings"`
+
+	SolveSteps     int64 `json:"solve_steps"`
+	SolveFallbacks int64 `json:"solve_fallbacks"`
 }
 
 // SnapshotStats converts raw engine counters into the serializable form.
@@ -48,6 +51,9 @@ func SnapshotStats(s Stats) StatsSnapshot {
 		GroundCacheHits:   s.GroundCacheHits,
 		GroundCacheMisses: s.GroundCacheMisses,
 		IndexedGroundings: s.IndexedGroundings,
+
+		SolveSteps:     s.SolveSteps,
+		SolveFallbacks: s.SolveFallbacks,
 	}
 }
 

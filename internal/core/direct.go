@@ -29,64 +29,77 @@ func (e *Engine) RunDirect(p Program) Outcome {
 	ent := &pending{prog: p, deadline: deadline}
 
 	for {
-		ent.attempts++
-		r := &run{e: e, direct: true}
-		r.cond = sync.NewCond(&r.mu)
-		r.active = 1
-		m := &member{
-			run:      r,
-			entry:    ent,
-			answerCh: make(chan answerMsg, 1),
-			partners: make(map[*member]bool),
+		o, done := e.runDirectOnce(p, ent, deadline)
+		if done {
+			return o
 		}
-		r.members = []*member{m}
+	}
+}
 
-		e.acquireConn()
-		var beginErr error
-		if !p.Autocommit {
-			m.tx, beginErr = e.txm.Begin(levelFor(e.opts.Isolation))
-		}
-		var err error
-		if beginErr != nil {
-			err = beginErr
-		} else {
-			err = runBody(m)
-		}
-		e.releaseConn()
+// runDirectOnce performs one attempt of RunDirect. It reports done=false
+// when the attempt hit a retryable abort and should be retried.
+func (e *Engine) runDirectOnce(p Program, ent *pending, deadline time.Time) (Outcome, bool) {
+	ent.attempts++
+	r := &run{e: e, direct: true}
+	r.cond = sync.NewCond(&r.mu)
+	r.active = 1
+	m := &member{
+		run:      r,
+		entry:    ent,
+		answerCh: make(chan answerMsg, 1),
+		partners: make(map[*member]bool),
+	}
+	r.members = []*member{m}
 
-		switch {
-		case err == nil:
-			if m.tx != nil {
-				if cerr := m.tx.Commit(); cerr != nil {
-					e.bumpStat(func(s *Stats) { s.Failures++ })
-					return Outcome{Status: StatusFailed, Err: cerr, Attempts: ent.attempts}
-				}
+	// Each direct attempt is one unit of work against the checkpoint
+	// quiescence gate: begin, body, and commit/abort all inside it.
+	e.txm.Enter()
+	defer e.txm.Exit()
+	e.acquireConn()
+	var beginErr error
+	if !p.Autocommit {
+		m.tx, beginErr = e.txm.Begin(levelFor(e.opts.Isolation))
+	}
+	var err error
+	if beginErr != nil {
+		err = beginErr
+	} else {
+		err = runBody(m)
+	}
+	e.releaseConn()
+
+	switch {
+	case err == nil:
+		if m.tx != nil {
+			if cerr := m.tx.Commit(); cerr != nil {
+				e.bumpStat(func(s *Stats) { s.Failures++ })
+				return Outcome{Status: StatusFailed, Err: cerr, Attempts: ent.attempts}, true
 			}
-			e.bumpStat(func(s *Stats) { s.Commits++ })
-			return Outcome{Status: StatusCommitted, Attempts: ent.attempts}
-		case errors.Is(err, errRetrySentinel):
-			if m.tx != nil {
-				m.tx.Abort()
-			}
-			if time.Now().After(deadline) {
-				e.bumpStat(func(s *Stats) { s.Timeouts++ })
-				return Outcome{Status: StatusTimedOut, Err: ErrTimeout, Attempts: ent.attempts}
-			}
-			e.bumpStat(func(s *Stats) { s.Requeues++ })
-			continue
-		case errors.Is(err, errRollbackSentinel):
-			if m.tx != nil {
-				m.tx.Abort()
-			}
-			e.bumpStat(func(s *Stats) { s.Rollbacks++ })
-			return Outcome{Status: StatusRolledBack, Err: ErrRolledBack, Attempts: ent.attempts}
-		default:
-			if m.tx != nil {
-				m.tx.Abort()
-			}
-			e.bumpStat(func(s *Stats) { s.Failures++ })
-			return Outcome{Status: StatusFailed, Err: err, Attempts: ent.attempts}
 		}
+		e.bumpStat(func(s *Stats) { s.Commits++ })
+		return Outcome{Status: StatusCommitted, Attempts: ent.attempts}, true
+	case errors.Is(err, errRetrySentinel):
+		if m.tx != nil {
+			m.tx.Abort()
+		}
+		if time.Now().After(deadline) {
+			e.bumpStat(func(s *Stats) { s.Timeouts++ })
+			return Outcome{Status: StatusTimedOut, Err: ErrTimeout, Attempts: ent.attempts}, true
+		}
+		e.bumpStat(func(s *Stats) { s.Requeues++ })
+		return Outcome{}, false
+	case errors.Is(err, errRollbackSentinel):
+		if m.tx != nil {
+			m.tx.Abort()
+		}
+		e.bumpStat(func(s *Stats) { s.Rollbacks++ })
+		return Outcome{Status: StatusRolledBack, Err: ErrRolledBack, Attempts: ent.attempts}, true
+	default:
+		if m.tx != nil {
+			m.tx.Abort()
+		}
+		e.bumpStat(func(s *Stats) { s.Failures++ })
+		return Outcome{Status: StatusFailed, Err: err, Attempts: ent.attempts}, true
 	}
 }
 

@@ -50,6 +50,14 @@ type Options struct {
 	GroundWorkers int
 	// MaxGroundings bounds grounding enumeration per query.
 	MaxGroundings int
+	// SolveBudget bounds the exact coordinating-set search per evaluation
+	// round, in search nodes (0 = eq.DefaultSolveBudget). A round that
+	// exhausts the budget falls back to the greedy closure for the
+	// remaining components — valid answers, no longer guaranteed
+	// maximum-size — and Stats.SolveFallbacks counts it. Negative skips
+	// the exact search entirely and always runs greedy closure (the
+	// pre-exact solver, kept for ablation benchmarks).
+	SolveBudget int
 	// GroundCache enables the cross-round grounding cache: a pending
 	// entangled query is re-grounded only when the CSN fingerprint of its
 	// grounded tables has advanced (some commit touched them) or when the
@@ -118,6 +126,9 @@ type Stats struct {
 	GroundCacheHits   int64 // pending queries answered from the cross-round grounding cache
 	GroundCacheMisses int64 // pending queries re-grounded (cold, invalidated, or bypassed)
 	IndexedGroundings int64 // grounding atom probes served by hash indexes instead of scans
+
+	SolveSteps     int64 // coordinating-set search nodes across all evaluation rounds
+	SolveFallbacks int64 // rounds where the exact search ran out of budget and fell back to greedy closure
 }
 
 // pending is a pooled program awaiting (re)execution.

@@ -81,6 +81,12 @@ func lockingLevel(iso Isolation) bool {
 // members, alternate member execution with entangled-query evaluation
 // rounds, then commit/abort per the group-commit rules.
 func (e *Engine) executeRun(batch []*pending) {
+	// One run is one unit of work against the checkpoint quiescence gate:
+	// every member transaction begins, logs, and finalizes inside this
+	// bracket, so a checkpoint either runs before the whole run or after
+	// it — never against a half-committed run.
+	e.txm.Enter()
+	defer e.txm.Exit()
 	r := &run{e: e}
 	r.cond = sync.NewCond(&r.mu)
 	for _, ent := range batch {
@@ -293,6 +299,13 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 		MaxGroundings: e.opts.MaxGroundings,
 		GroundWorkers: e.opts.GroundWorkers,
 		GroundLatency: e.opts.GroundLatency,
+		SolveBudget:   e.opts.SolveBudget,
+	})
+	e.bumpStat(func(s *Stats) {
+		s.SolveSteps += int64(res.Solve.Steps)
+		if res.Solve.Exhausted {
+			s.SolveFallbacks++
+		}
 	})
 
 	// Freshly grounded queries refill the cache (own-writes groundings and

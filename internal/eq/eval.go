@@ -99,6 +99,10 @@ type Result struct {
 	// cross-round grounding cache stores these, keyed by query identity and
 	// the CSN fingerprint of the grounded tables.
 	Groundings map[int][]*Grounding
+	// Solve reports what the coordinating-set search did this round —
+	// search nodes spent, component count, and whether any component
+	// exhausted its budget and fell back to the greedy closure.
+	Solve SolveStats
 }
 
 // EvalOptions tunes evaluation.
@@ -119,6 +123,11 @@ type EvalOptions struct {
 	// the simulated round trips exactly as a real middle tier would overlap
 	// its SQL queries). Zero disables the simulation.
 	GroundLatency time.Duration
+	// SolveBudget bounds the exact coordinating-set search in nodes per
+	// round (0 = DefaultSolveBudget). Negative skips the exact search and
+	// runs the greedy closure alone — the pre-exact behavior, kept for
+	// ablation benchmarks.
+	SolveBudget int
 }
 
 // Evaluate runs one round of entangled query answering over the pending
@@ -152,7 +161,8 @@ func Evaluate(pending []Pending, opts EvalOptions) *Result {
 	// The pipeline barrier: however the groundings were produced, the
 	// coordinating-set search consumes them indexed by submission order, so
 	// its choices are independent of worker scheduling.
-	chosen := Solve(groundings)
+	chosen, solveStats := SolveBudget(groundings, opts.SolveBudget)
+	res.Solve = solveStats
 
 	// Entanglement membership: queries whose chosen groundings exchange
 	// atoms. Build atom -> producer query and atom -> consumer queries maps

@@ -130,3 +130,59 @@ func TestGroundAllLatencyOverlaps(t *testing.T) {
 		t.Fatalf("parallel grounding took %v vs serial %v; round trips did not overlap", parallel, serial)
 	}
 }
+
+// competingPendingSet builds a pending set where coordination structures
+// COMPETE — one spoke contested by a pair hub and a 3-chain, plus a
+// two-hub tie — so the exact solver has real backtracking to do and any
+// schedule-sensitivity in its choices would surface as different winners.
+func competingPendingSet() []Pending {
+	reader := contestReader()
+	queries := append(competingChainQueries(), // contested spoke + pair hub + 3-chain
+		contestQuery("t", "bid", ""),   // tied spoke
+		contestQuery("bid", "t", "d1"), // tie hub 1
+		contestQuery("bid", "t", "d2"), // tie hub 2
+	)
+	pending := make([]Pending, len(queries))
+	for i, qu := range queries {
+		pending[i] = Pending{ID: i, Query: qu, Reader: reader}
+	}
+	return pending
+}
+
+// TestEvaluateCompetingDeterministicUnderSchedules runs the competing
+// pending set through the parallel grounding pipeline many times (the race
+// suite shuffles goroutine schedules) and demands the exact solver pick
+// the identical coordinating set every time: the 3-chain over the pair,
+// and the earlier hub in the tie.
+func TestEvaluateCompetingDeterministicUnderSchedules(t *testing.T) {
+	var ref *Result
+	for iter := 0; iter < 60; iter++ {
+		pending := competingPendingSet()
+		res := Evaluate(pending, EvalOptions{GroundWorkers: 8})
+		if res.Solve.Answered != 5 {
+			t.Fatalf("iteration %d: answered %d, want 5 (chain of 3 + tie pair)", iter, res.Solve.Answered)
+		}
+		for _, id := range []int{0, 2, 3, 4, 5} {
+			if res.Answers[id].Status != Answered {
+				t.Fatalf("iteration %d: query %d status %v, want ANSWERED", iter, id, res.Answers[id].Status)
+			}
+		}
+		for _, id := range []int{1, 6} {
+			if res.Answers[id].Status != EmptyAnswer {
+				t.Fatalf("iteration %d: losing query %d status %v, want EMPTY", iter, id, res.Answers[id].Status)
+			}
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for id := range ref.Answers {
+			if !reflect.DeepEqual(ref.Answers[id], res.Answers[id]) {
+				t.Fatalf("iteration %d: answer for query %d diverged across schedules", iter, id)
+			}
+			if !reflect.DeepEqual(ref.Partners[id], res.Partners[id]) {
+				t.Fatalf("iteration %d: partners for query %d diverged across schedules", iter, id)
+			}
+		}
+	}
+}

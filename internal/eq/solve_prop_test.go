@@ -194,3 +194,242 @@ func TestSolveBudgetTerminates(t *testing.T) {
 		}
 	}
 }
+
+// --- exact-solver properties ---------------------------------------------
+
+// bruteForceMax exhaustively enumerates every assignment (each query: one
+// of its groundings or unanswered) and returns the size of the maximum
+// coordinating set — the oracle the exact solver must match.
+func bruteForceMax(groundings [][]*Grounding) int {
+	n := len(groundings)
+	assign := make([]int, n)
+	best := 0
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			heads := make(map[string]bool)
+			count := 0
+			for qi, gi := range assign {
+				if gi < 0 {
+					continue
+				}
+				count++
+				for _, h := range groundings[qi][gi].Head {
+					heads[h.Key()] = true
+				}
+			}
+			if count <= best {
+				return
+			}
+			for qi, gi := range assign {
+				if gi < 0 {
+					continue
+				}
+				for _, p := range groundings[qi][gi].Post {
+					if !heads[p.Key()] {
+						return
+					}
+				}
+			}
+			best = count
+			return
+		}
+		for gi := 0; gi < len(groundings[i]); gi++ {
+			assign[i] = gi
+			rec(i + 1)
+		}
+		assign[i] = -1
+		rec(i + 1)
+	}
+	rec(0)
+	return best
+}
+
+// randomCompetingQueries builds small instances where structures OVERLAP:
+// pairs, spoke fans, and chains drawn over a tiny shared pool of answer
+// relations and participant names, so producers are shared and structures
+// compete for each other's single groundings.
+func randomCompetingQueries(rng *rand.Rand) ([]*Query, MapReader) {
+	nVals := 1 + rng.Intn(2)
+	rows := make([]types.Tuple, nVals)
+	for i := range rows {
+		rows[i] = types.Tuple{types.Int(int64(i + 1))}
+	}
+	db := MapReader{"Vals": rows}
+	rels := []string{"R0", "R1"}
+	names := []string{"a", "b", "c", "d"}
+	pick := func(s []string) string { return s[rng.Intn(len(s))] }
+	mk := func(rel, me, them string) *Query {
+		return &Query{
+			Head:   []Atom{NewAtom(rel, CStr(me), V("v"))},
+			Post:   []Atom{NewAtom(rel, CStr(them), V("v"))},
+			Body:   []Atom{NewAtom("Vals", V("v"))},
+			Choose: 1,
+		}
+	}
+	n := 2 + rng.Intn(6) // 2..7 queries: brute force stays cheap
+	queries := make([]*Query, 0, n)
+	for len(queries) < n {
+		switch rng.Intn(3) {
+		case 0: // one half of a pair over shared names — may or may not match
+			queries = append(queries, mk(pick(rels), pick(names), pick(names)))
+		case 1: // loner producer (no posts): an uncontested supplier
+			q := mk(pick(rels), pick(names), "x")
+			q.Post = nil
+			queries = append(queries, q)
+		default: // two-post consumer: needs two producers at one value
+			rel := pick(rels)
+			q := mk(rel, pick(names), pick(names))
+			q.Post = append(q.Post, NewAtom(rel, CStr(pick(names)), V("v")))
+			queries = append(queries, q)
+		}
+	}
+	return queries, db
+}
+
+// TestSolveMatchesBruteForceOracle is the exactness property: on random
+// small overlapping instances the solver's answered count equals the
+// brute-force maximum coordinating set, and the chosen set is valid.
+func TestSolveMatchesBruteForceOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 1500; iter++ {
+		queries, db := randomCompetingQueries(rng)
+		groundings := make([][]*Grounding, len(queries))
+		for i, q := range queries {
+			gs, err := Ground(q, db, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			groundings[i] = gs
+		}
+		chosen, stats := SolveBudget(groundings, 0)
+		checkCoordinatingSet(t, groundings, chosen)
+		if stats.Exhausted {
+			t.Fatalf("iteration %d: budget exhausted on a tiny instance", iter)
+		}
+		want := bruteForceMax(groundings)
+		if stats.Answered != want {
+			t.Fatalf("iteration %d: solver answered %d, brute-force maximum %d\nqueries: %v",
+				iter, stats.Answered, want, queries)
+		}
+	}
+}
+
+// contestReader is the shared two-destination reader the competing-
+// structure test instances ground against.
+func contestReader() MapReader {
+	return MapReader{"Dests": {{types.Str("d1")}, {types.Str("d2")}}}
+}
+
+// contestQuery builds the canonical competing-structure test query: head
+// role `me`, postcondition role `them`, destinations enumerated from the
+// contestReader's Dests relation, optionally pinned to one destination.
+// All test files in this package build their contention instances from it.
+func contestQuery(me, them, where string) *Query {
+	q := &Query{
+		Head:   []Atom{NewAtom("R", CStr(me), V("d"))},
+		Post:   []Atom{NewAtom("R", CStr(them), V("d"))},
+		Body:   []Atom{NewAtom("Dests", V("d"))},
+		Choose: 1,
+	}
+	if where != "" {
+		q.Where = []Constraint{{Left: V("d"), Op: OpEq, Right: CStr(where)}}
+	}
+	return q
+}
+
+// competingChainQueries is the canonical instance where greedy closure is
+// non-maximal: a spoke S can pair with hub A (2 answered) or join a
+// 3-cycle with B and C (3 answered). A's claim enumerates first, so greedy
+// commits to the pair; the exact solver must find the cycle.
+func competingChainQueries() []*Query {
+	return []*Query{
+		contestQuery("s", "claim", ""),      // S: any dest, needs a claim
+		contestQuery("claim", "s", "d1"),    // A: pair hub, d1 only
+		contestQuery("claim", "link", "d2"), // B: chain hub, d2 only
+		contestQuery("link", "s", "d2"),     // C: chain closer, d2 only
+	}
+}
+
+func competingChainInstance(t *testing.T) [][]*Grounding {
+	t.Helper()
+	db := contestReader()
+	queries := competingChainQueries()
+	groundings := make([][]*Grounding, len(queries))
+	for i, qu := range queries {
+		gs, err := Ground(qu, db, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groundings[i] = gs
+	}
+	return groundings
+}
+
+// TestSolveExactBeatsGreedyOnCompetingChains pins the tentpole behavior:
+// exact answers 3 where greedy answers 2, and a negative budget reproduces
+// the greedy result (the ablation knob).
+func TestSolveExactBeatsGreedyOnCompetingChains(t *testing.T) {
+	groundings := competingChainInstance(t)
+	exactChosen, exact := SolveBudget(groundings, 0)
+	checkCoordinatingSet(t, groundings, exactChosen)
+	if exact.Answered != 3 {
+		t.Fatalf("exact answered %d, want 3 (S+B+C)", exact.Answered)
+	}
+	if exactChosen[1] >= 0 {
+		t.Fatalf("exact answered the pair hub A; want the 3-cycle: %v", exactChosen)
+	}
+	greedyChosen, greedy := SolveBudget(groundings, -1)
+	checkCoordinatingSet(t, groundings, greedyChosen)
+	if greedy.Answered != 2 {
+		t.Fatalf("greedy answered %d, want 2 (S+A)", greedy.Answered)
+	}
+	if got := bruteForceMax(groundings); got != exact.Answered {
+		t.Fatalf("brute force says max is %d, exact found %d", got, exact.Answered)
+	}
+}
+
+// TestSolveBudgetFallsBackToGreedy forces exhaustion with a budget of one
+// node: the result must equal the pure-greedy result and say so.
+func TestSolveBudgetFallsBackToGreedy(t *testing.T) {
+	groundings := competingChainInstance(t)
+	chosen, stats := SolveBudget(groundings, 1)
+	if !stats.Exhausted {
+		t.Fatal("budget 1 did not report exhaustion")
+	}
+	greedyChosen, _ := SolveBudget(groundings, -1)
+	for i := range chosen {
+		if chosen[i] != greedyChosen[i] {
+			t.Fatalf("fallback differs from greedy at query %d: %v vs %v", i, chosen, greedyChosen)
+		}
+	}
+}
+
+// TestSolveDeterministicTieBreak: two equal-size maxima (the spoke can pair
+// with either hub) must resolve to the earlier-submitted hub with the
+// earliest grounding, every time.
+func TestSolveDeterministicTieBreak(t *testing.T) {
+	db := contestReader()
+	queries := []*Query{
+		contestQuery("s", "claim", ""),   // spoke: 2 groundings (d1, d2)
+		contestQuery("claim", "s", "d1"), // hub 1, d1
+		contestQuery("claim", "s", "d2"), // hub 2, d2
+	}
+	groundings := make([][]*Grounding, len(queries))
+	for i, q := range queries {
+		gs, err := Ground(q, db, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groundings[i] = gs
+	}
+	for iter := 0; iter < 50; iter++ {
+		chosen, stats := SolveBudget(groundings, 0)
+		if stats.Answered != 2 {
+			t.Fatalf("answered %d, want 2", stats.Answered)
+		}
+		if chosen[0] != 0 || chosen[1] != 0 || chosen[2] != -1 {
+			t.Fatalf("tie-break violated: chosen %v, want [0 0 -1] (earliest grounding, earliest hub)", chosen)
+		}
+	}
+}

@@ -13,7 +13,8 @@ type RecoveryStats struct {
 	TxRolledBack     int    // transactions discarded (no commit, or widowed group)
 	GroupsRecovered  int    // entanglement groups redone atomically
 	GroupsRolledBack int    // groups rolled back because a member lacked a commit
-	MaxCSN           uint64 // highest commit sequence number seen; seeds the clock
+	MaxCSN           uint64 // highest CSN seen (snapshot header or log); seeds the clock
+	SnapshotCSN      uint64 // commit clock recorded in the checkpoint snapshot (0 if none)
 }
 
 // Recover rebuilds database state from the log at path into cat. Tables

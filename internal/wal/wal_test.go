@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
@@ -313,7 +315,7 @@ func TestCheckpointAndRecoverAll(t *testing.T) {
 	must(l.Append(Commit(1, 0)))
 
 	// Checkpoint: snapshot current state, truncate log.
-	must(Checkpoint(l, cat))
+	must(Checkpoint(l, cat, 7))
 	if l.LSN() != 0 {
 		t.Errorf("LSN after checkpoint = %d", l.LSN())
 	}
@@ -338,9 +340,9 @@ func TestCheckpointAndRecoverAll(t *testing.T) {
 
 func TestSnapshotMissingIsNotError(t *testing.T) {
 	cat := storage.NewCatalog()
-	ok, err := LoadSnapshot(filepath.Join(t.TempDir(), "x.log"), cat)
-	if err != nil || ok {
-		t.Fatalf("ok=%v err=%v", ok, err)
+	csn, ok, err := LoadSnapshot(filepath.Join(t.TempDir(), "x.log"), cat)
+	if err != nil || ok || csn != 0 {
+		t.Fatalf("csn=%d ok=%v err=%v", csn, ok, err)
 	}
 }
 
@@ -350,13 +352,13 @@ func TestSnapshotCRCDetected(t *testing.T) {
 	cat := storage.NewCatalog()
 	tbl, _ := cat.Create("User", usersSchema())
 	tbl.Insert(types.Tuple{types.Int(1), types.Str("SFO")})
-	if err := WriteSnapshot(logPath, cat); err != nil {
+	if err := WriteSnapshot(logPath, cat, 1); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(SnapshotPath(logPath))
 	data[len(data)-1] ^= 0xFF
 	os.WriteFile(SnapshotPath(logPath), data, 0o644)
-	if _, err := LoadSnapshot(logPath, storage.NewCatalog()); err == nil {
+	if _, _, err := LoadSnapshot(logPath, storage.NewCatalog()); err == nil {
 		t.Fatal("corrupt snapshot accepted")
 	}
 }
@@ -462,5 +464,99 @@ func TestFailedWriteLatchesLog(t *testing.T) {
 	err := l.Append(Commit(2, 0))
 	if err == nil || !strings.Contains(err.Error(), "log failed") {
 		t.Fatalf("append after failure = %v, want latched log-failed error", err)
+	}
+}
+
+// TestSnapshotCarriesCSN: the checkpoint CSN written into the snapshot
+// header round-trips through LoadSnapshot and RecoverAll, including over a
+// truncated (empty) log — the crash shape that used to reset the clock.
+func TestSnapshotCarriesCSN(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "wal.log")
+	cat := storage.NewCatalog()
+	tbl, _ := cat.Create("User", usersSchema())
+	tbl.Insert(types.Tuple{types.Int(1), types.Str("SFO")})
+	const csn = 42
+	if err := WriteSnapshot(logPath, cat, csn); err != nil {
+		t.Fatal(err)
+	}
+	fresh := storage.NewCatalog()
+	got, ok, err := LoadSnapshot(logPath, fresh)
+	if err != nil || !ok || got != csn {
+		t.Fatalf("LoadSnapshot csn=%d ok=%v err=%v, want csn %d", got, ok, err, uint64(csn))
+	}
+	ftbl, _ := fresh.Get("User")
+	if ftbl.Len() != 1 {
+		t.Fatalf("restored %d rows, want 1", ftbl.Len())
+	}
+	// Restored rows are stamped at the snapshot CSN.
+	if last := ftbl.LastCSN(); last != csn {
+		t.Fatalf("restored LastCSN = %d, want %d", last, csn)
+	}
+
+	// RecoverAll over a snapshot + empty log seeds MaxCSN from the header.
+	fresh2 := storage.NewCatalog()
+	stats, err := RecoverAll(logPath, fresh2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxCSN != csn || stats.SnapshotCSN != csn {
+		t.Fatalf("RecoverAll MaxCSN=%d SnapshotCSN=%d, want both %d", stats.MaxCSN, stats.SnapshotCSN, uint64(csn))
+	}
+	// A log with a newer commit wins over the snapshot header.
+	l, err := Open(logPath, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Begin(9)); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := tbl.Insert(types.Tuple{types.Int(2), types.Str("NYC")})
+	if err := l.Append(Insert(9, "User", id, types.Tuple{types.Int(2), types.Str("NYC")})); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Commit(9, csn+5)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	fresh3 := storage.NewCatalog()
+	stats, err = RecoverAll(logPath, fresh3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxCSN != csn+5 {
+		t.Fatalf("RecoverAll MaxCSN=%d, want %d", stats.MaxCSN, csn+5)
+	}
+}
+
+// TestSnapshotV1Fallback: a database checkpointed by the pre-CSN version
+// (v1 format: no magic, uvarint row counts) must still open — the rows
+// load and the missing clock falls back to 0 / the log's MaxCSN.
+func TestSnapshotV1Fallback(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "wal.log")
+	// Hand-craft a v1 snapshot: uvarint #tables | name | schema tuple |
+	// uvarint #rows | (varint id, row tuple)*, CRC-prefixed.
+	var buf []byte
+	buf = binary.AppendUvarint(buf, 1)
+	buf = binary.AppendUvarint(buf, uint64(len("User")))
+	buf = append(buf, "User"...)
+	buf = types.EncodeTuple(buf, schemaToTuple(usersSchema()))
+	buf = binary.AppendUvarint(buf, 1)
+	buf = binary.AppendVarint(buf, 3)
+	buf = types.EncodeTuple(buf, types.Tuple{types.Int(1), types.Str("SFO")})
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	if err := os.WriteFile(SnapshotPath(logPath), append(crc[:], buf...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat := storage.NewCatalog()
+	csn, ok, err := LoadSnapshot(logPath, cat)
+	if err != nil || !ok || csn != 0 {
+		t.Fatalf("v1 snapshot: csn=%d ok=%v err=%v", csn, ok, err)
+	}
+	tbl, err := cat.Get("User")
+	if err != nil || tbl.Len() != 1 {
+		t.Fatalf("v1 snapshot restored %v rows (err=%v), want 1", tbl, err)
 	}
 }

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/entangle"
+	"repro/internal/eq"
+)
+
+// Competing coordination structures: unlike the disjoint §5.2.2 families
+// (BuildStructure), these groups OVERLAP — multiple structures contend for
+// one participant's single grounding, so the coordinating-set search has a
+// real choice to make. The greedy closure answers whichever structure
+// submits first; the exact solver guarantees the maximum-size answered
+// set. Losing participants receive an empty answer (their combined query
+// was formable — Appendix B) and commit without booking, so every program
+// in a competing group completes either way; what differs is how many are
+// *answered*, observable as Reserve rows and in Stats.
+
+// CompetingKind selects a competing-structure family.
+type CompetingKind int
+
+// Competing families.
+const (
+	// HubContest: two hubs contend for one spoke. The spoke's
+	// postcondition ("someone claims my destination") is producible by
+	// either hub, but only one can win. Both outcomes answer 2 queries;
+	// the tie is broken deterministically (earliest grounding, then
+	// earliest submission).
+	HubContest CompetingKind = iota
+	// MarketContest: one seller awards a single companion seat; N buyers
+	// want it. The seller's groundings enumerate every same-hometown user
+	// as a candidate, exactly one buyer is awarded, and the rest proceed
+	// empty-handed — the many-to-one marketplace shape.
+	MarketContest
+	// ChainContest: a pair and a 3-cycle contend for one shared member.
+	// Greedy closure answers the pair (2 queries, first-submitted); only
+	// the exact solver finds the maximum — the 3-cycle (3 queries).
+	ChainContest
+)
+
+func (k CompetingKind) String() string {
+	switch k {
+	case HubContest:
+		return "Hub-contest"
+	case MarketContest:
+		return "Market-contest"
+	case ChainContest:
+		return "Chain-contest"
+	default:
+		return fmt.Sprintf("CompetingKind(%d)", int(k))
+	}
+}
+
+// roleQuery builds a competing-structure query over the per-group answer
+// relation rel: the head tags this participant's role, the postcondition
+// demands some chosen head with role postRole at the same destination, and
+// the body enumerates destinations reachable from town (optionally pinned
+// to one destination, which is what makes structures contend on disjoint
+// destination ranges).
+func roleQuery(rel, role, postRole, town, dest string) *eq.Query {
+	q := &eq.Query{
+		Head: []eq.Atom{eq.NewAtom(rel, eq.CStr(role), eq.V("d"))},
+		Post: []eq.Atom{eq.NewAtom(rel, eq.CStr(postRole), eq.V("d"))},
+		Body: []eq.Atom{eq.NewAtom("Flight", eq.V("src"), eq.V("d"), eq.V("fid"))},
+		Where: []eq.Constraint{
+			{Left: eq.V("src"), Op: eq.OpEq, Right: eq.CStr(town)},
+		},
+		Choose: 1,
+	}
+	if dest != "" {
+		q.Where = append(q.Where, eq.Constraint{Left: eq.V("d"), Op: eq.OpEq, Right: eq.CStr(dest)})
+	}
+	return q
+}
+
+// competeProgram wraps a competing-structure query: an answered
+// participant books the coordinated destination; an empty answer means the
+// participant lost the contest and proceeds without booking (query
+// success, per Appendix B). Anything else is an error.
+func competeProgram(name string, uid int, town string, q *eq.Query) entangle.Program {
+	return entangle.Program{
+		Name:    name,
+		Timeout: 2 * DefaultTimeout,
+		Body: func(tx *entangle.Tx) error {
+			a := tx.Entangle(q)
+			switch a.Status {
+			case eq.Answered:
+				return bookDest(tx, uid, town, a.Bindings["d"].Str64())
+			case eq.EmptyAnswer:
+				return nil // lost the contest; proceed without booking
+			default:
+				return fmt.Errorf("%s: %v", name, a.Status)
+			}
+		},
+	}
+}
+
+// BuildCompeting produces the programs of one competing structure. k is
+// the number of buyers for MarketContest (minimum 1) and is ignored by the
+// fixed-size families. gid makes the group's answer relation unique.
+//
+// Answered-query counts per group (equal to Reserve rows booked):
+//
+//	HubContest:    2 (spoke + one hub; deterministic tie-break)
+//	MarketContest: 2 (seller + the awarded buyer)
+//	ChainContest:  3 exact (the 3-cycle) — greedy closure finds only 2
+func (d *Dataset) BuildCompeting(kind CompetingKind, k, gid int) ([]entangle.Program, error) {
+	switch kind {
+	case HubContest:
+		return d.buildHubContest(gid)
+	case MarketContest:
+		return d.buildMarketContest(k, gid)
+	case ChainContest:
+		return d.buildChainContest(gid)
+	default:
+		return nil, fmt.Errorf("workload: unknown competing kind %v", kind)
+	}
+}
+
+// buildHubContest: spoke S, hubs H1 and H2. Both hubs produce the claim S
+// needs, on disjoint destinations, and each needs S's offer in return — S
+// can coordinate with exactly one of them.
+func (d *Dataset) buildHubContest(gid int) ([]entangle.Program, error) {
+	if d.cfg.Destinations < 2 {
+		return nil, fmt.Errorf("workload: hub contest needs >= 2 destinations")
+	}
+	group, err := d.SameTownGroup(3)
+	if err != nil {
+		return nil, err
+	}
+	town := CityName(d.Hometown[group[0]])
+	rel := fmt.Sprintf("Hub_%d", gid)
+	progs := []entangle.Program{
+		competeProgram("spoke", group[0], town, roleQuery(rel, "offer", "claim", town, "")),
+	}
+	for i, hub := range group[1:] {
+		progs = append(progs, competeProgram("hub", hub, town,
+			roleQuery(rel, "claim", "offer", town, DestName(i))))
+	}
+	return progs, nil
+}
+
+// buildChainContest: shared member S, pair hub A (destination 0), and a
+// 3-cycle B -> C closing back through S (destination 1). Answering the
+// pair satisfies 2 queries, answering the cycle 3 — the instance where the
+// maximum coordinating set requires backtracking over producer choices.
+func (d *Dataset) buildChainContest(gid int) ([]entangle.Program, error) {
+	if d.cfg.Destinations < 2 {
+		return nil, fmt.Errorf("workload: chain contest needs >= 2 destinations")
+	}
+	group, err := d.SameTownGroup(4)
+	if err != nil {
+		return nil, err
+	}
+	town := CityName(d.Hometown[group[0]])
+	rel := fmt.Sprintf("Chain_%d", gid)
+	pairDest, chainDest := DestName(0), DestName(1)
+	return []entangle.Program{
+		// S: coordinates at any destination with whoever claims it.
+		competeProgram("shared", group[0], town, roleQuery(rel, "offer", "claim", town, "")),
+		// A: the pair — claims destination 0 and needs S's offer there.
+		competeProgram("pair-hub", group[1], town, roleQuery(rel, "claim", "offer", town, pairDest)),
+		// B and C: the 3-cycle at destination 1 — B claims for S but needs
+		// C's link; C links but needs S's offer.
+		competeProgram("chain-hub", group[2], town, roleQuery(rel, "claim", "link", town, chainDest)),
+		competeProgram("chain-closer", group[3], town, roleQuery(rel, "link", "offer", town, chainDest)),
+	}, nil
+}
+
+// buildMarketContest: one seller, k buyers. The seller's groundings range
+// over every same-hometown user (the User relation in the body) crossed
+// with the reachable destinations; each buyer wants the award for itself.
+// Exactly one buyer can be awarded — the earliest candidate in grounding
+// enumeration order.
+func (d *Dataset) buildMarketContest(k, gid int) ([]entangle.Program, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("workload: market contest needs >= 1 buyer")
+	}
+	group, err := d.SameTownGroup(k + 1)
+	if err != nil {
+		return nil, err
+	}
+	seller, buyers := group[0], group[1:]
+	town := CityName(d.Hometown[seller])
+	rel := fmt.Sprintf("Mkt_%d", gid)
+
+	sellerQ := &eq.Query{
+		Head: []eq.Atom{eq.NewAtom(rel, eq.CStr("award"), eq.V("b"), eq.V("d"))},
+		Post: []eq.Atom{eq.NewAtom(rel, eq.CStr("want"), eq.V("b"), eq.V("d"))},
+		Body: []eq.Atom{
+			eq.NewAtom("User", eq.V("b"), eq.V("t")),
+			eq.NewAtom("Flight", eq.V("src"), eq.V("d"), eq.V("fid")),
+		},
+		Where: []eq.Constraint{
+			{Left: eq.V("t"), Op: eq.OpEq, Right: eq.CStr(town)},
+			{Left: eq.V("src"), Op: eq.OpEq, Right: eq.CStr(town)},
+			{Left: eq.V("b"), Op: eq.OpNe, Right: eq.CInt(int64(seller))},
+		},
+		Choose: 1,
+	}
+	progs := []entangle.Program{competeProgram("seller", seller, town, sellerQ)}
+	for _, b := range buyers {
+		b := b
+		buyerQ := &eq.Query{
+			Head: []eq.Atom{eq.NewAtom(rel, eq.CStr("want"), eq.CInt(int64(b)), eq.V("d"))},
+			Post: []eq.Atom{eq.NewAtom(rel, eq.CStr("award"), eq.CInt(int64(b)), eq.V("d"))},
+			Body: []eq.Atom{eq.NewAtom("Flight", eq.V("src"), eq.V("d"), eq.V("fid"))},
+			Where: []eq.Constraint{
+				{Left: eq.V("src"), Op: eq.OpEq, Right: eq.CStr(town)},
+			},
+			Choose: 1,
+		}
+		progs = append(progs, competeProgram("buyer", b, town, buyerQ))
+	}
+	return progs, nil
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/entangle"
+)
+
+// competingDB opens an engine sized so one competing group lands in one
+// evaluation round (RunFrequency = group size), with the given solver
+// budget (0 = exact with default budget, negative = greedy ablation).
+func competingDB(t *testing.T, runFreq, solveBudget int) (*Dataset, *entangle.DB) {
+	t.Helper()
+	d, err := NewDataset(Config{Users: 300, Cities: 4, Destinations: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := entangle.Open(entangle.Options{RunFrequency: runFreq, SolveBudget: solveBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := d.Setup(db); err != nil {
+		t.Fatal(err)
+	}
+	return d, db
+}
+
+// runCompeting submits one competing group and waits for every program to
+// commit (losers commit empty-handed), returning the booking count.
+func runCompeting(t *testing.T, db *entangle.DB, progs []entangle.Program) int {
+	t.Helper()
+	handles := make([]*entangle.Handle, len(progs))
+	for i, p := range progs {
+		handles[i] = db.Submit(p)
+	}
+	for i, h := range handles {
+		if o := h.Wait(); o.Status != entangle.StatusCommitted {
+			t.Fatalf("program %d (%s): %+v", i, progs[i].Name, o)
+		}
+	}
+	n, err := VerifyReserve(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestChainContestExactAnswersMore is the engine-level acceptance check
+// for the tentpole: on the pair-vs-3-cycle contention the exact solver
+// answers (and books) 3, the greedy ablation only 2 — and all programs
+// commit under both.
+func TestChainContestExactAnswersMore(t *testing.T) {
+	d, db := competingDB(t, 4, 0)
+	progs, err := d.BuildCompeting(ChainContest, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runCompeting(t, db, progs); got != 3 {
+		t.Fatalf("exact solver booked %d, want 3 (the 3-cycle)", got)
+	}
+	if st := db.Stats(); st.SolveFallbacks != 0 || st.SolveSteps == 0 {
+		t.Fatalf("solver stats not plumbed: %+v", st)
+	}
+
+	dg, dbg := competingDB(t, 4, -1)
+	progsG, err := dg.BuildCompeting(ChainContest, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runCompeting(t, dbg, progsG); got != 2 {
+		t.Fatalf("greedy ablation booked %d, want 2 (the pair)", got)
+	}
+}
+
+// TestHubContestDeterministicWinner: both hubs can win; the tie must break
+// the same way on every fresh engine (earliest grounding / submission).
+func TestHubContestDeterministicWinner(t *testing.T) {
+	var ref map[string]int
+	for iter := 0; iter < 3; iter++ {
+		d, db := competingDB(t, 3, 0)
+		progs, err := d.BuildCompeting(HubContest, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := runCompeting(t, db, progs); got != 2 {
+			t.Fatalf("iteration %d: booked %d, want 2 (spoke + one hub)", iter, got)
+		}
+		// The winner is identified by the booked (uid, fid) rows: hub i is
+		// pinned to DestName(i), so a different winner books a different
+		// flight. Every fresh engine must produce the identical set.
+		res, err := db.Query("SELECT uid, fid FROM Reserve")
+		if err != nil {
+			t.Fatal(err)
+		}
+		booked := make(map[string]int)
+		for _, row := range res.Rows {
+			booked[row[0].String()+"/"+row[1].String()]++
+		}
+		if ref == nil {
+			ref = booked
+			continue
+		}
+		if len(booked) != len(ref) {
+			t.Fatalf("iteration %d: bookings %v differ from first run %v", iter, booked, ref)
+		}
+		for k, n := range ref {
+			if booked[k] != n {
+				t.Fatalf("iteration %d: bookings %v differ from first run %v", iter, booked, ref)
+			}
+		}
+	}
+}
+
+// TestMarketContestAwardsExactlyOne: N buyers, one award. Every program
+// commits; exactly the seller and one buyer book.
+func TestMarketContestAwardsExactlyOne(t *testing.T) {
+	d, db := competingDB(t, 5, 0)
+	progs, err := d.BuildCompeting(MarketContest, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 5 {
+		t.Fatalf("market group has %d programs, want 5", len(progs))
+	}
+	if got := runCompeting(t, db, progs); got != 2 {
+		t.Fatalf("market contest booked %d, want 2 (seller + awarded buyer)", got)
+	}
+}
+
+// TestCompetingGroupsIsolated: two chain-contest groups with distinct
+// relations must not interfere — each books its own maximum.
+func TestCompetingGroupsIsolated(t *testing.T) {
+	d, db := competingDB(t, 8, 0)
+	var progs []entangle.Program
+	for gid := 0; gid < 2; gid++ {
+		ps, err := d.BuildCompeting(ChainContest, 0, gid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, ps...)
+	}
+	if got := runCompeting(t, db, progs); got != 6 {
+		t.Fatalf("two chain contests booked %d, want 6", got)
+	}
+}
