@@ -48,15 +48,23 @@ bench-smoke:
 	@cat bench-smoke.txt
 
 # Machine-readable perf trajectory: one iteration of every benchmark family
-# — now including BenchmarkAblationSolver, the exact-vs-greedy
-# coordinating-set ablation — rendered as
-# BENCH_pr5.json (benchmark name -> experiment seconds; benchmarks without
+# — now including the BenchmarkServerThroughput codec ablation (JSON vs
+# binary vs binary+pipelining over the wire) — rendered as
+# BENCH_pr6.json (benchmark name -> experiment seconds; benchmarks without
 # the exp-seconds metric fall back to ns/op converted to seconds). CI
 # derives the same file from bench-smoke.txt and uploads it as an artifact.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . > bench-smoke.txt 2>&1 || (cat bench-smoke.txt; exit 1)
-	$(GO) run ./cmd/benchjson < bench-smoke.txt > BENCH_pr5.json
-	@cat BENCH_pr5.json
+	$(GO) run ./cmd/benchjson < bench-smoke.txt > BENCH_pr6.json
+	@cat BENCH_pr6.json
+
+# Fuzz smoke: a short randomized run of each wire-protocol fuzz target
+# (frame reader and binary codec) on top of the committed seed corpus.
+# One -fuzz pattern per invocation — Go's fuzzer requires exactly one
+# matching target when fuzzing.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzBinaryFrame$$' -fuzztime 10s ./internal/wire
 
 # CPU + heap profile of the Figure 6(b) grounding hot path (the cold vs
 # cached sweep); inspect with `go tool pprof cpu.prof` / `mem.prof`.

@@ -33,6 +33,7 @@ func main() {
 		conns       = flag.Int("connections", 0, "engine connection limit (0 = default 100)")
 		groundCache = flag.Bool("ground-cache", true, "enable the cross-round grounding cache")
 		drainWait   = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+		jsonOnly    = flag.Bool("json-only", false, "refuse binary codec negotiation; every connection stays on JSON frames (debuggable with netcat/tcpdump)")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 	}
 
 	srv := server.New(db)
+	srv.JSONOnly = *jsonOnly
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe(*addr) }()
 

@@ -131,7 +131,10 @@ func main() {
 	)
 	if *connect != "" {
 		var c *client.Client
-		c, err = client.Dial(*connect)
+		// The shell is the debugging surface, so its connection stays on
+		// JSON frames — a tcpdump of a shell session reads as text even
+		// when the server offers the binary codec.
+		c, err = client.DialOptions(*connect, client.Options{Codec: wire.CodecJSON})
 		if err == nil {
 			be = &remoteBackend{c: c, is: c.Interactive()}
 			fmt.Printf("connected to %s\n", *connect)

@@ -10,9 +10,18 @@
 // A Client multiplexes one TCP connection: requests carry IDs, responses
 // are correlated back, and a blocked Wait never stalls other calls. All
 // methods are safe for concurrent use.
+//
+// Dial negotiates the binary codec (wire protocol v2) and falls back to
+// JSON against servers that do not speak it; Options.Codec pins either.
+// Requests are write-batched: callers encode into one output buffer and a
+// flusher goroutine writes accumulated frames in one syscall, so
+// pipelined callers — the Async methods, or many goroutines sharing one
+// client — amortize both encoding and the syscall. For connection-level
+// parallelism on top, see Pool.
 package client
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,17 +48,42 @@ var ErrClosed = errors.New("client: connection closed")
 
 // Options tunes Dial.
 type Options struct {
-	// DialTimeout bounds the TCP connect and the protocol handshake (the
-	// version-checking ping), so Dial cannot hang against an endpoint that
-	// accepts connections but never answers. Default 5s.
+	// DialTimeout bounds the TCP connect and the protocol handshake, so
+	// Dial cannot hang against an endpoint that accepts connections but
+	// never answers. Default 5s.
 	DialTimeout time.Duration
+
+	// Codec selects the wire codec: wire.CodecBinary (the default, "")
+	// negotiates the binary fast path and falls back to JSON against a
+	// server that does not offer it; wire.CodecJSON skips negotiation
+	// entirely — every frame stays readable with netcat, and the
+	// connection works against any protocol-v1 server.
+	Codec string
 }
+
+// writeTimeout bounds one batched request write so a dead peer cannot
+// park the flusher (and every caller behind it) forever.
+const writeTimeout = 30 * time.Second
+
+// readBufSize buffers response reads: a batch of pipelined responses
+// costs one read syscall.
+const readBufSize = 64 << 10
 
 // Client is a remote DB handle over one TCP connection.
 type Client struct {
-	nc net.Conn
+	nc    net.Conn
+	br    *bufio.Reader
+	codec wire.Codec // fixed after Dial's handshake
 
-	writeMu sync.Mutex // serializes request frames
+	// Write batching (mirrors the server's conn): callers encode request
+	// frames into outBuf under outMu; the flusher goroutine writes
+	// accumulated frames in one syscall.
+	outMu       sync.Mutex
+	outCond     *sync.Cond
+	outBuf      []byte
+	outSpare    []byte
+	outClosed   bool
+	flusherDone chan struct{}
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -57,8 +91,9 @@ type Client struct {
 	err     error // terminal connection error, once set
 }
 
-// Dial connects to a youtopia-serve address ("host:port") and verifies
-// protocol compatibility with a ping.
+// Dial connects to a youtopia-serve address ("host:port"), verifies
+// protocol compatibility, and negotiates the binary codec when the server
+// offers it.
 func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
 
 // DialOptions is Dial with explicit options.
@@ -67,43 +102,145 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
+	want := opts.Codec
+	if want == "" {
+		want = wire.CodecBinary
+	}
+	if want != wire.CodecJSON && want != wire.CodecBinary {
+		return nil, fmt.Errorf("client: unknown codec %q", opts.Codec)
+	}
 	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	c := &Client{nc: nc, pending: make(map[uint64]chan *wire.Response)}
-	// The handshake runs under a read deadline: a peer that accepts TCP but
-	// never speaks the protocol fails the ping instead of hanging Dial.
-	nc.SetReadDeadline(time.Now().Add(timeout))
+	c := &Client{
+		nc:          nc,
+		br:          bufio.NewReaderSize(nc, readBufSize),
+		codec:       wire.JSON,
+		pending:     make(map[uint64]chan *wire.Response),
+		flusherDone: make(chan struct{}),
+	}
+	c.outCond = sync.NewCond(&c.outMu)
+	// The handshake runs synchronously under a deadline — no reader or
+	// flusher goroutines yet, so the codec switch cannot race anything. A
+	// peer that accepts TCP but never speaks the protocol fails the
+	// handshake instead of hanging Dial.
+	nc.SetDeadline(time.Now().Add(timeout))
+	if err := c.handshake(want); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	nc.SetDeadline(time.Time{})
 	go c.readLoop()
-	resp, err := c.roundTrip(wire.Request{Op: wire.OpPing})
-	if err != nil {
-		nc.Close()
-		return nil, fmt.Errorf("client: ping: %w", err)
-	}
-	if resp.Version != wire.ProtocolVersion {
-		nc.Close()
-		return nil, fmt.Errorf("client: protocol version mismatch: server %d, client %d",
-			resp.Version, wire.ProtocolVersion)
-	}
-	nc.SetReadDeadline(time.Time{})
+	go c.flusher()
 	return c, nil
 }
+
+// syncCall writes one request frame and reads one response frame on the
+// calling goroutine; only valid before readLoop starts.
+func (c *Client) syncCall(codec wire.Codec, req wire.Request) (*wire.Response, error) {
+	c.nextID++
+	req.ID = c.nextID
+	frame, err := codec.AppendRequestFrame(nil, &req)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.nc.Write(frame); err != nil {
+		return nil, err
+	}
+	payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	var resp wire.Response
+	if err := codec.DecodeResponse(payload, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// handshake negotiates the codec. The hello (like every pre-negotiation
+// frame) travels as JSON, so it is safe against any server version:
+//   - a binary-capable server answers with the codec both sides use next;
+//   - a JSON-only server that knows OpHello answers CodecJSON;
+//   - a protocol-v1 server answers "unknown op" — the client falls back
+//     to the v1 version-checking ping and stays on JSON.
+func (c *Client) handshake(want string) error {
+	if want == wire.CodecJSON {
+		return c.checkVersion(wire.OpPing)
+	}
+	resp, err := c.syncCall(wire.JSON, wire.Request{Op: wire.OpHello, Codec: want})
+	if err != nil {
+		return fmt.Errorf("client: hello: %w", err)
+	}
+	if !resp.OK {
+		// A v1 server rejects the unknown op; fall back to its own
+		// liveness/version check and keep speaking JSON.
+		return c.checkVersion(wire.OpPing)
+	}
+	if resp.Version != wire.ProtocolVersion {
+		return fmt.Errorf("client: protocol version mismatch: server %d, client %d",
+			resp.Version, wire.ProtocolVersion)
+	}
+	switch resp.Codec {
+	case wire.CodecBinary:
+		c.codec = wire.Binary
+	case wire.CodecJSON, "":
+		// Negotiation succeeded but the server keeps this connection on
+		// JSON (e.g. a JSON-only deployment).
+	default:
+		return fmt.Errorf("client: server chose unknown codec %q", resp.Codec)
+	}
+	return nil
+}
+
+// checkVersion is the v1 handshake: a ping whose response carries the
+// protocol version.
+func (c *Client) checkVersion(op string) error {
+	resp, err := c.syncCall(wire.JSON, wire.Request{Op: op})
+	if err != nil {
+		return fmt.Errorf("client: ping: %w", err)
+	}
+	if !resp.OK {
+		return fmt.Errorf("client: ping: %s", resp.Error)
+	}
+	if resp.Version != wire.ProtocolVersion {
+		return fmt.Errorf("client: protocol version mismatch: server %d, client %d",
+			resp.Version, wire.ProtocolVersion)
+	}
+	return nil
+}
+
+// Codec reports the negotiated codec name (wire.CodecBinary or
+// wire.CodecJSON).
+func (c *Client) Codec() string { return c.codec.Name() }
 
 // Close tears down the connection. In-flight calls fail with ErrClosed.
 // Programs already submitted keep running server-side to their own
 // outcome.
 func (c *Client) Close() error {
 	c.fail(ErrClosed)
-	return c.nc.Close()
+	c.outMu.Lock()
+	c.outClosed = true
+	c.outCond.Broadcast()
+	c.outMu.Unlock()
+	err := c.nc.Close() // unblocks a mid-write flusher
+	<-c.flusherDone
+	return err
 }
 
 // readLoop delivers responses to their waiting callers until the
 // connection dies, then fails everything pending.
 func (c *Client) readLoop() {
 	for {
+		payload, err := wire.ReadFrame(c.br)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			c.nc.Close()
+			return
+		}
 		var resp wire.Response
-		if err := wire.ReadInto(c.nc, &resp); err != nil {
+		if err := c.codec.DecodeResponse(payload, &resp); err != nil {
 			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
 			c.nc.Close()
 			return
@@ -114,6 +251,38 @@ func (c *Client) readLoop() {
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- &resp
+		}
+	}
+}
+
+// flusher writes accumulated request frames in one syscall per batch.
+func (c *Client) flusher() {
+	defer close(c.flusherDone)
+	c.outMu.Lock()
+	for {
+		for len(c.outBuf) == 0 && !c.outClosed {
+			c.outCond.Wait()
+		}
+		if len(c.outBuf) == 0 {
+			c.outMu.Unlock()
+			return
+		}
+		buf := c.outBuf
+		c.outBuf = c.outSpare[:0]
+		c.outSpare = nil
+		c.outMu.Unlock()
+
+		c.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		_, err := c.nc.Write(buf)
+		c.outMu.Lock()
+		c.outSpare = buf[:0]
+		if err != nil {
+			c.outMu.Unlock()
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			c.nc.Close()
+			c.outMu.Lock()
+			c.outClosed = true
+			c.outBuf = nil
 		}
 	}
 }
@@ -132,46 +301,72 @@ func (c *Client) fail(err error) {
 	}
 }
 
-// roundTrip sends one request and blocks for its response.
-func (c *Client) roundTrip(req wire.Request) (*wire.Response, error) {
+// Call is one in-flight pipelined request: issue with an Async method (or
+// startCall), then block on the result when it is actually needed. The
+// issue side never waits on the network, so a caller can keep dozens of
+// requests in flight on one connection — the server executes them
+// concurrently and the client's flusher coalesces their frames.
+type Call struct {
+	c   *Client
+	ch  chan *wire.Response
+	err error // issue-side failure, reported at completion
+}
+
+// startCall registers the request and enqueues its frame for the flusher.
+func (c *Client) startCall(req wire.Request) *Call {
+	call := &Call{c: c}
 	c.mu.Lock()
 	if c.err != nil {
-		err := c.err
+		call.err = c.err
 		c.mu.Unlock()
-		return nil, err
+		return call
 	}
 	c.nextID++
 	req.ID = c.nextID
-	ch := make(chan *wire.Response, 1)
-	c.pending[req.ID] = ch
+	call.ch = make(chan *wire.Response, 1)
+	c.pending[req.ID] = call.ch
 	c.mu.Unlock()
 
-	c.writeMu.Lock()
-	err := wire.WriteFrame(c.nc, req)
-	c.writeMu.Unlock()
+	c.outMu.Lock()
+	if c.outClosed {
+		c.outMu.Unlock()
+		c.dropPending(req.ID)
+		call.err, call.ch = ErrClosed, nil
+		return call
+	}
+	buf, err := c.codec.AppendRequestFrame(c.outBuf, &req)
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, req.ID)
-		c.mu.Unlock()
-		err = fmt.Errorf("%w: %v", ErrClosed, err)
-		c.fail(err)
-		return nil, err
+		c.outMu.Unlock()
+		c.dropPending(req.ID)
+		call.err, call.ch = fmt.Errorf("%w: %v", ErrClosed, err), nil
+		c.fail(call.err)
+		return call
 	}
-
-	resp, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.err
-		c.mu.Unlock()
-		return nil, err
-	}
-	return resp, nil
+	c.outBuf = buf
+	c.outCond.Signal()
+	c.outMu.Unlock()
+	return call
 }
 
-// call is roundTrip plus server-error unwrapping.
-func (c *Client) call(req wire.Request) (*wire.Response, error) {
-	resp, err := c.roundTrip(req)
-	if err != nil {
+func (c *Client) dropPending(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// response blocks for the raw response and unwraps server-side errors.
+func (call *Call) response() (*wire.Response, error) {
+	if call.err != nil {
+		return nil, call.err
+	}
+	resp, ok := <-call.ch
+	if !ok {
+		call.c.mu.Lock()
+		err := call.c.err
+		call.c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
 		return nil, err
 	}
 	if !resp.OK {
@@ -181,6 +376,29 @@ func (c *Client) call(req wire.Request) (*wire.Response, error) {
 		return nil, errors.New(resp.Error)
 	}
 	return resp, nil
+}
+
+// Result blocks until the call completes and returns its query result.
+func (call *Call) Result() (*Result, error) {
+	resp, err := call.response()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Result == nil {
+		return &Result{}, nil
+	}
+	return resp.Result, nil
+}
+
+// Err blocks until the call completes and reports only its error.
+func (call *Call) Err() error {
+	_, err := call.response()
+	return err
+}
+
+// call is the synchronous form: issue and block.
+func (c *Client) call(req wire.Request) (*wire.Response, error) {
+	return c.startCall(req).response()
 }
 
 // Ping round-trips a liveness check.
@@ -198,18 +416,20 @@ func (c *Client) ExecDDL(script string) error {
 // Exec runs a classical statement (or bare script) in autocommit mode and
 // returns the last statement's result, like entangle.DB.Exec.
 func (c *Client) Exec(script string) (*Result, error) {
-	resp, err := c.call(wire.Request{Op: wire.OpExec, SQL: script})
-	if err != nil {
-		return nil, err
-	}
-	if resp.Result == nil {
-		return &Result{}, nil
-	}
-	return resp.Result, nil
+	return c.ExecAsync(script).Result()
+}
+
+// ExecAsync issues an Exec without waiting; pipelined requests complete
+// independently and in any order.
+func (c *Client) ExecAsync(script string) *Call {
+	return c.startCall(wire.Request{Op: wire.OpExec, SQL: script})
 }
 
 // Query runs a single SELECT and returns its rows.
 func (c *Client) Query(src string) (*Result, error) { return c.Exec(src) }
+
+// QueryAsync issues a Query without waiting.
+func (c *Client) QueryAsync(src string) *Call { return c.ExecAsync(src) }
 
 // SubmitScript submits a SQL script (BEGIN...COMMIT blocks may contain
 // entangled queries) to the server's run scheduler and returns immediately

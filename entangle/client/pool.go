@@ -1,0 +1,98 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size set of client connections for concurrent callers.
+// One Client already multiplexes concurrent requests over one TCP
+// connection, but every frame still crosses one socket and one flusher;
+// a Pool spreads callers across connections round-robin so the server's
+// per-connection dispatch (and the kernel's socket locks) stop being the
+// ceiling.
+//
+// Handles and interactive sessions are connection-scoped server-side, so
+// stateful objects stay bound to the Client that created them — Get hands
+// out a Client when a caller needs that affinity, and the convenience
+// methods (Exec, SubmitScript, ...) pick a connection per call, which is
+// safe precisely because each returned Handle/Call keeps its connection.
+type Pool struct {
+	conns []*Client
+	next  atomic.Uint64
+}
+
+// DialPool opens size connections to addr with default options.
+func DialPool(addr string, size int) (*Pool, error) {
+	return DialPoolOptions(addr, size, Options{})
+}
+
+// DialPoolOptions opens size connections to addr. All connections
+// negotiate independently but against one server they agree; Codec
+// reports the first connection's choice.
+func DialPoolOptions(addr string, size int, opts Options) (*Pool, error) {
+	if size <= 0 {
+		return nil, errors.New("client: pool size must be positive")
+	}
+	p := &Pool{conns: make([]*Client, 0, size)}
+	for i := 0; i < size; i++ {
+		c, err := DialOptions(addr, opts)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("client: pool conn %d: %w", i, err)
+		}
+		p.conns = append(p.conns, c)
+	}
+	return p, nil
+}
+
+// Get returns one pooled connection (round-robin). The Client stays owned
+// by the pool — do not Close it.
+func (p *Pool) Get() *Client {
+	return p.conns[p.next.Add(1)%uint64(len(p.conns))]
+}
+
+// Size reports the number of pooled connections.
+func (p *Pool) Size() int { return len(p.conns) }
+
+// Codec reports the negotiated codec of the pool's connections.
+func (p *Pool) Codec() string { return p.conns[0].Codec() }
+
+// Close closes every pooled connection; the first error wins.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.conns {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Ping checks liveness over one pooled connection.
+func (p *Pool) Ping() error { return p.Get().Ping() }
+
+// ExecDDL runs DDL over one pooled connection.
+func (p *Pool) ExecDDL(script string) error { return p.Get().ExecDDL(script) }
+
+// Exec runs a classical script over one pooled connection.
+func (p *Pool) Exec(script string) (*Result, error) { return p.Get().Exec(script) }
+
+// ExecAsync issues a pipelined Exec over one pooled connection.
+func (p *Pool) ExecAsync(script string) *Call { return p.Get().ExecAsync(script) }
+
+// Query runs a SELECT over one pooled connection.
+func (p *Pool) Query(src string) (*Result, error) { return p.Get().Query(src) }
+
+// QueryAsync issues a pipelined Query over one pooled connection.
+func (p *Pool) QueryAsync(src string) *Call { return p.Get().QueryAsync(src) }
+
+// SubmitScript submits a script over one pooled connection; the returned
+// Handle stays bound to that connection.
+func (p *Pool) SubmitScript(script string) (*Handle, error) {
+	return p.Get().SubmitScript(script)
+}

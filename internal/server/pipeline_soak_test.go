@@ -1,0 +1,139 @@
+package server
+
+// Pipelining soak: many goroutines share one connection pool, each
+// keeping a window of async requests in flight, while coordinating pairs
+// run through the same pool. Every response carries a value derived from
+// its request, so a single misrouted response — the failure mode
+// write-batching and ID correlation must exclude — shows up as a wrong
+// value, not just an error. The suite runs under -race in CI, so this
+// doubles as the batching/pipelining race soak.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/entangle"
+	"repro/entangle/client"
+	"repro/internal/types"
+)
+
+func TestRemoteSoakPipelining(t *testing.T) {
+	workers, rounds, depth := 8, 4, 24
+	if testing.Short() {
+		workers, rounds, depth = 4, 2, 8
+	}
+	addr, _ := startServer(t, entangle.Options{RunFrequency: 2})
+	pool, err := client.DialPool(addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if err := pool.ExecDDL(`
+		CREATE TABLE Flights (fno INT, fdate DATE, dest VARCHAR);
+		CREATE TABLE Bookings (name VARCHAR, fno INT, fdate DATE);
+		CREATE TABLE Notes (id INT, who VARCHAR);
+		CREATE INDEX notes_id ON Notes (id);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Exec(`
+		INSERT INTO Flights VALUES (122, '2011-05-03', 'LA');
+		INSERT INTO Flights VALUES (123, '2011-05-04', 'LA');
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := pool.Get() // handles need connection affinity
+			partner := w ^ 1
+			for r := 0; r < rounds; r++ {
+				me := fmt.Sprintf("w%d_r%d", w, r)
+				them := fmt.Sprintf("w%d_r%d", partner, r)
+				h, err := c.SubmitScript(soakFlightPair(me, them))
+				if err != nil {
+					errs <- fmt.Errorf("worker %d round %d submit: %w", w, r, err)
+					return
+				}
+				// Pipeline a window of inserts, then a window of reads of
+				// those same keys. Each key's value names the worker and
+				// round that wrote it, so a response delivered to the wrong
+				// caller cannot go unnoticed.
+				inserts := make([]*client.Call, depth)
+				for j := range inserts {
+					key := (w*rounds+r)*depth + j
+					inserts[j] = c.ExecAsync(fmt.Sprintf(
+						"INSERT INTO Notes VALUES (%d, '%s_%d')", key, me, j))
+				}
+				for j, call := range inserts {
+					if err := call.Err(); err != nil {
+						errs <- fmt.Errorf("worker %d round %d insert %d: %w", w, r, j, err)
+						return
+					}
+				}
+				reads := make([]*client.Call, depth)
+				for j := range reads {
+					key := (w*rounds+r)*depth + j
+					reads[j] = c.QueryAsync(fmt.Sprintf(
+						"SELECT who FROM Notes WHERE id=%d", key))
+				}
+				for j, call := range reads {
+					res, err := call.Result()
+					if err != nil {
+						errs <- fmt.Errorf("worker %d round %d read %d: %w", w, r, j, err)
+						return
+					}
+					want := fmt.Sprintf("%s_%d", me, j)
+					if len(res.Rows) != 1 || !res.Rows[0][0].Equal(types.Str(want)) {
+						errs <- fmt.Errorf("worker %d round %d read %d: got %v, want [[%s]] — response misrouted?",
+							w, r, j, res.Rows, want)
+						return
+					}
+				}
+				// Poll until the partner's half lands, then confirm the pair
+				// committed; polling interleaves with the pipelined windows
+				// above on the same connections.
+				o := h.Wait()
+				if o.Status != entangle.StatusCommitted {
+					errs <- fmt.Errorf("worker %d round %d pair: %v (%v)", w, r, o.Status, o.Err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Both sides of every pair booked the same flight.
+	for w := 0; w < workers; w += 2 {
+		for r := 0; r < rounds; r++ {
+			a := fmt.Sprintf("w%d_r%d", w, r)
+			b := fmt.Sprintf("w%d_r%d", w+1, r)
+			ra, err := pool.Query(fmt.Sprintf("SELECT fno FROM Bookings WHERE name='%s'", a))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := pool.Query(fmt.Sprintf("SELECT fno FROM Bookings WHERE name='%s'", b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ra.Rows) != 1 || len(rb.Rows) != 1 {
+				t.Fatalf("pair %d/%d round %d: rows %v / %v", w, w+1, r, ra.Rows, rb.Rows)
+			}
+			if !ra.Rows[0][0].Equal(rb.Rows[0][0]) {
+				t.Errorf("pair %d/%d round %d: flights differ: %v vs %v", w, w+1, r, ra.Rows[0][0], rb.Rows[0][0])
+			}
+		}
+	}
+}

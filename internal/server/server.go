@@ -1,5 +1,5 @@
 // Package server is the network service layer: it exposes an
-// *entangle.DB over TCP using the length-prefixed JSON frame protocol of
+// *entangle.DB over TCP using the length-prefixed frame protocol of
 // internal/wire, so separate OS processes — separate users — can pose
 // coordinating entangled queries against one engine. This is the paper's
 // Figure 1 deployment shape: clients connect to a service, and the service
@@ -12,9 +12,17 @@
 // connection: open interactive transactions roll back, while submitted
 // programs keep running to their own outcome (a disconnect must not undo
 // a coordination that partners already depend on).
+//
+// Every connection starts in the JSON codec (the v1 protocol); a client
+// may negotiate the binary codec with an OpHello first request. Response
+// frames are write-batched per connection: handlers enqueue encoded
+// frames into one output buffer and a single flusher goroutine writes
+// whatever has accumulated in one syscall, so a pipelining client costs
+// one write per batch instead of one per response.
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -30,6 +38,12 @@ import (
 // Server serves one DB over any number of listeners.
 type Server struct {
 	db *entangle.DB
+
+	// JSONOnly disables binary-codec negotiation: hellos are answered
+	// with the JSON codec. Set before Serve; it exists for debugging
+	// (every frame stays netcat-readable) and for exercising the
+	// client's fallback path.
+	JSONOnly bool
 
 	mu     sync.Mutex
 	lns    map[net.Listener]struct{}
@@ -94,12 +108,18 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		c := &conn{
-			srv:      s,
-			nc:       nc,
-			handles:  make(map[uint64]*entangle.Handle),
-			sessions: make(map[uint64]*session),
-			slots:    make(chan struct{}, maxInflightPerConn),
+			srv:         s,
+			nc:          nc,
+			br:          bufio.NewReaderSize(nc, readBufSize),
+			codecR:      wire.JSON,
+			codecW:      wire.JSON,
+			handles:     make(map[uint64]*entangle.Handle),
+			sessions:    make(map[uint64]*session),
+			slots:       make(chan struct{}, maxInflightPerConn),
+			flusherDone: make(chan struct{}),
 		}
+		c.outCond = sync.NewCond(&c.outMu)
+		go c.flusher()
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -159,9 +179,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 	}
 
+	// Teardown runs per-connection concurrently: close drains each
+	// connection's buffered responses (bounded by closeFlushTimeout), and
+	// one stuck peer must not serialize behind another.
+	var closeWg sync.WaitGroup
 	for _, c := range conns {
-		c.close()
+		closeWg.Add(1)
+		go func(c *conn) {
+			defer closeWg.Done()
+			c.close()
+		}(c)
 	}
+	closeWg.Wait()
 	s.connWg.Wait()
 	return err
 }
@@ -177,16 +206,25 @@ func (s *Server) Addrs() []net.Addr {
 	return out
 }
 
-// writeTimeout bounds one response write. A client that stops reading its
-// socket eventually fills the TCP send buffer; without a deadline the
-// blocked WriteFrame would hold writeMu forever and park every later
-// handler on this connection.
+// writeTimeout bounds one batched response write. A client that stops
+// reading its socket eventually fills the TCP send buffer; without a
+// deadline the blocked flusher would buffer responses forever.
 const writeTimeout = 30 * time.Second
+
+// closeFlushTimeout bounds the final drain of buffered responses during
+// connection teardown, so Shutdown is not held hostage by a peer that
+// stopped reading.
+const closeFlushTimeout = 2 * time.Second
 
 // maxInflightPerConn caps concurrently executing requests per connection.
 // The read loop blocks once the cap is reached — natural backpressure on a
 // pipelining client instead of one goroutine per frame without bound.
 const maxInflightPerConn = 64
+
+// readBufSize is the per-connection buffered-reader size: big enough that
+// a pipelined batch of requests costs one read syscall, small enough to be
+// irrelevant against MaxFrameSize.
+const readBufSize = 64 << 10
 
 // session wraps an interactive session with its serializing lock:
 // InteractiveSession is statement-at-a-time and not safe for concurrent
@@ -200,10 +238,30 @@ type session struct {
 type conn struct {
 	srv *Server
 	nc  net.Conn
+	br  *bufio.Reader
 
-	writeMu  sync.Mutex     // serializes response frames
+	// codecR is the request decoder. It is owned by the read loop (only
+	// the loop reads frames, and only the loop — via a hello — replaces
+	// it), so it needs no lock.
+	codecR wire.Codec
+
 	inflight sync.WaitGroup // requests dispatched on this connection
 	slots    chan struct{}  // per-connection request cap (maxInflightPerConn)
+
+	// Write batching: handlers encode their response into outBuf under
+	// outMu; the flusher goroutine swaps the buffer out and writes it in
+	// one syscall. codecW lives under the same lock so a codec switch
+	// cannot interleave with a frame encode — the hello response is
+	// encoded in the old codec and everything after it in the new one, in
+	// buffer order.
+	outMu       sync.Mutex
+	outCond     *sync.Cond
+	codecW      wire.Codec
+	outBuf      []byte
+	outSpare    []byte // recycled flushed buffer
+	outClosed   bool   // no further enqueues; flusher drains and exits
+	outBroken   bool   // write failed or encode substitution failed
+	flusherDone chan struct{}
 
 	mu          sync.Mutex
 	handles     map[uint64]*entangle.Handle
@@ -213,10 +271,16 @@ type conn struct {
 	closed      bool
 }
 
-// serve is the connection read loop: decode a frame, dispatch the request
-// on its own goroutine (so a parked Wait never blocks the connection), and
-// keep reading. Any framing error ends the connection — after a torn frame
-// the stream cannot be trusted.
+// serve is the connection read loop: decode a frame, dispatch the
+// request, and keep reading. Requests that cannot park — everything but
+// OpWait and OpSessionExec — execute inline on the read loop's stack:
+// pipelined classical ops then cost no goroutine spawn (whose fresh stack
+// would re-grow through the parser and executor on every request) and
+// recycle one read buffer for the life of the connection. Ops that can
+// block indefinitely get their own goroutine, so a parked Wait never
+// wedges the connection: its partner's submit may arrive on this very
+// socket, behind it in the pipeline. Any framing error ends the
+// connection — after a torn frame the stream cannot be trusted.
 //
 // The socket must outlive the read loop: during Shutdown the loop exits
 // via read deadline while handlers (a parked Wait whose outcome the
@@ -228,21 +292,33 @@ func (c *conn) serve() {
 		c.inflight.Wait()
 		c.close()
 	}()
+	first := true
+	var rbuf []byte // recycled frame payload; decode copies what it keeps
 	for {
-		payload, err := wire.ReadFrame(c.nc)
+		payload, err := wire.ReadFrameBuf(c.br, rbuf)
 		if err != nil {
 			return
 		}
+		if cap(payload) > cap(rbuf) {
+			rbuf = payload[:0]
+		}
 		var req wire.Request
-		if err := json.Unmarshal(payload, &req); err != nil {
-			// The frame was well-formed but the JSON was not: report once,
-			// then give up on the stream.
-			c.writeResp(wire.Response{Error: fmt.Sprintf("bad request: %v", err)})
+		if err := c.codecR.DecodeRequest(payload, &req); err != nil {
+			// The frame was well-formed but the payload was not: report
+			// once (a typed error, not a hang), then give up on the stream.
+			// A binary frame sent before any hello lands here too — the
+			// connection is still in JSON.
+			c.enqueue(wire.Response{Error: fmt.Sprintf("bad request: %v", err)})
 			return
 		}
-		// Backpressure: block reading further frames once the connection has
-		// maxInflightPerConn requests executing.
-		c.slots <- struct{}{}
+		if req.Op == wire.OpHello {
+			// Codec negotiation is handled inline so the switch is ordered
+			// against every other frame on the connection.
+			c.hello(req, first)
+			first = false
+			continue
+		}
+		first = false
 		// Register the request under the server lock so it cannot race
 		// Shutdown's reqWg.Wait (Add at counter zero concurrent with Wait is
 		// undefined): either the request is registered before closed is set
@@ -250,48 +326,125 @@ func (c *conn) serve() {
 		c.srv.mu.Lock()
 		if c.srv.closed {
 			c.srv.mu.Unlock()
-			<-c.slots
-			c.writeResp(fail(req.ID, errors.New("server shutting down")))
+			c.enqueue(fail(req.ID, errors.New("server shutting down")))
 			return
 		}
 		c.srv.reqWg.Add(1)
 		c.inflight.Add(1)
 		c.srv.mu.Unlock()
+		if req.Op != wire.OpWait && req.Op != wire.OpSessionExec {
+			c.enqueue(c.handle(req))
+			c.srv.reqWg.Done()
+			c.inflight.Done()
+			continue
+		}
+		// Backpressure: block reading further frames once the connection
+		// has maxInflightPerConn parked requests.
+		c.slots <- struct{}{}
 		go func() {
 			defer c.srv.reqWg.Done()
 			defer c.inflight.Done()
 			defer func() { <-c.slots }()
-			c.writeResp(c.handle(req))
+			c.enqueue(c.handle(req))
 		}()
 	}
 }
 
-func (c *conn) writeResp(resp wire.Response) {
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	// The deadline bounds how long a non-reading client can hold writeMu
-	// (and with it every later handler on this connection).
-	c.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
-	err := wire.WriteFrame(c.nc, resp)
-	if err == nil {
+// hello negotiates the connection codec. Only the first request on a
+// connection may negotiate — by then no other response can be in flight,
+// so the codec switch has an unambiguous position in both byte streams.
+func (c *conn) hello(req wire.Request, first bool) {
+	if !first {
+		c.enqueue(fail(req.ID, errors.New("hello must be the first request")))
 		return
 	}
-	if errors.Is(err, wire.ErrFrameTooLarge) || errors.Is(err, wire.ErrEncode) {
-		// Nothing reached the stream yet: substitute an error response so
-		// the client's request does not hang on a silently dropped reply
-		// (e.g. a SELECT whose rows exceed MaxFrameSize).
-		if wire.WriteFrame(c.nc, wire.Response{ID: resp.ID,
-			Error: fmt.Sprintf("response could not be encoded: %v", err)}) == nil {
+	name := wire.CodecJSON
+	if req.Codec == wire.CodecBinary && !c.srv.JSONOnly {
+		name = wire.CodecBinary
+	}
+	// The hello response travels in the connection's current (JSON) codec;
+	// everything after it speaks the negotiated one. enqueue and the codec
+	// switch share outMu, so no later frame can be encoded in between.
+	c.enqueue(wire.Response{ID: req.ID, OK: true, Version: wire.ProtocolVersion, Codec: name})
+	if name == wire.CodecBinary {
+		c.outMu.Lock()
+		c.codecW = wire.Binary
+		c.outMu.Unlock()
+		c.codecR = wire.Binary
+	}
+}
+
+// enqueue appends one encoded response frame to the connection's output
+// buffer and wakes the flusher. Encoding happens under outMu so frames
+// land in the buffer whole and in enqueue order.
+func (c *conn) enqueue(resp wire.Response) {
+	c.outMu.Lock()
+	defer c.outMu.Unlock()
+	if c.outClosed || c.outBroken {
+		return
+	}
+	n := len(c.outBuf)
+	buf, err := c.codecW.AppendResponseFrame(c.outBuf, &resp)
+	if err != nil {
+		// Nothing reached the buffer (Append*Frame leaves buf unchanged on
+		// error): substitute an error response so the client's request does
+		// not hang on a silently dropped reply (e.g. a SELECT whose rows
+		// exceed MaxFrameSize).
+		buf, err = c.codecW.AppendResponseFrame(c.outBuf[:n], &wire.Response{ID: resp.ID,
+			Error: fmt.Sprintf("response could not be encoded: %v", err)})
+		if err != nil {
+			c.outBroken = true
+			c.nc.Close()
+			c.outCond.Broadcast()
 			return
 		}
 	}
-	// The stream is broken (or mid-frame): tear the connection down so the
-	// peer sees a closed socket instead of waiting forever.
-	c.nc.Close()
+	c.outBuf = buf
+	c.outCond.Signal()
+}
+
+// flusher is the connection's single writer: it sleeps until responses
+// accumulate, then writes the whole batch in one syscall. Under a
+// pipelining client many handlers enqueue while one flush is in flight,
+// so consecutive responses coalesce naturally.
+func (c *conn) flusher() {
+	defer close(c.flusherDone)
+	c.outMu.Lock()
+	for {
+		for len(c.outBuf) == 0 && !c.outClosed && !c.outBroken {
+			c.outCond.Wait()
+		}
+		if len(c.outBuf) == 0 || c.outBroken {
+			// Closed and drained (or broken): done. outClosed with frames
+			// still buffered keeps flushing — close() waits for the drain.
+			c.outMu.Unlock()
+			return
+		}
+		buf := c.outBuf
+		c.outBuf = c.outSpare[:0]
+		c.outSpare = nil
+		c.outMu.Unlock()
+
+		// The deadline bounds how long a non-reading client can stall the
+		// flusher (and with it every buffered response).
+		c.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		_, err := c.nc.Write(buf)
+		c.outMu.Lock()
+		c.outSpare = buf[:0]
+		if err != nil {
+			// The stream is broken (or mid-frame): tear the connection down
+			// so the peer sees a closed socket instead of waiting forever.
+			c.outBroken = true
+			c.nc.Close()
+			c.outMu.Unlock()
+			return
+		}
+	}
 }
 
 // close tears down the connection and its sessions (open transactions roll
-// back). Idempotent.
+// back). Buffered responses get a bounded final flush before the socket
+// closes. Idempotent.
 func (c *conn) close() {
 	c.mu.Lock()
 	if c.closed {
@@ -309,6 +462,16 @@ func (c *conn) close() {
 		ses.is.Close()
 		ses.mu.Unlock()
 	}
+
+	// Stop intake, cap the remaining flush time (the deadline overrides
+	// the flusher's own, even mid-write), and wait for the flusher to
+	// drain what handlers already enqueued.
+	c.outMu.Lock()
+	c.outClosed = true
+	c.outCond.Broadcast()
+	c.outMu.Unlock()
+	c.nc.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
+	<-c.flusherDone
 	c.nc.Close()
 }
 

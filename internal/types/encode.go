@@ -129,6 +129,12 @@ func DecodeTuple(buf []byte) (Tuple, int, error) {
 		return nil, 0, fmt.Errorf("types: bad tuple length varint")
 	}
 	pos := w
+	// Every encoded value is at least one byte, so a count beyond the
+	// remaining bytes is a lie; reject it before sizing the allocation —
+	// untrusted inputs (wire frames, a corrupt WAL tail) reach this path.
+	if n > uint64(len(buf)-pos) {
+		return nil, 0, fmt.Errorf("types: tuple count %d exceeds %d remaining bytes", n, len(buf)-pos)
+	}
 	t := make(Tuple, 0, n)
 	for i := uint64(0); i < n; i++ {
 		v, used, err := DecodeValue(buf[pos:])

@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// FuzzBinaryFrame holds the binary codec to the same safety contract as
+// FuzzReadFrame holds the JSON one: arbitrary bytes fed through the frame
+// reader and both binary decoders must never panic, and lying length
+// prefixes or element counts must be rejected before any allocation they
+// would size. This is the untrusted-input boundary of the negotiated fast
+// path — after a hello, a server's read loop runs exactly this code.
+func FuzzBinaryFrame(f *testing.F) {
+	// Corpus: valid frames from the cross-property generator (requests and
+	// responses with every value kind), their truncations, a frame with a
+	// lying header, concatenated frames, and garbage.
+	rng := rand.New(rand.NewSource(64))
+	for i := 0; i < 8; i++ {
+		req := genRequest(rng)
+		frame, err := Binary.AppendRequestFrame(nil, &req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:len(frame)-1])
+		resp := genResponse(rng)
+		frame2, err := Binary.AppendResponseFrame(nil, &resp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame2)
+		f.Add(append(append([]byte(nil), frame...), frame2...))
+		if len(frame2) > headerSize+2 {
+			f.Add(frame2[:headerSize+2])
+		}
+	}
+	var lying [12]byte
+	binary.BigEndian.PutUint32(lying[:], 1<<31) // oversized announced payload
+	f.Add(lying[:])
+	var hugeCount bytes.Buffer
+	hugeCount.Write([]byte{0, 0, 0, 11, 1, respFlagResult, 0, 0, 0, 0, 0, 0})
+	hugeCount.Write([]byte{0xff, 0xff, 0x3f}) // column count far past payload end
+	f.Add(hugeCount.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			payload, err := ReadFrame(r)
+			if err != nil {
+				break
+			}
+			// Each well-framed payload goes through both decoders: a server
+			// decodes requests, a client decodes responses, and a hostile
+			// peer controls the bytes either way.
+			var req Request
+			if err := Binary.DecodeRequest(payload, &req); err == nil {
+				// A successfully decoded request must re-encode: decode is
+				// the inverse of encode on its own image.
+				if _, err := Binary.AppendRequestFrame(nil, &req); err != nil {
+					t.Fatalf("decoded request does not re-encode: %+v: %v", req, err)
+				}
+			}
+			var resp Response
+			if err := Binary.DecodeResponse(payload, &resp); err == nil {
+				if _, err := Binary.AppendResponseFrame(nil, &resp); err != nil {
+					t.Fatalf("decoded response does not re-encode: %+v: %v", resp, err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,313 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// Cross-codec property: for every wire message, the binary codec and the
+// JSON codec decode to the same struct. The JSON path is the v1 protocol
+// that every remote test already exercises end to end, so it acts as the
+// oracle; the binary path must be observationally identical, including
+// the err_code sentinel mapping that errors.Is depends on.
+
+// genValue draws one types.Value covering every kind, with zero/empty and
+// extreme edge cases. Dates stay within years JSON can round-trip (the
+// JSON codec ships dates in display form).
+func genValue(rng *rand.Rand) types.Value {
+	switch rng.Intn(12) {
+	case 0:
+		return types.Null()
+	case 1:
+		return types.Int(0)
+	case 2:
+		return types.Int(math.MaxInt64)
+	case 3:
+		return types.Int(math.MinInt64)
+	case 4:
+		return types.Int(rng.Int63() - rng.Int63())
+	case 5:
+		return types.Str("")
+	case 6:
+		return types.Str("héllo – 世界 \x00\n\"")
+	case 7:
+		return types.Str(randString(rng, rng.Intn(40)))
+	case 8:
+		return types.Bool(true)
+	case 9:
+		return types.Bool(false)
+	case 10:
+		return types.Date(int64(rng.Intn(80000) - 20000)) // ~1915..2189
+	default:
+		return types.Date(0)
+	}
+}
+
+// alphabet is drawn per rune so generated strings are valid UTF-8: the
+// JSON oracle cannot carry invalid UTF-8 (encoding/json substitutes
+// U+FFFD), and the protocol never does — SQL text and error strings are
+// Go strings. Control bytes, quotes, and multibyte runes all appear.
+var alphabet = []rune("abcdefghijklmnopqrstuvwxyzABC =',;\"\\{}[]\x00\n\x7fé世–")
+
+func randString(rng *rand.Rand, n int) string {
+	b := make([]rune, 0, n)
+	for i := 0; i < n; i++ {
+		b = append(b, alphabet[rng.Intn(len(alphabet))])
+	}
+	return string(b)
+}
+
+func genTuple(rng *rand.Rand) types.Tuple {
+	t := make(types.Tuple, 0, rng.Intn(5))
+	for i := 0; i < cap(t); i++ {
+		t = append(t, genValue(rng))
+	}
+	return t
+}
+
+var allOps = []string{
+	OpPing, OpExec, OpDDL, OpSubmit, OpWait, OpPoll,
+	OpSessionOpen, OpSessionExec, OpSessionClose, OpStats, OpTables, OpHello,
+}
+
+var allErrCodes = []string{
+	"", ErrCodeTimeout, ErrCodeEngineClosed, ErrCodeRolledBack, ErrCodeDraining,
+}
+
+func genRequest(rng *rand.Rand) Request {
+	return Request{
+		ID:      rng.Uint64() >> uint(rng.Intn(64)),
+		Op:      allOps[rng.Intn(len(allOps))],
+		SQL:     randString(rng, rng.Intn(60)),
+		Handle:  rng.Uint64() >> uint(rng.Intn(64)),
+		Session: rng.Uint64() >> uint(rng.Intn(64)),
+		Codec:   []string{"", CodecJSON, CodecBinary}[rng.Intn(3)],
+	}
+}
+
+func genResult(rng *rand.Rand) *Result {
+	res := &Result{RowsAffected: rng.Intn(100) - 10}
+	for i := rng.Intn(4); i > 0; i-- {
+		res.Columns = append(res.Columns, randString(rng, rng.Intn(12)))
+	}
+	for i := rng.Intn(5); i > 0; i-- {
+		res.Rows = append(res.Rows, genTuple(rng))
+	}
+	return res
+}
+
+func genResponse(rng *rand.Rand) Response {
+	resp := Response{
+		ID:      rng.Uint64() >> uint(rng.Intn(64)),
+		OK:      rng.Intn(2) == 0,
+		Error:   randString(rng, rng.Intn(30)),
+		ErrCode: allErrCodes[rng.Intn(len(allErrCodes))],
+		Version: rng.Intn(5),
+		Codec:   []string{"", CodecJSON, CodecBinary}[rng.Intn(3)],
+		Handle:  rng.Uint64() >> uint(rng.Intn(64)),
+		Session: rng.Uint64() >> uint(rng.Intn(64)),
+		Done:    rng.Intn(2) == 0,
+	}
+	if rng.Intn(3) == 0 {
+		resp.Result = genResult(rng)
+	}
+	if rng.Intn(3) == 0 {
+		resp.Outcome = &Outcome{
+			Status:   []string{"COMMITTED", "ROLLED-BACK", "TIMED-OUT", "FAILED", ""}[rng.Intn(5)],
+			Error:    randString(rng, rng.Intn(20)),
+			ErrCode:  allErrCodes[rng.Intn(len(allErrCodes))],
+			Attempts: rng.Intn(50),
+		}
+	}
+	if rng.Intn(4) == 0 {
+		resp.Stats = json.RawMessage(fmt.Sprintf(`{"commits":%d,"runs":%d}`, rng.Intn(1000), rng.Intn(100)))
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		resp.Tables = append(resp.Tables, TableInfo{
+			Name:   randString(rng, 1+rng.Intn(10)),
+			Schema: randString(rng, rng.Intn(30)),
+			Rows:   rng.Intn(10000),
+		})
+	}
+	return resp
+}
+
+// frameRoundTrip encodes msg as one frame with codec c and reads the
+// payload back through the shared frame layer.
+func framePayload(t *testing.T, frame []byte) []byte {
+	t.Helper()
+	payload, err := ReadFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("re-read frame: %v", err)
+	}
+	return payload
+}
+
+func TestCodecCrossPropertyRequests(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 3000; i++ {
+		req := genRequest(rng)
+
+		jf, err := JSON.AppendRequestFrame(nil, &req)
+		if err != nil {
+			t.Fatalf("#%d json encode: %v", i, err)
+		}
+		bf, err := Binary.AppendRequestFrame(nil, &req)
+		if err != nil {
+			t.Fatalf("#%d binary encode: %v", i, err)
+		}
+		var viaJSON, viaBinary Request
+		if err := JSON.DecodeRequest(framePayload(t, jf), &viaJSON); err != nil {
+			t.Fatalf("#%d json decode: %v", i, err)
+		}
+		if err := Binary.DecodeRequest(framePayload(t, bf), &viaBinary); err != nil {
+			t.Fatalf("#%d binary decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(viaJSON, viaBinary) {
+			t.Fatalf("#%d request diverges:\n json:   %+v\n binary: %+v\n orig:   %+v", i, viaJSON, viaBinary, req)
+		}
+		if !reflect.DeepEqual(viaBinary, req) {
+			t.Fatalf("#%d binary not lossless:\n got:  %+v\n want: %+v", i, viaBinary, req)
+		}
+	}
+}
+
+func TestCodecCrossPropertyResponses(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 3000; i++ {
+		resp := genResponse(rng)
+
+		jf, err := JSON.AppendResponseFrame(nil, &resp)
+		if err != nil {
+			t.Fatalf("#%d json encode: %v", i, err)
+		}
+		bf, err := Binary.AppendResponseFrame(nil, &resp)
+		if err != nil {
+			t.Fatalf("#%d binary encode: %v", i, err)
+		}
+		var viaJSON, viaBinary Response
+		if err := JSON.DecodeResponse(framePayload(t, jf), &viaJSON); err != nil {
+			t.Fatalf("#%d json decode: %v", i, err)
+		}
+		if err := Binary.DecodeResponse(framePayload(t, bf), &viaBinary); err != nil {
+			t.Fatalf("#%d binary decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(viaJSON, viaBinary) {
+			t.Fatalf("#%d response diverges:\n json:   %+v\n binary: %+v\n orig:   %+v", i, viaJSON, viaBinary, resp)
+		}
+	}
+}
+
+// TestCodecSentinelErrorsSurviveBinary pins the err_code chain end to end:
+// an engine sentinel encoded on the server side must satisfy errors.Is
+// after a binary round trip, exactly as it does after a JSON one.
+func TestCodecSentinelErrorsSurviveBinary(t *testing.T) {
+	sentinels := []error{core.ErrTimeout, core.ErrEngineClosed, core.ErrRolledBack, core.ErrDraining}
+	for _, sentinel := range sentinels {
+		o := core.Outcome{Status: core.StatusTimedOut, Err: fmt.Errorf("wrapped: %w", sentinel), Attempts: 3}
+		resp := Response{ID: 7, OK: true, Done: true, Outcome: FromOutcome(o)}
+		for _, c := range []Codec{JSON, Binary} {
+			frame, err := c.AppendResponseFrame(nil, &resp)
+			if err != nil {
+				t.Fatalf("%s encode: %v", c.Name(), err)
+			}
+			var got Response
+			if err := c.DecodeResponse(framePayload(t, frame), &got); err != nil {
+				t.Fatalf("%s decode: %v", c.Name(), err)
+			}
+			if got.Outcome == nil {
+				t.Fatalf("%s: outcome lost", c.Name())
+			}
+			back := got.Outcome.ToOutcome()
+			if !errors.Is(back.Err, sentinel) {
+				t.Errorf("%s: errors.Is lost for %v: got %v", c.Name(), sentinel, back.Err)
+			}
+			if back.Attempts != 3 || back.Status != core.StatusTimedOut {
+				t.Errorf("%s: outcome fields drifted: %+v", c.Name(), back)
+			}
+		}
+	}
+}
+
+// TestBinaryEncodeExactSize pins the ≤1-alloc discipline: the encoder's
+// size computation must match the bytes actually emitted, and encoding
+// into a pre-sized buffer must not allocate.
+func TestBinaryEncodeExactSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for i := 0; i < 500; i++ {
+		resp := genResponse(rng)
+		frame, err := Binary.AppendResponseFrame(nil, &resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := headerSize + binaryResponseSize(&resp); len(frame) != want {
+			t.Fatalf("#%d size mismatch: frame %d bytes, computed %d", i, len(frame), want)
+		}
+		req := genRequest(rng)
+		frame, err = Binary.AppendRequestFrame(nil, &req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := headerSize + binaryRequestSize(&req); len(frame) != want {
+			t.Fatalf("#%d request size mismatch: frame %d bytes, computed %d", i, len(frame), want)
+		}
+	}
+
+	resp := Response{ID: 42, OK: true, Result: &Result{
+		Columns: []string{"who"},
+		Rows:    []types.Tuple{{types.Str("LA")}, {types.Int(7)}},
+	}}
+	buf := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(100, func() {
+		out, err := Binary.AppendResponseFrame(buf, &resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = out
+	})
+	if allocs > 0 {
+		t.Errorf("encode into pre-sized buffer allocates %v times", allocs)
+	}
+}
+
+// TestBinaryDecodeRejectsLyingCounts: a frame whose element count
+// announces more elements than the payload has bytes must be rejected
+// before any allocation sized by that count.
+func TestBinaryDecodeRejectsLyingCounts(t *testing.T) {
+	resp := Response{ID: 1, OK: true, Result: &Result{Rows: []types.Tuple{{types.Int(1)}}}}
+	frame, err := Binary.AppendResponseFrame(nil, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := framePayload(t, frame)
+	// Corrupt every single byte in turn; decode must fail cleanly or
+	// succeed, never panic or over-allocate.
+	for i := range payload {
+		mut := append([]byte(nil), payload...)
+		mut[i] ^= 0xff
+		var got Response
+		_ = Binary.DecodeResponse(mut, &got)
+	}
+	// A directly lying row count: uvarint 2^62 rows in a tiny payload.
+	var r Response
+	lying := []byte{1 /*id*/, respFlagResult | respFlagOK /*flags*/, 0 /*version*/, 0, 0, 0, 0, 0 /*hdl,ses,strs*/, 0 /*ncols*/}
+	lying = append(lying, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x3f) // nrows = huge
+	if err := Binary.DecodeResponse(lying, &r); err == nil {
+		t.Fatal("lying row count decoded without error")
+	}
+	// Truncations of a valid payload must all error (or stop cleanly),
+	// never panic.
+	for i := 0; i < len(payload); i++ {
+		var got Response
+		_ = Binary.DecodeResponse(payload[:i], &got)
+	}
+}

@@ -1,10 +1,13 @@
 // Package wire defines the network protocol between youtopia-serve and
-// entangle/client: length-prefixed JSON frames over a byte stream.
+// entangle/client: length-prefixed frames over a byte stream, with a
+// payload codec negotiated per connection.
 //
 // Framing is deliberately minimal — a 4-byte big-endian payload length
-// followed by one JSON document — so a session can be driven (and
-// debugged) from any language with a socket and a JSON library. The JSON
-// payloads are the Request/Response types in messages.go. Stdlib only.
+// followed by one payload. Every connection starts with JSON payloads
+// (the Request/Response types in messages.go), so a session can be
+// driven (and debugged) from any language with a socket and a JSON
+// library; a client may negotiate the compact binary codec (binary.go)
+// with a "hello" first request, see Codec in codec.go. Stdlib only.
 package wire
 
 import (
@@ -66,6 +69,37 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		return nil, ErrFrameTooLarge
 	}
 	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	return payload, nil
+}
+
+// ReadFrameBuf is ReadFrame with a caller-owned scratch buffer: the
+// returned payload aliases buf when it fits, so the caller may reuse buf
+// for the next frame only after it is done with the payload. Both codecs'
+// Decode* methods copy everything they keep out of the payload, so a
+// read loop decoding each frame before reading the next can recycle one
+// buffer for the life of the connection.
+func ReadFrameBuf(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		if errors.Is(err, io.EOF) {
 			err = io.ErrUnexpectedEOF

@@ -8,8 +8,20 @@ import (
 )
 
 // ProtocolVersion is bumped on incompatible frame-shape changes; Ping
-// responses carry it so clients can detect mismatched servers.
+// responses carry it so clients can detect mismatched servers. Version 1
+// is the JSON-framed protocol of PR 4; the binary codec is negotiated on
+// top of it (OpHello) without changing the version, so a v1 JSON peer
+// still interoperates.
 const ProtocolVersion = 1
+
+// Codec names negotiated by OpHello. A connection always starts in JSON
+// (so a hello is readable by any server, and a server that never sees a
+// hello keeps speaking JSON to legacy clients); both directions switch to
+// the agreed codec immediately after the hello response.
+const (
+	CodecJSON   = "json"
+	CodecBinary = "binary"
+)
 
 // Request ops. One TCP connection carries any mix; the server answers each
 // request with exactly one Response bearing the same ID, not necessarily
@@ -44,6 +56,11 @@ const (
 	OpStats = "stats"
 	// OpTables: catalog listing.
 	OpTables = "tables"
+	// OpHello: codec negotiation. Must be the first request on a
+	// connection, always JSON-framed; the response names the codec both
+	// sides speak from then on. A PR 4 server answers it with
+	// "unknown op" and the client falls back to JSON.
+	OpHello = "hello"
 )
 
 // Request is the client→server frame payload.
@@ -53,6 +70,7 @@ type Request struct {
 	SQL     string `json:"sql,omitempty"`     // exec / ddl / submit / session_exec
 	Handle  uint64 `json:"handle,omitempty"`  // wait / poll
 	Session uint64 `json:"session,omitempty"` // session_exec / session_close
+	Codec   string `json:"codec,omitempty"`   // hello: codec the client wants
 }
 
 // Response is the server→client frame payload. Exactly one per request,
@@ -70,7 +88,8 @@ type Response struct {
 	Error   string `json:"error,omitempty"`
 	ErrCode string `json:"err_code,omitempty"`
 
-	Version int             `json:"version,omitempty"` // ping
+	Version int             `json:"version,omitempty"` // ping / hello
+	Codec   string          `json:"codec,omitempty"`   // hello: codec the server chose
 	Result  *Result         `json:"result,omitempty"`  // exec / session_exec
 	Handle  uint64          `json:"handle,omitempty"`  // submit
 	Session uint64          `json:"session,omitempty"` // session_open
