@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck examples serve-smoke bench-smoke bench-json pprof ci
+.PHONY: all build test race vet staticcheck examples serve-smoke bench-smoke bench-json pprof pprof-ground ci
 
 all: build
 
@@ -48,15 +48,16 @@ bench-smoke:
 	@cat bench-smoke.txt
 
 # Machine-readable perf trajectory: one iteration of every benchmark family
-# — now including the BenchmarkServerThroughput codec ablation (JSON vs
-# binary vs binary+pipelining over the wire) — rendered as
-# BENCH_pr6.json (benchmark name -> experiment seconds; benchmarks without
-# the exp-seconds metric fall back to ns/op converted to seconds). CI
+# — now including the BenchmarkFigure6bScale streaming-vs-materialized
+# grounding comparison at 10x/100x table sizes — rendered as
+# BENCH_pr7.json (benchmark name -> experiment seconds; benchmarks without
+# the exp-seconds metric fall back to ns/op converted to seconds; B/op,
+# allocs/op, and custom metrics appear under "name:metric" keys). CI
 # derives the same file from bench-smoke.txt and uploads it as an artifact.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . > bench-smoke.txt 2>&1 || (cat bench-smoke.txt; exit 1)
-	$(GO) run ./cmd/benchjson < bench-smoke.txt > BENCH_pr6.json
-	@cat BENCH_pr6.json
+	$(GO) run ./cmd/benchjson < bench-smoke.txt > BENCH_pr7.json
+	@cat BENCH_pr7.json
 
 # Fuzz smoke: a short randomized run of each wire-protocol fuzz target
 # (frame reader and binary codec) on top of the committed seed corpus.
@@ -71,5 +72,13 @@ fuzz-smoke:
 pprof:
 	$(GO) test -run '^$$' -bench BenchmarkFigure6bGroundCache -benchtime 2x -cpuprofile cpu.prof -memprofile mem.prof .
 	@echo "inspect with: $(GO) tool pprof cpu.prof   (or mem.prof)"
+
+# CPU + heap profile of a 10x-scale grounding round through the streaming
+# pipeline (BenchmarkFigure6bScale): the batch-cursor pull path end to end.
+# The heap profile should show no row clones on the scan path; inspect with
+# `go tool pprof ground-cpu.prof` / `ground-mem.prof`.
+pprof-ground:
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure6bScale/scale=10x' -benchtime 5x -cpuprofile ground-cpu.prof -memprofile ground-mem.prof .
+	@echo "inspect with: $(GO) tool pprof ground-cpu.prof   (or ground-mem.prof)"
 
 ci: build vet staticcheck test race

@@ -150,6 +150,155 @@ func BenchmarkFigure6c(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure6bScale measures the streaming grounding pipeline at
+// Figure 6(b)'s workload shape scaled up: p=8 pending flight queries
+// re-grounded in one evaluation round over a wide Flights table at 10x and
+// 100x the seed size (the regime where re-grounding cost is the paper's
+// middle-tier bottleneck). path=streaming pulls rows through the batch
+// cursor pipeline the engine now uses — one id capture per table per round,
+// zero row clones; path=materialized is the pre-streaming executor — one
+// cloned table snapshot per round shared across the p queries. The bytes
+// metric (B/op, via ReportAllocs) carries the tentpole claim: streaming
+// allocates ≥10x fewer bytes per round at 10x scale, and the 100x shape
+// completes with the resident set bounded by the batch size
+// (peak-batch-rows metric), not the table.
+func BenchmarkFigure6bScale(b *testing.B) {
+	const p = 8 // pending queries re-grounded per round
+	pending := func(j int) *eq.Query {
+		return &eq.Query{
+			Head: []eq.Atom{eq.NewAtom("R", eq.CStr(fmt.Sprintf("u%d", j)), eq.V("f"))},
+			Body: []eq.Atom{eq.NewAtom("Flights",
+				eq.V("f"), eq.V("dt"), eq.V("d"), eq.V("c"), eq.V("s"))},
+			Where:  []eq.Constraint{{Left: eq.V("d"), Op: eq.OpEq, Right: eq.CStr("LA")}},
+			Choose: 1,
+		}
+	}
+	for _, scale := range []struct {
+		name         string
+		rows         int
+		materialized bool // the 100x shape only runs the streaming path
+	}{
+		{"10x", 20_000, true},
+		{"100x", 200_000, false},
+	} {
+		tbl := scaleFlightsTable(b, scale.rows)
+		snap := storage.Snapshot{CSN: 0}
+		b.Run(fmt.Sprintf("scale=%s/path=streaming", scale.name), func(b *testing.B) {
+			var stats eq.StreamStats
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := &snapCursorReader{tbl: tbl, snap: snap}
+				for j := 0; j < p; j++ {
+					gs, err := eq.GroundWith(pending(j), r, eq.GroundOptions{Stats: &stats})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(gs) != matchingFlights {
+						b.Fatalf("groundings = %d, want %d", len(gs), matchingFlights)
+					}
+				}
+			}
+			b.ReportMetric(float64(stats.PeakBatchRows()), "peak-batch-rows")
+		})
+		if !scale.materialized {
+			continue
+		}
+		b.Run(fmt.Sprintf("scale=%s/path=materialized", scale.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := &roundScanReader{tbl: tbl, snap: snap}
+				for j := 0; j < p; j++ {
+					gs, err := eq.GroundMaterialized(pending(j), r, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(gs) != matchingFlights {
+						b.Fatalf("groundings = %d, want %d", len(gs), matchingFlights)
+					}
+				}
+			}
+		})
+	}
+}
+
+// matchingFlights is the number of dest='LA' rows scaleFlightsTable seeds:
+// fixed regardless of scale, so the grounding OUTPUT stays constant while
+// the scan INPUT grows — exactly the selective-query regime where streaming
+// vs materializing the input is the whole story.
+const matchingFlights = 8
+
+func scaleFlightsTable(b *testing.B, rows int) *storage.Table {
+	b.Helper()
+	tbl := storage.NewTable("Flights", types.NewSchema(
+		types.Column{Name: "fno", Type: types.KindInt},
+		types.Column{Name: "fdate", Type: types.KindDate},
+		types.Column{Name: "dest", Type: types.KindString},
+		types.Column{Name: "carrier", Type: types.KindString},
+		types.Column{Name: "seats", Type: types.KindInt},
+	))
+	dates := []string{"2011-05-03", "2011-05-04", "2011-05-05", "2011-05-06"}
+	carriers := []string{"AA", "UA", "DL"}
+	for i := 0; i < rows; i++ {
+		dest := fmt.Sprintf("D%02d", i%50)
+		if i < matchingFlights {
+			dest = "LA"
+		}
+		if _, err := tbl.Insert(types.Tuple{
+			types.Int(int64(i)), types.MustDate(dates[i%len(dates)]), types.Str(dest),
+			types.Str(carriers[i%len(carriers)]), types.Int(int64(100 + i%200)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// snapCursorReader serves grounding reads the way the engine's round cursor
+// cache does: one id capture per table per round, one clone per query, rows
+// pulled in batches as references into the version chains — never cloned.
+type snapCursorReader struct {
+	tbl  *storage.Table
+	snap storage.Snapshot
+	base *storage.ScanCursor
+}
+
+func (r *snapCursorReader) Scan(string) ([]types.Tuple, error) {
+	return r.tbl.AllAsOf(r.snap), nil
+}
+
+func (r *snapCursorReader) CanProbe(string, []int) bool { return false }
+
+func (r *snapCursorReader) Probe(string, []int, []types.Value) ([]types.Tuple, error) {
+	return nil, fmt.Errorf("not indexed")
+}
+
+func (r *snapCursorReader) ScanCursor(string) (eq.RowCursor, error) {
+	if r.base == nil {
+		r.base = r.tbl.ScanCursorAsOf(r.snap)
+	}
+	return r.base.Clone(r.snap), nil
+}
+
+func (r *snapCursorReader) ProbeCursor(_ string, cols []int, vals []types.Value) (eq.RowCursor, error) {
+	return r.tbl.ProbeCursor(r.snap, cols, vals)
+}
+
+// roundScanReader is the pre-streaming round scan cache: the first grounding
+// read of a table materializes a cloned snapshot, which the round's
+// remaining queries share.
+type roundScanReader struct {
+	tbl  *storage.Table
+	snap storage.Snapshot
+	rows []types.Tuple
+}
+
+func (r *roundScanReader) Scan(string) ([]types.Tuple, error) {
+	if r.rows == nil {
+		r.rows = r.tbl.AllAsOf(r.snap)
+	}
+	return r.rows, nil
+}
+
 // --- ablations ----------------------------------------------------------
 
 func ablationDB(b *testing.B, iso entangle.Isolation) (*entangle.DB, *workload.Dataset) {

@@ -4,7 +4,10 @@
 // an artifact).
 //
 // Benchmarks reporting the exp-seconds metric (the figure families) use it
-// directly; plain benchmarks fall back to ns/op converted to seconds.
+// directly; plain benchmarks fall back to ns/op converted to seconds. Every
+// other reported metric — B/op and allocs/op from ReportAllocs, and custom
+// ReportMetric series like ops/sec or peak-batch-rows — is emitted under
+// "<name>:<metric>", so memory trajectories are tracked alongside time.
 //
 //	go test -run '^$' -bench . -benchtime 1x . | go run ./cmd/benchjson
 package main
@@ -39,11 +42,13 @@ func main() {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch metric := fields[i+1]; metric {
 			case "exp-seconds":
 				expSecs, haveExp = v, true
 			case "ns/op":
 				nsOp, haveNs = v, true
+			default:
+				out[name+":"+metric] = v
 			}
 		}
 		switch {

@@ -25,6 +25,9 @@ type StatsSnapshot struct {
 	GroundCacheMisses int64 `json:"ground_cache_misses"`
 	IndexedGroundings int64 `json:"indexed_groundings"`
 
+	GroundRowsStreamed  int64 `json:"ground_rows_streamed"`
+	GroundPeakBatchRows int64 `json:"ground_peak_batch_rows"`
+
 	SolveSteps     int64 `json:"solve_steps"`
 	SolveFallbacks int64 `json:"solve_fallbacks"`
 }
@@ -51,6 +54,9 @@ func SnapshotStats(s Stats) StatsSnapshot {
 		GroundCacheHits:   s.GroundCacheHits,
 		GroundCacheMisses: s.GroundCacheMisses,
 		IndexedGroundings: s.IndexedGroundings,
+
+		GroundRowsStreamed:  s.GroundRowsStreamed,
+		GroundPeakBatchRows: s.GroundPeakBatchRows,
 
 		SolveSteps:     s.SolveSteps,
 		SolveFallbacks: s.SolveFallbacks,

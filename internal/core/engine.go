@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/eq"
 	"repro/internal/txn"
 )
 
@@ -50,6 +51,13 @@ type Options struct {
 	GroundWorkers int
 	// MaxGroundings bounds grounding enumeration per query.
 	MaxGroundings int
+	// GroundBatch is the streaming grounding pipeline's cursor pull
+	// granularity in rows (0 = eq.DefaultBatchRows). Each join level of a
+	// grounding holds at most one batch of row references, so resident
+	// grounding memory per query is O(join levels x GroundBatch) regardless
+	// of table size. Batch size never changes the enumeration, only the
+	// pull cadence.
+	GroundBatch int
 	// SolveBudget bounds the exact coordinating-set search per evaluation
 	// round, in search nodes (0 = eq.DefaultSolveBudget). A round that
 	// exhausts the budget falls back to the greedy closure for the
@@ -127,6 +135,9 @@ type Stats struct {
 	GroundCacheMisses int64 // pending queries re-grounded (cold, invalidated, or bypassed)
 	IndexedGroundings int64 // grounding atom probes served by hash indexes instead of scans
 
+	GroundRowsStreamed  int64 // rows pulled through grounding cursors across all rounds
+	GroundPeakBatchRows int64 // high-water mark of rows resident in one grounding pipeline's batch buffers
+
 	SolveSteps     int64 // coordinating-set search nodes across all evaluation rounds
 	SolveFallbacks int64 // rounds where the exact search ran out of budget and fell back to greedy closure
 }
@@ -178,11 +189,11 @@ type Engine struct {
 
 	// Grounding hot-path machinery: the cross-round grounding cache (nil
 	// when Options.GroundCache is off), the atomic index-probe counter the
-	// parallel grounding workers bump, and the pool recycling round scan
-	// buffers.
+	// parallel grounding workers bump, and the streaming pipeline's
+	// rows/peak-batch accounting.
 	groundCache   *groundCache
 	indexedProbes atomic.Int64
-	scanBufs      sync.Pool
+	streamStats   eq.StreamStats
 }
 
 // NewEngine builds an engine over a transaction manager.
@@ -218,6 +229,8 @@ func (e *Engine) Stats() Stats {
 	defer e.statsMu.Unlock()
 	s := e.stats
 	s.IndexedGroundings = e.indexedProbes.Load()
+	s.GroundRowsStreamed = e.streamStats.Rows()
+	s.GroundPeakBatchRows = e.streamStats.PeakBatchRows()
 	return s
 }
 

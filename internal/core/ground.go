@@ -5,76 +5,61 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/eq"
 	"repro/internal/storage"
-	"repro/internal/txn"
 	"repro/internal/types"
 )
 
-// roundScans is an evaluation round's shared scan cache. Every query of a
-// round grounds against the same pinned snapshot, so N queries scanning the
-// same table share ONE materialized committed-state copy instead of paying
-// N AllAsOf clones — the dominant allocation of the old grounding path. A
-// poser holding uncommitted writes on a table bypasses the shared copy (its
-// grounding view must include its own versions). Top-level row buffers are
-// recycled across rounds through the engine's buffer pool.
-type roundScans struct {
+// roundCursors is an evaluation round's shared cursor cache. Every query of
+// a round grounds against the same pinned snapshot, so N queries scanning
+// the same table share ONE chain-id capture (storage.ScanCursorAsOf)
+// instead of paying N captures — and, unlike the materialized scan cache
+// this replaces, nobody ever holds a cloned copy of the table: each query
+// gets an independent-position Clone of the base cursor and pulls row
+// references batch by batch.
+//
+// The capture is view-independent: it records every chain id, and each
+// clone resolves visibility through its own Snapshot (Self = the posing
+// transaction for members with uncommitted writes, 0 otherwise). The old
+// cache's poser-write bypass therefore disappears — a writer-poser's clone
+// simply resolves its own uncommitted versions visible, sharing the same id
+// list as everyone else.
+type roundCursors struct {
 	view storage.Snapshot // committed view: round CSN, Self = 0
-	pool *sync.Pool       // of *[]types.Tuple scan buffers
 
 	mu     sync.Mutex
-	tables map[string]*scanEntry
+	tables map[string]*cursorEntry
 }
 
-// scanEntry materializes one table's shared scan exactly once; the
-// per-entry Once means concurrent workers materializing DIFFERENT tables
-// never serialize behind each other.
-type scanEntry struct {
+// cursorEntry captures one table's chain ids exactly once; the per-entry
+// Once means concurrent workers capturing DIFFERENT tables never serialize
+// behind each other.
+type cursorEntry struct {
 	once sync.Once
-	rows []types.Tuple
+	base *storage.ScanCursor
 }
 
-func newRoundScans(view storage.Snapshot, pool *sync.Pool) *roundScans {
+func newRoundCursors(view storage.Snapshot) *roundCursors {
 	view.Self = 0
-	return &roundScans{view: view, pool: pool, tables: make(map[string]*scanEntry)}
+	return &roundCursors{view: view, tables: make(map[string]*cursorEntry)}
 }
 
-// rows returns the shared committed-snapshot scan of tbl, materializing it
-// on first use — exactly one snapshot scan per table per round no matter
-// how many queries ground on it or how many workers ground them.
-func (rs *roundScans) rows(tbl *storage.Table) []types.Tuple {
-	rs.mu.Lock()
-	e, ok := rs.tables[tbl.Name()]
+// cursor returns a fresh scan cursor over tbl reading through view, sharing
+// the round's one-time chain-id capture — exactly one storage scan per
+// table per round no matter how many queries ground on it or how many
+// workers ground them.
+func (rc *roundCursors) cursor(tbl *storage.Table, view storage.Snapshot) *storage.ScanCursor {
+	rc.mu.Lock()
+	e, ok := rc.tables[tbl.Name()]
 	if !ok {
-		e = &scanEntry{}
-		rs.tables[tbl.Name()] = e
+		e = &cursorEntry{}
+		rc.tables[tbl.Name()] = e
 	}
-	rs.mu.Unlock()
+	rc.mu.Unlock()
 	e.once.Do(func() {
-		var buf []types.Tuple
-		if rs.pool != nil {
-			if p, ok := rs.pool.Get().(*[]types.Tuple); ok && p != nil {
-				buf = (*p)[:0]
-			}
-		}
-		e.rows = tbl.AppendAllAsOf(rs.view, buf)
+		e.base = tbl.ScanCursorAsOf(rc.view)
 	})
-	return e.rows
-}
-
-// release recycles the round's scan buffers. Called after the evaluation
-// round's grounding tasks have all completed; nothing retains the scanned
-// tuples past the round (valuations and answers copy values out), so only
-// the top-level slices are worth pooling.
-func (rs *roundScans) release() {
-	rs.mu.Lock()
-	for name, e := range rs.tables {
-		delete(rs.tables, name)
-		if rs.pool != nil && e.rows != nil {
-			buf := e.rows[:0]
-			rs.pool.Put(&buf)
-		}
-	}
-	rs.mu.Unlock()
+	return e.base.Clone(view)
 }
 
 // groundReader is the eq.Reader an evaluation round hands each pending
@@ -86,11 +71,17 @@ func (rs *roundScans) release() {
 // blocked" argument, because not even transactions outside the run can
 // perturb it mid-round.
 //
-// The reader also implements eq.IndexedReader: equality-bound atoms probe
-// the table's hash indexes through the same snapshot visibility check
-// instead of materializing the whole relation, and full scans are served
-// from the round's shared scan cache when the poser has not written the
-// table.
+// The reader implements eq.CursorReader: full scans stream through the
+// round's shared cursor cache (one chain-id capture per table per round,
+// zero row cloning), and equality-bound atoms probe the table's hash
+// indexes through the same snapshot visibility check. The materializing
+// Scan/Probe methods remain as the eq interface contract (and for any
+// non-streaming caller) but the grounding pipeline never calls them.
+//
+// Every read resolves through g.view, whose Self is the posing transaction:
+// for tables the poser wrote, its uncommitted versions (and tombstones) are
+// visible; for tables it did not write, Self changes nothing, so no
+// write-set lookup is needed to route reads.
 //
 // Grounding reads are reported to the trace sink as RG events attributed
 // to the posing transaction (once per table per query, matching the old
@@ -102,12 +93,10 @@ type groundReader struct {
 	cat     *storage.Catalog
 	view    storage.Snapshot // round snapshot, Self = posing tx (if any)
 	txID    uint64           // posing transaction (0 for autocommit members)
-	tx      *txn.Txn         // posing transaction handle (nil for autocommit)
 	trace   TraceSink
-	scans   *roundScans   // shared round scan cache (nil: scan directly)
+	cursors *roundCursors // shared round cursor cache (nil: capture directly)
 	indexed *atomic.Int64 // engine's IndexedGroundings counter (nil ok)
 	traced  map[string]bool
-	wroteBy map[string]bool // memoized WroteTable answers (stable while blocked)
 }
 
 // traceRG reports one RG event per grounded table per query. A reader
@@ -123,48 +112,54 @@ func (g *groundReader) traceRG(table string) {
 	g.trace.GroundingRead(g.txID, table)
 }
 
-// wrote reports whether the posing transaction holds uncommitted writes on
-// table — the case that must bypass shared (committed-state) caches. The
-// answer is memoized per table: the member is blocked while its query
-// grounds, so its write set cannot change mid-grounding, and per-valuation
-// index probes must not re-walk the undo log every time.
-func (g *groundReader) wrote(table string) bool {
-	if g.tx == nil {
-		return false
+// ScanCursor streams table through the round's shared chain-id capture
+// (eq.CursorReader) — the grounding pipeline's scan access path.
+func (g *groundReader) ScanCursor(table string) (eq.RowCursor, error) {
+	tbl, err := g.cat.Get(table)
+	if err != nil {
+		return nil, fmt.Errorf("core: grounding read: %w", err)
 	}
-	if w, ok := g.wroteBy[table]; ok {
-		return w
+	g.traceRG(tbl.Name())
+	if g.cursors != nil {
+		return g.cursors.cursor(tbl, g.view), nil
 	}
-	if g.wroteBy == nil {
-		g.wroteBy = make(map[string]bool)
-	}
-	w := g.tx.WroteTable(table)
-	g.wroteBy[table] = w
-	return w
+	return tbl.ScanCursorAsOf(g.view), nil
 }
 
+// ProbeCursor streams an indexed equality probe through the round snapshot
+// (eq.CursorReader) — the grounding pipeline's probe access path.
+func (g *groundReader) ProbeCursor(table string, cols []int, vals []types.Value) (eq.RowCursor, error) {
+	tbl, err := g.cat.Get(table)
+	if err != nil {
+		return nil, fmt.Errorf("core: grounding read: %w", err)
+	}
+	g.traceRG(tbl.Name())
+	cur, err := tbl.ProbeCursor(g.view, cols, vals)
+	if err != nil {
+		return nil, fmt.Errorf("core: grounding read: %w", err)
+	}
+	if g.indexed != nil {
+		g.indexed.Add(1)
+	}
+	return cur, nil
+}
+
+// Scan materializes a full snapshot read of table (eq.Reader). The
+// streaming pipeline uses ScanCursor instead; this remains for
+// non-streaming callers.
 func (g *groundReader) Scan(table string) ([]types.Tuple, error) {
 	tbl, err := g.cat.Get(table)
 	if err != nil {
 		return nil, fmt.Errorf("core: grounding read: %w", err)
 	}
 	g.traceRG(tbl.Name())
-	if g.wrote(tbl.Name()) {
-		// Private view including the poser's own uncommitted versions.
-		return tbl.AllAsOf(g.view), nil
-	}
-	if g.scans != nil {
-		return g.scans.rows(tbl), nil
-	}
-	shared := g.view
-	shared.Self = 0
-	return tbl.AllAsOf(shared), nil
+	return tbl.AllAsOf(g.view), nil
 }
 
 // CanProbe reports whether table carries an equality index over the given
 // column positions (eq.IndexedReader). A positive answer commits the
 // planner to probing instead of scanning, so the grounding-read trace
-// event is emitted here — even if an empty outer atom means no Probe ever
+// event is emitted here — even if an empty outer atom means no probe ever
 // executes, the query's read dependency on the table is recorded, exactly
 // as the old fetch-every-relation path did.
 func (g *groundReader) CanProbe(table string, cols []int) bool {
@@ -179,19 +174,15 @@ func (g *groundReader) CanProbe(table string, cols []int) bool {
 	return true
 }
 
-// Probe serves an indexed equality probe through the round snapshot
-// (eq.IndexedReader).
+// Probe materializes an indexed equality probe through the round snapshot
+// (eq.IndexedReader). The streaming pipeline uses ProbeCursor instead.
 func (g *groundReader) Probe(table string, cols []int, vals []types.Value) ([]types.Tuple, error) {
 	tbl, err := g.cat.Get(table)
 	if err != nil {
 		return nil, fmt.Errorf("core: grounding read: %w", err)
 	}
 	g.traceRG(tbl.Name())
-	view := g.view
-	if !g.wrote(tbl.Name()) {
-		view.Self = 0
-	}
-	rows, err := tbl.MatchAsOf(view, cols, vals)
+	rows, err := tbl.MatchAsOf(g.view, cols, vals)
 	if err != nil {
 		return nil, fmt.Errorf("core: grounding read: %w", err)
 	}

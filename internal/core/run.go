@@ -243,10 +243,10 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 	defer snap.Release()
 
 	// All queries of the round ground against one pinned snapshot, so they
-	// share one materialized scan per table (posers that wrote a grounded
-	// table read privately instead).
-	scans := newRoundScans(snap.View, &e.scanBufs)
-	defer scans.release()
+	// share one chain-id capture per table; each query streams through its
+	// own cursor clone (posers that wrote a grounded table see their own
+	// versions through their clone's Self).
+	cursors := newRoundCursors(snap.View)
 
 	pendings := make([]eq.Pending, len(blocked))
 	cacheKeys := make([]string, len(blocked))
@@ -263,9 +263,8 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 			cat:     e.txm.Catalog(),
 			view:    view,
 			txID:    txID,
-			tx:      m.tx,
 			trace:   e.opts.Trace,
-			scans:   scans,
+			cursors: cursors,
 			indexed: &e.indexedProbes,
 		}}
 		// Cross-round grounding reuse: a pending query whose grounded
@@ -300,6 +299,8 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 		GroundWorkers: e.opts.GroundWorkers,
 		GroundLatency: e.opts.GroundLatency,
 		SolveBudget:   e.opts.SolveBudget,
+		BatchRows:     e.opts.GroundBatch,
+		Stream:        &e.streamStats,
 	})
 	e.bumpStat(func(s *Stats) {
 		s.SolveSteps += int64(res.Solve.Steps)

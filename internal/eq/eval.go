@@ -128,6 +128,14 @@ type EvalOptions struct {
 	// runs the greedy closure alone — the pre-exact behavior, kept for
 	// ablation benchmarks.
 	SolveBudget int
+	// BatchRows is the streaming grounding pipeline's cursor pull
+	// granularity (0 = DefaultBatchRows). It bounds resident grounding
+	// memory per query at O(join levels x BatchRows) rows without changing
+	// the enumeration.
+	BatchRows int
+	// Stream, when non-nil, accumulates rows-streamed and peak-batch
+	// accounting across the round's grounding pipelines.
+	Stream *StreamStats
 }
 
 // Evaluate runs one round of entangled query answering over the pending
@@ -252,7 +260,11 @@ func GroundAll(pending []Pending, opts EvalOptions) ([][]*Grounding, []error) {
 			errs[i] = fmt.Errorf("eq: query %d has no reader", p.ID)
 			return
 		}
-		gs, err := Ground(p.Query, p.Reader, maxG)
+		gs, err := GroundWith(p.Query, p.Reader, GroundOptions{
+			MaxGroundings: maxG,
+			BatchRows:     opts.BatchRows,
+			Stats:         opts.Stream,
+		})
 		if err != nil {
 			errs[i] = err
 			return

@@ -48,16 +48,6 @@ func (m MapReader) Scan(table string) ([]types.Tuple, error) {
 	return rows, nil
 }
 
-// atomPlan is the access path chosen for one body atom: either an index
-// probe over its equality-bound positions or an iteration of the scanned
-// relation.
-type atomPlan struct {
-	atom      Atom
-	probe     bool
-	probeCols []int         // schema positions probed (probe only)
-	rows      []types.Tuple // scanned relation (scan only)
-}
-
 // eqBindings extracts the variables constrained equal to a non-NULL
 // constant (?v = c). They count as bound for atom ordering and index
 // probing, and reject rows early during matching. The valuation still binds
@@ -84,237 +74,4 @@ func eqBindings(q *Query) map[string]types.Value {
 		out[v.Name] = k.Value
 	}
 	return out
-}
-
-// planBody orders the body atoms by boundness (greedily: the atom with the
-// most bound argument positions next, original order breaking ties) and
-// chooses an access path per atom: an index probe when the reader supports
-// one over the atom's bound positions, else a scan of the relation (fetched
-// once per relation). Reordering changes only enumeration order, never the
-// grounding set; it is deterministic, so serial, parallel, and cached
-// evaluation agree.
-func planBody(q *Query, r Reader, eqBound map[string]types.Value) ([]atomPlan, error) {
-	ir, _ := r.(IndexedReader)
-	n := len(q.Body)
-	bound := make(map[string]bool, len(eqBound))
-	for name := range eqBound {
-		bound[name] = true
-	}
-	boundCount := func(a Atom) int {
-		cnt := 0
-		for _, t := range a.Args {
-			if !t.IsVar || bound[t.Name] {
-				cnt++
-			}
-		}
-		return cnt
-	}
-	used := make([]bool, n)
-	plans := make([]atomPlan, 0, n)
-	scans := make(map[string][]types.Tuple)
-	for len(plans) < n {
-		best, bestScore := -1, -1
-		for i := 0; i < n; i++ {
-			if used[i] {
-				continue
-			}
-			if s := boundCount(q.Body[i]); s > bestScore {
-				best, bestScore = i, s
-			}
-		}
-		used[best] = true
-		atom := q.Body[best]
-		pl := atomPlan{atom: atom}
-		var boundPos []int
-		for j, t := range atom.Args {
-			if !t.IsVar || bound[t.Name] {
-				boundPos = append(boundPos, j)
-			}
-		}
-		if ir != nil && len(boundPos) > 0 {
-			if ir.CanProbe(atom.Rel, boundPos) {
-				pl.probe, pl.probeCols = true, boundPos
-			} else {
-				// Partial probe: an index over any single bound position
-				// still prunes candidates; the match loop re-verifies the
-				// remaining bound positions, so a subset probe is always
-				// semantically equivalent to the full one.
-				for _, c := range boundPos {
-					if ir.CanProbe(atom.Rel, []int{c}) {
-						pl.probe, pl.probeCols = true, []int{c}
-						break
-					}
-				}
-			}
-		}
-		if !pl.probe {
-			rows, ok := scans[atom.Rel]
-			if !ok {
-				var err error
-				rows, err = r.Scan(atom.Rel)
-				if err != nil {
-					return nil, fmt.Errorf("eq: grounding read of %s: %w", atom.Rel, err)
-				}
-				scans[atom.Rel] = rows
-			}
-			pl.rows = rows
-		}
-		plans = append(plans, pl)
-		for _, t := range atom.Args {
-			if t.IsVar {
-				bound[t.Name] = true
-			}
-		}
-	}
-	return plans, nil
-}
-
-// Ground enumerates the groundings of q against r: every valuation of the
-// body (nested-loop join with eager constraint application), instantiated
-// into head and postcondition atoms. Groundings are deduplicated by their
-// (head, post) identity and returned in enumeration order, which is
-// deterministic for deterministic readers — the determinism assumption of
-// Appendix C.1.
-//
-// The join is boundness-ordered and index-routed: atoms with more bound
-// argument positions run first, and an atom whose bound positions are
-// covered by a reader index probes it per outer valuation instead of
-// iterating the scanned relation, falling back to scans when no index
-// matches.
-//
-// maxGroundings bounds the enumeration (0 = unlimited) as a safety valve
-// against runaway cross products.
-func Ground(q *Query, r Reader, maxGroundings int) ([]*Grounding, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	eqBound := eqBindings(q)
-	plans, err := planBody(q, r, eqBound)
-	if err != nil {
-		return nil, err
-	}
-	ir, _ := r.(IndexedReader)
-
-	var out []*Grounding
-	seen := make(map[string]bool)
-	val := make(Valuation)
-
-	var join func(i int) error
-	join = func(i int) error {
-		if maxGroundings > 0 && len(out) >= maxGroundings {
-			return nil
-		}
-		if i == len(plans) {
-			// All constraints must hold (unbound ones indicate a constraint
-			// over non-body variables, rejected by Validate).
-			for _, c := range q.Where {
-				ok, err := c.eval(val)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					return nil
-				}
-			}
-			g := &Grounding{Val: val.clone()}
-			for _, a := range q.Head {
-				ga, err := a.instantiate(val)
-				if err != nil {
-					return err
-				}
-				g.Head = append(g.Head, ga)
-			}
-			for _, a := range q.Post {
-				ga, err := a.instantiate(val)
-				if err != nil {
-					return err
-				}
-				g.Post = append(g.Post, ga)
-			}
-			if k := g.key(); !seen[k] {
-				seen[k] = true
-				out = append(out, g)
-			}
-			return nil
-		}
-		pl := plans[i]
-		atom := pl.atom
-		rows := pl.rows
-		if pl.probe {
-			vals := make([]types.Value, len(pl.probeCols))
-			for k, c := range pl.probeCols {
-				t := atom.Args[c]
-				switch {
-				case !t.IsVar:
-					vals[k] = t.Value
-				default:
-					if v, ok := val[t.Name]; ok {
-						vals[k] = v
-					} else {
-						vals[k] = eqBound[t.Name]
-					}
-				}
-			}
-			var err error
-			rows, err = ir.Probe(atom.Rel, pl.probeCols, vals)
-			if err != nil {
-				return fmt.Errorf("eq: grounding read of %s: %w", atom.Rel, err)
-			}
-		}
-		for _, row := range rows {
-			if len(row) != len(atom.Args) {
-				return fmt.Errorf("eq: atom %s has arity %d but relation has arity %d", atom, len(atom.Args), len(row))
-			}
-			bound := make([]string, 0, len(atom.Args))
-			ok := true
-			for j, t := range atom.Args {
-				if t.IsVar {
-					if existing, isBound := val[t.Name]; isBound {
-						if !existing.Equal(row[j]) {
-							ok = false
-							break
-						}
-					} else {
-						if c, isEq := eqBound[t.Name]; isEq && !c.Equal(row[j]) {
-							ok = false
-							break
-						}
-						val[t.Name] = row[j]
-						bound = append(bound, t.Name)
-					}
-				} else if !t.Value.Equal(row[j]) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				// Eagerly apply constraints that just became fully bound.
-				for _, c := range q.Where {
-					if c.bound(val) {
-						holds, err := c.eval(val)
-						if err != nil {
-							return err
-						}
-						if !holds {
-							ok = false
-							break
-						}
-					}
-				}
-			}
-			if ok {
-				if err := join(i + 1); err != nil {
-					return err
-				}
-			}
-			for _, name := range bound {
-				delete(val, name)
-			}
-		}
-		return nil
-	}
-	if err := join(0); err != nil {
-		return nil, err
-	}
-	return out, nil
 }

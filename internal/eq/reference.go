@@ -1,0 +1,161 @@
+package eq
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// GroundMaterialized is the pre-streaming grounding executor, kept as the
+// differential-testing and benchmarking baseline: it consumes the same
+// joinPlan as the streaming pipeline but materializes every scan as a full
+// row slice and every probe as a per-valuation slice, exactly as Ground did
+// before the cursor rewrite. The engine never calls it; the streaming ≡
+// materialized property test asserts Ground enumerates byte-identical
+// groundings in identical order, and BenchmarkFigure6bScale measures the
+// memory the streaming path no longer pays.
+func GroundMaterialized(q *Query, r Reader, maxGroundings int) ([]*Grounding, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	plan := planQuery(q, r)
+	ir, _ := r.(IndexedReader)
+
+	// Materialize every scan level up front, one Scan per relation.
+	scans := make(map[string][]types.Tuple)
+	scanRows := make([][]types.Tuple, len(plan.steps))
+	for i := range plan.steps {
+		step := &plan.steps[i]
+		if step.probe {
+			continue
+		}
+		rows, ok := scans[step.atom.Rel]
+		if !ok {
+			var err error
+			rows, err = r.Scan(step.atom.Rel)
+			if err != nil {
+				return nil, fmt.Errorf("eq: grounding read of %s: %w", step.atom.Rel, err)
+			}
+			scans[step.atom.Rel] = rows
+		}
+		scanRows[i] = rows
+	}
+
+	var out []*Grounding
+	seen := make(map[string]bool)
+	val := make(Valuation)
+
+	var join func(i int) error
+	join = func(i int) error {
+		if maxGroundings > 0 && len(out) >= maxGroundings {
+			return nil
+		}
+		if i == len(plan.steps) {
+			for _, c := range plan.final {
+				ok, err := c.eval(val)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+			g := &Grounding{Val: val.clone()}
+			for _, a := range q.Head {
+				ga, err := a.instantiate(val)
+				if err != nil {
+					return err
+				}
+				g.Head = append(g.Head, ga)
+			}
+			for _, a := range q.Post {
+				ga, err := a.instantiate(val)
+				if err != nil {
+					return err
+				}
+				g.Post = append(g.Post, ga)
+			}
+			if k := g.key(); !seen[k] {
+				seen[k] = true
+				out = append(out, g)
+			}
+			return nil
+		}
+		step := &plan.steps[i]
+		atom := step.atom
+		rows := scanRows[i]
+		if step.probe {
+			vals := make([]types.Value, len(step.probeCols))
+			for k, c := range step.probeCols {
+				t := atom.Args[c]
+				switch {
+				case !t.IsVar:
+					vals[k] = t.Value
+				default:
+					if v, ok := val[t.Name]; ok {
+						vals[k] = v
+					} else {
+						vals[k] = plan.eqBound[t.Name]
+					}
+				}
+			}
+			var err error
+			rows, err = ir.Probe(atom.Rel, step.probeCols, vals)
+			if err != nil {
+				return fmt.Errorf("eq: grounding read of %s: %w", atom.Rel, err)
+			}
+		}
+		for _, row := range rows {
+			if len(row) != len(atom.Args) {
+				return fmt.Errorf("eq: atom %s has arity %d but relation has arity %d", atom, len(atom.Args), len(row))
+			}
+			bound := make([]string, 0, len(atom.Args))
+			ok := true
+			for j, t := range atom.Args {
+				if t.IsVar {
+					if existing, isBound := val[t.Name]; isBound {
+						if !existing.Equal(row[j]) {
+							ok = false
+							break
+						}
+					} else {
+						if c, isEq := plan.eqBound[t.Name]; isEq && !c.Equal(row[j]) {
+							ok = false
+							break
+						}
+						val[t.Name] = row[j]
+						bound = append(bound, t.Name)
+					}
+				} else if !t.Value.Equal(row[j]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, c := range step.checks {
+					holds, err := c.eval(val)
+					if err != nil {
+						return err
+					}
+					if !holds {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				if err := join(i + 1); err != nil {
+					return err
+				}
+			}
+			for _, name := range bound {
+				delete(val, name)
+			}
+		}
+		return nil
+	}
+	if err := join(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

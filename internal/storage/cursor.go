@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// Streaming read path: cursors pull a table's snapshot-visible rows in
+// RowID order in caller-paced batches, instead of materializing the whole
+// relation the way AllAsOf/MatchAsOf do. A cursor captures the table's
+// chain ids once at open (8 bytes per chain, not a cloned tuple) and
+// resolves visibility per batch under a short read lock, so grounding a
+// million-row table holds one batch of row references at a time.
+//
+// Returned rows alias stored version tuples. Versions are immutable once
+// installed (writers only append to chains), so the references stay valid
+// indefinitely — but callers must not mutate them and must copy any value
+// they retain past the batch, because the batch buffer itself is reused.
+//
+// Snapshot stability makes the captured id list sound: chains appended
+// after the capture hold only versions invisible to the cursor's snapshot
+// (their CSNs postdate it, or they are uncommitted by someone else), and a
+// chain removed after the capture (rollback, GC below the snapshot
+// watermark) resolves to "not visible" exactly as a live tombstone would.
+// A cursor therefore enumerates precisely the rows ScanAsOf would, in the
+// same order, no matter how the pulls interleave with concurrent commits.
+
+// ScanCursor streams one table's rows visible to a snapshot, in RowID
+// order. Not safe for concurrent use; Clone independent cursors instead.
+type ScanCursor struct {
+	tbl  *Table
+	snap Snapshot
+	ids  []RowID // all chain ids at open, sorted ascending (shared, read-only)
+	pos  int
+}
+
+// ScanCursorAsOf opens a cursor over the rows visible to snap. The open
+// captures and sorts the table's chain ids and counts as one scan for
+// ScanCount accounting; the per-batch visibility resolution does not.
+func (t *Table) ScanCursorAsOf(snap Snapshot) *ScanCursor {
+	t.scans.Add(1)
+	t.mu.RLock()
+	ids := make([]RowID, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	t.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return &ScanCursor{tbl: t, snap: snap, ids: ids}
+}
+
+// Clone returns an independent cursor over the same captured ids, reading
+// through snap. An evaluation round captures each table once and hands
+// every pending query its own clone (with its own Snapshot.Self), so k
+// queries over one table pay one capture, not k.
+func (c *ScanCursor) Clone(snap Snapshot) *ScanCursor {
+	return &ScanCursor{tbl: c.tbl, snap: snap, ids: c.ids}
+}
+
+// Next appends up to max rows to buf and returns the extended slice; no
+// growth means the cursor is exhausted. The error is always nil here and
+// exists so future disk-backed cursors can fail mid-stream.
+func (c *ScanCursor) Next(buf []types.Tuple, max int) ([]types.Tuple, error) {
+	if max <= 0 {
+		max = 1
+	}
+	want := len(buf) + max
+	c.tbl.mu.RLock()
+	for c.pos < len(c.ids) && len(buf) < want {
+		id := c.ids[c.pos]
+		c.pos++
+		if row, ok := visibleAt(c.tbl.rows[id], c.snap); ok {
+			buf = append(buf, row)
+		}
+	}
+	c.tbl.mu.RUnlock()
+	return buf, nil
+}
+
+// Rewind resets the cursor to the first row without re-capturing ids.
+func (c *ScanCursor) Rewind() { c.pos = 0 }
+
+// ProbeCursor streams the rows visible to a snapshot whose column
+// positions cols equal vals, in RowID order — the streaming counterpart of
+// MatchAsOf. When an index covers the column set, candidates come from its
+// bucket; otherwise every chain is filtered (the scan fallback), so the
+// enumeration is identical either way.
+type ProbeCursor struct {
+	tbl  *Table
+	snap Snapshot
+	cols []int
+	vals []types.Value
+	ids  []RowID // candidate chain ids, sorted ascending
+	pos  int
+}
+
+// ProbeCursor opens an equality-probe cursor. The candidate ids are
+// captured (and, for index buckets, copied) at open; visibility and the
+// equality predicate are re-checked per batch against the visible row,
+// because a bucket candidate may carry the key only in an invisible
+// version.
+func (t *Table) ProbeCursor(snap Snapshot, cols []int, vals []types.Value) (*ProbeCursor, error) {
+	if len(cols) != len(vals) {
+		return nil, fmt.Errorf("storage: probe on %s: %d columns vs %d values", t.name, len(cols), len(vals))
+	}
+	width := len(t.schema.Columns)
+	for _, c := range cols {
+		if c < 0 || c >= width {
+			return nil, fmt.Errorf("storage: probe on %s: column position %d out of range", t.name, c)
+		}
+	}
+	t.mu.RLock()
+	var ids []RowID
+	if ix := t.findIndexByCols(cols); ix != nil {
+		// Bucket key in the index's own column order; the bucket slice is
+		// mutated under the table's write lock, so copy under the read lock.
+		key := make(types.Tuple, len(ix.columns))
+		for i, c := range ix.columns {
+			for j, probe := range cols {
+				if probe == c {
+					key[i] = vals[j]
+					break
+				}
+			}
+		}
+		ids = append(ids, ix.buckets[key.Key()]...)
+	} else {
+		ids = make([]RowID, 0, len(t.rows))
+		for id := range t.rows {
+			ids = append(ids, id)
+		}
+	}
+	t.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return &ProbeCursor{tbl: t, snap: snap, cols: cols, vals: vals, ids: ids}, nil
+}
+
+// Next appends up to max matching rows to buf and returns the extended
+// slice; no growth means the cursor is exhausted.
+func (c *ProbeCursor) Next(buf []types.Tuple, max int) ([]types.Tuple, error) {
+	if max <= 0 {
+		max = 1
+	}
+	want := len(buf) + max
+	c.tbl.mu.RLock()
+	for c.pos < len(c.ids) && len(buf) < want {
+		id := c.ids[c.pos]
+		c.pos++
+		row, ok := visibleAt(c.tbl.rows[id], c.snap)
+		if !ok {
+			continue
+		}
+		match := true
+		for i, col := range c.cols {
+			if !row[col].Equal(c.vals[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			buf = append(buf, row)
+		}
+	}
+	c.tbl.mu.RUnlock()
+	return buf, nil
+}
+
+// Rewind resets the cursor to the first candidate.
+func (c *ProbeCursor) Rewind() { c.pos = 0 }
