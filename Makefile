@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck examples serve-smoke bench-smoke bench-json pprof pprof-ground ci
+.PHONY: all build test race vet staticcheck examples serve-smoke chaos bench-smoke bench-json pprof pprof-ground ci
 
 all: build
 
@@ -39,6 +39,15 @@ examples:
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 -v .
 
+# Chaos smoke: the fault-injection suite under the race detector — the
+# PR 8 acceptance soak (coordination groups stay all-or-nothing while
+# connections reset and the server sheds) plus the WAL torn-write sweeps
+# and the client self-healing tests. The seed is fixed inside the tests
+# so failures reproduce; override with CHAOS_SEED=<n> to explore.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestRetry|TestHandleSurvives|TestOverloadShed|TestShedRetry|TestFault' ./internal/server ./internal/wal
+	$(GO) test -race -count=1 ./internal/fault ./entangle/client
+
 # One iteration of every benchmark family: a fast sanity pass that the
 # figure harnesses still run end to end (not a measurement). Output is
 # written to bench-smoke.txt, which CI uploads as an artifact; a failing
@@ -48,16 +57,16 @@ bench-smoke:
 	@cat bench-smoke.txt
 
 # Machine-readable perf trajectory: one iteration of every benchmark family
-# — now including the BenchmarkFigure6bScale streaming-vs-materialized
-# grounding comparison at 10x/100x table sizes — rendered as
-# BENCH_pr7.json (benchmark name -> experiment seconds; benchmarks without
-# the exp-seconds metric fall back to ns/op converted to seconds; B/op,
-# allocs/op, and custom metrics appear under "name:metric" keys). CI
-# derives the same file from bench-smoke.txt and uploads it as an artifact.
+# — now including the BenchmarkOverloadShedding shed-vs-unbounded
+# tail-latency comparison — rendered as BENCH_pr8.json (benchmark name ->
+# experiment seconds; benchmarks without the exp-seconds metric fall back
+# to ns/op converted to seconds; B/op, allocs/op, and custom metrics like
+# p50-ms/p90-ms/shed-frac appear under "name:metric" keys). CI derives the
+# same file from bench-smoke.txt and uploads it as an artifact.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . > bench-smoke.txt 2>&1 || (cat bench-smoke.txt; exit 1)
-	$(GO) run ./cmd/benchjson < bench-smoke.txt > BENCH_pr7.json
-	@cat BENCH_pr7.json
+	$(GO) run ./cmd/benchjson < bench-smoke.txt > BENCH_pr8.json
+	@cat BENCH_pr8.json
 
 # Fuzz smoke: a short randomized run of each wire-protocol fuzz target
 # (frame reader and binary codec) on top of the committed seed corpus.

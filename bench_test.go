@@ -13,6 +13,7 @@ import (
 	"net"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/txn"
 	"repro/internal/types"
 	"repro/internal/wal"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -817,4 +819,168 @@ func BenchmarkEnginePairEndToEnd(b *testing.B) {
 			b.Fatalf("outcome %+v", o)
 		}
 	}
+}
+
+
+// BenchmarkOverloadShedding (PR 8) compares admission control against an
+// unbounded server under a flood of parked coordination Waits — the load
+// shape the gate exists for: every partnerless Wait parks a goroutine
+// server-side until its script timeout, so accepted concurrency builds
+// without bound unless admission sheds it. The measured quantity is
+// time-to-fate per Wait: how long until the client learns anything at all
+// (an outcome, or a typed retryable refusal it can act on — back off,
+// route elsewhere, fail over). The unbounded server accepts all 512 waits
+// and answers none before the 3s script timeout, so the whole latency
+// distribution sits at the timeout; the shedding server parks only its
+// in-flight budget and answers everything else in microseconds with
+// wire.ErrOverloaded. shed-frac records the price: the fraction of waits
+// refused rather than served.
+func BenchmarkOverloadShedding(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		maxInFlight int
+	}{
+		{"mode=shed/limit=32", 32},
+		{"mode=unbounded", -1},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p50, p90, shedFrac, err := measureOverload(mode.maxInFlight)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(p50, "p50-ms")
+				b.ReportMetric(p90, "p90-ms")
+				b.ReportMetric(shedFrac, "shed-frac")
+			}
+		})
+	}
+}
+
+// measureOverload floods a server with 8 raw-wire connections × 64 parked
+// Waits on partnerless coordinations (3s script timeout) and returns
+// p50/p90 time-to-fate in ms plus the fraction shed. Raw connections — no
+// client retry machinery — so the distribution is the server's alone.
+func measureOverload(maxInFlight int) (p50, p90, shedFrac float64, err error) {
+	const (
+		conns        = 8
+		waitsPerConn = 64
+	)
+	db, err := entangle.Open(entangle.Options{RunFrequency: 10})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer db.Close()
+	srv := server.NewWithOptions(db, server.Options{
+		MaxInFlight:    maxInFlight,
+		PerConnPending: waitsPerConn, // per-conn cap out of the way: the global gate is under test
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(context.Background())
+
+	if err := db.ExecDDL(`
+		CREATE TABLE Flights (fno INT, fdate DATE, dest VARCHAR);
+		CREATE TABLE Bookings (name VARCHAR, fno INT, fdate DATE);
+	`); err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := db.Exec(`INSERT INTO Flights VALUES (122, '2011-05-03', 'LA')`); err != nil {
+		return 0, 0, 0, err
+	}
+	script := func(i, j int) string {
+		me := fmt.Sprintf("w%d_%d", i, j)
+		return fmt.Sprintf(`
+		BEGIN TRANSACTION WITH TIMEOUT 3 SECONDS;
+		SELECT '%s', fno AS @f INTO ANSWER R
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA')
+		AND ('nobody', fno) IN ANSWER R CHOOSE 1;
+		INSERT INTO Bookings VALUES ('%s', @f, '2011-05-03');
+		COMMIT;`, me, me)
+	}
+
+	type fate struct {
+		lat  time.Duration
+		shed bool
+	}
+	fates := make([][]fate, conns)
+	errs := make(chan error, conns)
+	var submitted, flood sync.WaitGroup
+	flood.Add(1) // released once every connection has all its handles
+	for c := 0; c < conns; c++ {
+		submitted.Add(1)
+		go func(c int) {
+			nc, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				submitted.Done()
+				errs <- err
+				return
+			}
+			defer nc.Close()
+			handles := make([]uint64, 0, waitsPerConn)
+			var id uint64
+			for j := 0; j < waitsPerConn; j++ {
+				id++
+				if err := wire.WriteFrame(nc, wire.Request{ID: id, Op: wire.OpSubmit, SQL: script(c, j)}); err != nil {
+					submitted.Done()
+					errs <- err
+					return
+				}
+				var resp wire.Response
+				if err := wire.ReadInto(nc, &resp); err != nil || !resp.OK {
+					submitted.Done()
+					errs <- fmt.Errorf("submit: %v %s", err, resp.Error)
+					return
+				}
+				handles = append(handles, resp.Handle)
+			}
+			submitted.Done()
+			flood.Wait()
+			// The flood: every Wait pipelined back-to-back, fates timed
+			// from the moment the flood starts.
+			start := time.Now()
+			for j, h := range handles {
+				id++
+				if err := wire.WriteFrame(nc, wire.Request{ID: id, Op: wire.OpWait, Handle: h}); err != nil {
+					errs <- fmt.Errorf("wait %d: %w", j, err)
+					return
+				}
+			}
+			for j := 0; j < waitsPerConn; j++ {
+				var resp wire.Response
+				if err := wire.ReadInto(nc, &resp); err != nil {
+					errs <- fmt.Errorf("wait resp %d: %w", j, err)
+					return
+				}
+				fates[c] = append(fates[c], fate{time.Since(start), resp.ErrCode == wire.ErrCodeOverloaded})
+			}
+			errs <- nil
+		}(c)
+	}
+	submitted.Wait()
+	flood.Done()
+	for c := 0; c < conns; c++ {
+		if err := <-errs; err != nil {
+			return 0, 0, 0, err
+		}
+	}
+
+	var lats []time.Duration
+	sheds := 0
+	for _, fs := range fates {
+		for _, f := range fs {
+			lats = append(lats, f.lat)
+			if f.shed {
+				sheds++
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	quant := func(q float64) float64 {
+		return float64(lats[int(q*float64(len(lats)-1))]) / float64(time.Millisecond)
+	}
+	return quant(0.50), quant(0.90), float64(sheds) / float64(len(lats)), nil
 }

@@ -17,12 +17,51 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/entangle"
+	"repro/internal/fault"
 	"repro/internal/server"
 )
+
+// armFault parses one -fault spec, "name:kind:prob[:delay]", and arms the
+// failpoint: e.g. "server.conn.write:reset:0.01" resets 1% of connection
+// writes, "server.dispatch:delay:0.05:2ms" stalls 5% of dispatches 2ms.
+// Kinds: error, reset, drop, delay.
+func armFault(reg *fault.Registry, spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 3 {
+		return fmt.Errorf("fault spec %q: want name:kind:prob[:delay]", spec)
+	}
+	prob, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || prob <= 0 || prob > 1 {
+		return fmt.Errorf("fault spec %q: probability must be in (0,1]", spec)
+	}
+	act := fault.Action{}
+	switch parts[1] {
+	case "error":
+		act.Kind = fault.KindError
+	case "reset":
+		act.Kind = fault.KindReset
+	case "drop":
+		act.Kind = fault.KindDrop
+	case "delay":
+		act.Kind = fault.KindDelay
+		act.Delay = time.Millisecond
+		if len(parts) > 3 {
+			if act.Delay, err = time.ParseDuration(parts[3]); err != nil {
+				return fmt.Errorf("fault spec %q: %v", spec, err)
+			}
+		}
+	default:
+		return fmt.Errorf("fault spec %q: unknown kind %q (error|reset|drop|delay)", spec, parts[1])
+	}
+	reg.Enable(parts[0], fault.Trigger{Prob: prob}, act)
+	return nil
+}
 
 func main() {
 	var (
@@ -34,8 +73,30 @@ func main() {
 		groundCache = flag.Bool("ground-cache", true, "enable the cross-round grounding cache")
 		drainWait   = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 		jsonOnly    = flag.Bool("json-only", false, "refuse binary codec negotiation; every connection stays on JSON frames (debuggable with netcat/tcpdump)")
+		maxInFlight = flag.Int("max-in-flight", 0, "admission control: max requests executing across all connections; excess is shed with a retryable error (0 = default 1024, negative = unbounded)")
+		perConnPend = flag.Int("per-conn-pending", 0, "max parked Wait/session requests per connection before shedding (0 = default 64)")
+		faultSeed   = flag.Int64("fault-seed", 1, "failpoint RNG seed (with -fault; fixed seed = reproducible chaos)")
 	)
+	var faultSpecs []string
+	flag.Func("fault", "arm a failpoint, name:kind:prob[:delay] (repeatable); e.g. server.conn.write:reset:0.01, wal.sync.error:error:0.001, server.dispatch:delay:0.05:2ms", func(s string) error {
+		faultSpecs = append(faultSpecs, s)
+		return nil
+	})
 	flag.Parse()
+
+	// A fault registry exists only when chaos is requested; otherwise every
+	// failpoint stays a nil no-op.
+	var reg *fault.Registry
+	if len(faultSpecs) > 0 {
+		reg = fault.NewRegistry(*faultSeed)
+		for _, spec := range faultSpecs {
+			if err := armFault(reg, spec); err != nil {
+				fmt.Fprintln(os.Stderr, "youtopia-serve:", err)
+				os.Exit(2)
+			}
+		}
+		fmt.Printf("youtopia-serve: chaos armed (%d failpoints, seed %d)\n", len(faultSpecs), *faultSeed)
+	}
 
 	db, err := entangle.Open(entangle.Options{
 		Path:         *walPath,
@@ -43,13 +104,18 @@ func main() {
 		RunFrequency: *freq,
 		Connections:  *conns,
 		GroundCache:  *groundCache,
+		Faults:       reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "youtopia-serve:", err)
 		os.Exit(1)
 	}
 
-	srv := server.New(db)
+	srv := server.NewWithOptions(db, server.Options{
+		MaxInFlight:    *maxInFlight,
+		PerConnPending: *perConnPend,
+		Faults:         reg,
+	})
 	srv.JSONOnly = *jsonOnly
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe(*addr) }()

@@ -22,6 +22,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -96,10 +97,30 @@ type remoteBackend struct {
 
 func (r *remoteBackend) Exec(src string) (*result, error) {
 	res, err := r.is.Exec(src)
+	if err != nil && r.sessionLost(err) {
+		// The connection died underneath the session (and the client may
+		// have self-healed since). Sessions are connection-scoped and
+		// deliberately never retried, so the old one is gone for good:
+		// open a fresh session and rerun the statement. Host variables and
+		// any open transaction were rolled back with the old session —
+		// tell the user rather than silently losing them.
+		r.is = r.c.Interactive()
+		fmt.Println("  (connection was reset: opened a new session; host variables cleared)")
+		res, err = r.is.Exec(src)
+	}
 	if err != nil || res == nil {
 		return nil, err
 	}
 	return &result{Columns: res.Columns, Rows: res.Rows, RowsAffected: res.RowsAffected}, nil
+}
+
+// sessionLost reports whether err means the interactive session's backing
+// connection died: either the server forgot the id after a reconnect
+// (typed unknown_session) or the call itself rode the dying connection.
+// Recovery is a single attempt — if the whole client was Close()d, the
+// fresh session fails with the same error and that is what the user sees.
+func (r *remoteBackend) sessionLost(err error) bool {
+	return errors.Is(err, wire.ErrUnknownSession) || errors.Is(err, client.ErrClosed)
 }
 
 func (r *remoteBackend) Submit(script string) (waiter, error) { return r.c.SubmitScript(script) }

@@ -11,6 +11,21 @@
 // are correlated back, and a blocked Wait never stalls other calls. All
 // methods are safe for concurrent use.
 //
+// The client is self-healing. When its connection dies it reconnects
+// automatically — exponential backoff with jitter, bounded by a dial
+// budget — and re-binds its identity to the server, so submitted-program
+// handles survive the reconnect. Calls interrupted by a connection failure
+// are retried transparently when that is safe: the client stamps mutating
+// requests (Exec, ExecDDL, SubmitScript, Wait, Poll) with idempotency ids
+// and the server's per-client dedup window makes the retry exactly-once —
+// a request that already executed has its recorded response replayed
+// instead of running twice. Requests shed by server admission control
+// (wire.ErrOverloaded) are retried with backoff for every op, since a shed
+// request never dispatched. When the budget runs out the call fails with
+// ErrRetriesExhausted (wrapping the last cause, so errors.Is sees both).
+// Interactive sessions are the exception: they are connection-scoped
+// server-side, so their calls fail over a reconnect rather than retry.
+//
 // Dial negotiates the binary codec (wire protocol v2) and falls back to
 // JSON against servers that do not speak it; Options.Codec pins either.
 // Requests are write-batched: callers encode into one output buffer and a
@@ -22,11 +37,15 @@ package client
 
 import (
 	"bufio"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/entangle"
@@ -43,8 +62,23 @@ type Result = wire.Result
 type Outcome = entangle.Outcome
 
 // ErrClosed is returned for calls on a closed client (or one whose
-// connection died; the underlying cause is wrapped).
+// connection died mid-call and could not be retried; the underlying cause
+// is wrapped).
 var ErrClosed = errors.New("client: connection closed")
+
+// ErrRetriesExhausted is returned when a call's transport retries or
+// overload backoffs ran out of budget. The returned error wraps the last
+// underlying cause, so errors.Is matches both this sentinel and (say)
+// wire.ErrOverloaded.
+var ErrRetriesExhausted = errors.New("client: retries exhausted")
+
+type exhaustedError struct{ cause error }
+
+func (e *exhaustedError) Error() string {
+	return "client: retries exhausted: " + e.cause.Error()
+}
+func (e *exhaustedError) Unwrap() error        { return e.cause }
+func (e *exhaustedError) Is(target error) bool { return target == ErrRetriesExhausted }
 
 // Options tunes Dial.
 type Options struct {
@@ -55,29 +89,95 @@ type Options struct {
 
 	// Codec selects the wire codec: wire.CodecBinary (the default, "")
 	// negotiates the binary fast path and falls back to JSON against a
-	// server that does not offer it; wire.CodecJSON skips negotiation
-	// entirely — every frame stays readable with netcat, and the
-	// connection works against any protocol-v1 server.
+	// server that does not offer it; wire.CodecJSON pins JSON — every
+	// frame stays readable with netcat, and the connection works against
+	// any protocol-v1 server.
 	Codec string
+
+	// WriteTimeout bounds one batched request write so a dead peer cannot
+	// park the flusher (and every caller behind it) forever. Default 30s.
+	WriteTimeout time.Duration
+
+	// DialBudget is how many dial attempts one reconnect may spend before
+	// giving up (default 8). The initial Dial always makes exactly one
+	// attempt — fail-fast — so the budget only governs self-healing.
+	DialBudget int
+
+	// RetryBudget is how many transparent retries one call may consume
+	// across connection failures and overload sheds before failing with
+	// ErrRetriesExhausted (default 8).
+	RetryBudget int
+
+	// ReconnectBackoff is the first reconnect delay; attempts double it
+	// (plus jitter) up to ReconnectMaxBackoff. Defaults 25ms and 1s.
+	ReconnectBackoff    time.Duration
+	ReconnectMaxBackoff time.Duration
 }
 
-// writeTimeout bounds one batched request write so a dead peer cannot
-// park the flusher (and every caller behind it) forever.
-const writeTimeout = 30 * time.Second
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.Codec == "" {
+		o.Codec = wire.CodecBinary
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.DialBudget <= 0 {
+		o.DialBudget = 8
+	}
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 8
+	}
+	if o.ReconnectBackoff <= 0 {
+		o.ReconnectBackoff = 25 * time.Millisecond
+	}
+	if o.ReconnectMaxBackoff <= 0 {
+		o.ReconnectMaxBackoff = time.Second
+	}
+	return o
+}
 
 // readBufSize buffers response reads: a batch of pipelined responses
 // costs one read syscall.
 const readBufSize = 64 << 10
 
-// Client is a remote DB handle over one TCP connection.
+// Client is a remote DB handle. It owns at most one live TCP connection at
+// a time and transparently replaces it when it dies.
 type Client struct {
+	addr string
+	opts Options
+	id   string // stable random identity, carried on every hello
+
+	mu        sync.Mutex
+	cc        *conn       // live connection; nil while down
+	flight    *dialFlight // in-progress reconnect, single-flighted
+	closed    bool
+	nextID    uint64 // request IDs, client-wide so retries never collide
+	nextIdem  uint64 // idempotency ids
+	noDedup   bool   // legacy server: no hello, no idempotency, no retry of mutations
+	codecName string
+
+	reconnects atomic.Int64
+	retries    atomic.Int64
+}
+
+type dialFlight struct {
+	done chan struct{}
+	cc   *conn
+	err  error
+}
+
+// conn is one TCP connection's transport state: pending-call registry,
+// write batching, and the read loop. It dies as a unit — any transport
+// error fails every pending call and hands control back to the Client.
+type conn struct {
+	cl    *Client
 	nc    net.Conn
 	br    *bufio.Reader
-	codec wire.Codec // fixed after Dial's handshake
+	codec wire.Codec // fixed after the handshake
 
-	// Write batching (mirrors the server's conn): callers encode request
-	// frames into outBuf under outMu; the flusher goroutine writes
-	// accumulated frames in one syscall.
 	outMu       sync.Mutex
 	outCond     *sync.Cond
 	outBuf      []byte
@@ -86,9 +186,9 @@ type Client struct {
 	flusherDone chan struct{}
 
 	mu      sync.Mutex
-	nextID  uint64
 	pending map[uint64]chan *wire.Response
-	err     error // terminal connection error, once set
+	dead    bool
+	err     error
 }
 
 // Dial connects to a youtopia-serve address ("host:port"), verifies
@@ -96,59 +196,71 @@ type Client struct {
 // offers it.
 func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
 
-// DialOptions is Dial with explicit options.
+// DialOptions is Dial with explicit options. The initial dial is a single
+// fail-fast attempt; automatic reconnection (with backoff and budget)
+// begins once the first connection is established.
 func DialOptions(addr string, opts Options) (*Client, error) {
-	timeout := opts.DialTimeout
-	if timeout <= 0 {
-		timeout = 5 * time.Second
-	}
-	want := opts.Codec
-	if want == "" {
-		want = wire.CodecBinary
-	}
-	if want != wire.CodecJSON && want != wire.CodecBinary {
+	opts = opts.withDefaults()
+	if opts.Codec != wire.CodecJSON && opts.Codec != wire.CodecBinary {
 		return nil, fmt.Errorf("client: unknown codec %q", opts.Codec)
 	}
-	nc, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	var idb [8]byte
+	if _, err := rand.Read(idb[:]); err != nil {
+		return nil, fmt.Errorf("client: identity: %w", err)
 	}
-	c := &Client{
+	c := &Client{addr: addr, opts: opts, id: hex.EncodeToString(idb[:])}
+	cc, name, noDedup, err := c.dialConn()
+	if err != nil {
+		return nil, err
+	}
+	c.cc, c.codecName, c.noDedup = cc, name, noDedup
+	return c, nil
+}
+
+// dialConn makes one connection attempt: TCP connect, handshake (identity
+// bind + codec negotiation) under a deadline, then the reader and flusher
+// start.
+func (c *Client) dialConn() (*conn, string, bool, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, "", false, fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	cc := &conn{
+		cl:          c,
 		nc:          nc,
 		br:          bufio.NewReaderSize(nc, readBufSize),
 		codec:       wire.JSON,
 		pending:     make(map[uint64]chan *wire.Response),
 		flusherDone: make(chan struct{}),
 	}
-	c.outCond = sync.NewCond(&c.outMu)
+	cc.outCond = sync.NewCond(&cc.outMu)
 	// The handshake runs synchronously under a deadline — no reader or
 	// flusher goroutines yet, so the codec switch cannot race anything. A
 	// peer that accepts TCP but never speaks the protocol fails the
-	// handshake instead of hanging Dial.
-	nc.SetDeadline(time.Now().Add(timeout))
-	if err := c.handshake(want); err != nil {
+	// handshake instead of hanging.
+	nc.SetDeadline(time.Now().Add(c.opts.DialTimeout))
+	name, noDedup, err := cc.handshake(c.opts.Codec, c.id)
+	if err != nil {
 		nc.Close()
-		return nil, err
+		return nil, "", false, err
 	}
 	nc.SetDeadline(time.Time{})
-	go c.readLoop()
-	go c.flusher()
-	return c, nil
+	go cc.readLoop()
+	go cc.flusher()
+	return cc, name, noDedup, nil
 }
 
 // syncCall writes one request frame and reads one response frame on the
 // calling goroutine; only valid before readLoop starts.
-func (c *Client) syncCall(codec wire.Codec, req wire.Request) (*wire.Response, error) {
-	c.nextID++
-	req.ID = c.nextID
+func (cc *conn) syncCall(codec wire.Codec, req wire.Request) (*wire.Response, error) {
 	frame, err := codec.AppendRequestFrame(nil, &req)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := c.nc.Write(frame); err != nil {
+	if _, err := cc.nc.Write(frame); err != nil {
 		return nil, err
 	}
-	payload, err := wire.ReadFrame(c.br)
+	payload, err := wire.ReadFrame(cc.br)
 	if err != nil {
 		return nil, err
 	}
@@ -159,45 +271,48 @@ func (c *Client) syncCall(codec wire.Codec, req wire.Request) (*wire.Response, e
 	return &resp, nil
 }
 
-// handshake negotiates the codec. The hello (like every pre-negotiation
-// frame) travels as JSON, so it is safe against any server version:
+// handshake binds the client identity and negotiates the codec. The hello
+// (like every pre-negotiation frame) travels as JSON, so it is safe
+// against any server version:
 //   - a binary-capable server answers with the codec both sides use next;
-//   - a JSON-only server that knows OpHello answers CodecJSON;
+//   - a JSON-only server (or a JSON-pinned hello) answers CodecJSON;
 //   - a protocol-v1 server answers "unknown op" — the client falls back
-//     to the v1 version-checking ping and stays on JSON.
-func (c *Client) handshake(want string) error {
-	if want == wire.CodecJSON {
-		return c.checkVersion(wire.OpPing)
-	}
-	resp, err := c.syncCall(wire.JSON, wire.Request{Op: wire.OpHello, Codec: want})
+//     to the v1 version-checking ping, stays on JSON, and disables the
+//     idempotency machinery (a v1 server has no dedup window).
+func (cc *conn) handshake(want, clientID string) (codecName string, noDedup bool, err error) {
+	resp, err := cc.syncCall(wire.JSON, wire.Request{ID: 1, Op: wire.OpHello, Codec: want, Client: clientID})
 	if err != nil {
-		return fmt.Errorf("client: hello: %w", err)
+		return "", false, fmt.Errorf("client: hello: %w", err)
 	}
 	if !resp.OK {
 		// A v1 server rejects the unknown op; fall back to its own
 		// liveness/version check and keep speaking JSON.
-		return c.checkVersion(wire.OpPing)
+		if err := cc.checkVersion(); err != nil {
+			return "", false, err
+		}
+		return wire.CodecJSON, true, nil
 	}
 	if resp.Version != wire.ProtocolVersion {
-		return fmt.Errorf("client: protocol version mismatch: server %d, client %d",
+		return "", false, fmt.Errorf("client: protocol version mismatch: server %d, client %d",
 			resp.Version, wire.ProtocolVersion)
 	}
 	switch resp.Codec {
 	case wire.CodecBinary:
-		c.codec = wire.Binary
+		cc.codec = wire.Binary
+		return wire.CodecBinary, false, nil
 	case wire.CodecJSON, "":
 		// Negotiation succeeded but the server keeps this connection on
 		// JSON (e.g. a JSON-only deployment).
+		return wire.CodecJSON, false, nil
 	default:
-		return fmt.Errorf("client: server chose unknown codec %q", resp.Codec)
+		return "", false, fmt.Errorf("client: server chose unknown codec %q", resp.Codec)
 	}
-	return nil
 }
 
 // checkVersion is the v1 handshake: a ping whose response carries the
 // protocol version.
-func (c *Client) checkVersion(op string) error {
-	resp, err := c.syncCall(wire.JSON, wire.Request{Op: op})
+func (cc *conn) checkVersion() error {
+	resp, err := cc.syncCall(wire.JSON, wire.Request{ID: 2, Op: wire.OpPing})
 	if err != nil {
 		return fmt.Errorf("client: ping: %w", err)
 	}
@@ -213,42 +328,153 @@ func (c *Client) checkVersion(op string) error {
 
 // Codec reports the negotiated codec name (wire.CodecBinary or
 // wire.CodecJSON).
-func (c *Client) Codec() string { return c.codec.Name() }
+func (c *Client) Codec() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.codecName
+}
+
+// Healthy reports whether the client currently holds a live connection.
+// A false answer is not fatal — a background reconnect may be in
+// progress — but Pool uses it to steer callers toward live connections.
+func (c *Client) Healthy() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.closed && c.cc != nil
+}
+
+// Reconnects reports how many times this client has successfully replaced
+// a dead connection.
+func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
+
+// Retries reports how many transparent call retries (transport failures
+// and overload sheds) this client has performed.
+func (c *Client) Retries() int64 { return c.retries.Load() }
 
 // Close tears down the connection. In-flight calls fail with ErrClosed.
 // Programs already submitted keep running server-side to their own
 // outcome.
 func (c *Client) Close() error {
-	c.fail(ErrClosed)
-	c.outMu.Lock()
-	c.outClosed = true
-	c.outCond.Broadcast()
-	c.outMu.Unlock()
-	err := c.nc.Close() // unblocks a mid-write flusher
-	<-c.flusherDone
-	return err
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	cc := c.cc
+	c.cc = nil
+	c.mu.Unlock()
+	if cc != nil {
+		return cc.teardown(ErrClosed)
+	}
+	return nil
+}
+
+// connDied detaches a dead connection and starts a background reconnect,
+// so the client heals even with no caller currently blocked on it (this
+// is what lets Pool evict dead connections and redial in the background).
+func (c *Client) connDied(cc *conn) {
+	c.mu.Lock()
+	if c.cc == cc {
+		c.cc = nil
+	}
+	closed := c.closed
+	c.mu.Unlock()
+	if !closed {
+		go func() { _, _ = c.reconnect() }()
+	}
+}
+
+// reconnect returns a live connection, dialing one if needed. Concurrent
+// callers single-flight one dial sequence: DialBudget attempts with
+// exponential backoff plus jitter.
+func (c *Client) reconnect() (*conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.cc != nil {
+		cc := c.cc
+		c.mu.Unlock()
+		return cc, nil
+	}
+	if f := c.flight; f != nil {
+		c.mu.Unlock()
+		<-f.done
+		return f.cc, f.err
+	}
+	f := &dialFlight{done: make(chan struct{})}
+	c.flight = f
+	c.mu.Unlock()
+
+	var cc *conn
+	var name string
+	var noDedup bool
+	var err error
+	backoff := c.opts.ReconnectBackoff
+	for attempt := 0; attempt < c.opts.DialBudget; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff + time.Duration(mrand.Int63n(int64(backoff/2)+1)))
+			if backoff *= 2; backoff > c.opts.ReconnectMaxBackoff {
+				backoff = c.opts.ReconnectMaxBackoff
+			}
+		}
+		if c.isClosed() {
+			err = ErrClosed
+			break
+		}
+		cc, name, noDedup, err = c.dialConn()
+		if err == nil {
+			break
+		}
+	}
+
+	c.mu.Lock()
+	c.flight = nil
+	if err == nil {
+		if c.closed {
+			c.mu.Unlock()
+			cc.teardown(ErrClosed)
+			c.mu.Lock()
+			cc, err = nil, ErrClosed
+		} else {
+			c.cc = cc
+			c.codecName = name
+			c.noDedup = noDedup
+			c.reconnects.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	f.cc, f.err = cc, err
+	close(f.done)
+	return cc, err
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
 }
 
 // readLoop delivers responses to their waiting callers until the
-// connection dies, then fails everything pending.
-func (c *Client) readLoop() {
+// connection dies, then fails everything pending on it.
+func (cc *conn) readLoop() {
 	for {
-		payload, err := wire.ReadFrame(c.br)
+		payload, err := wire.ReadFrame(cc.br)
 		if err != nil {
-			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
-			c.nc.Close()
+			cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
 			return
 		}
 		var resp wire.Response
-		if err := c.codec.DecodeResponse(payload, &resp); err != nil {
-			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
-			c.nc.Close()
+		if err := cc.codec.DecodeResponse(payload, &resp); err != nil {
+			cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
 			return
 		}
-		c.mu.Lock()
-		ch := c.pending[resp.ID]
-		delete(c.pending, resp.ID)
-		c.mu.Unlock()
+		cc.mu.Lock()
+		ch := cc.pending[resp.ID]
+		delete(cc.pending, resp.ID)
+		cc.mu.Unlock()
 		if ch != nil {
 			ch <- &resp
 		}
@@ -256,126 +482,280 @@ func (c *Client) readLoop() {
 }
 
 // flusher writes accumulated request frames in one syscall per batch.
-func (c *Client) flusher() {
-	defer close(c.flusherDone)
-	c.outMu.Lock()
+func (cc *conn) flusher() {
+	defer close(cc.flusherDone)
+	cc.outMu.Lock()
 	for {
-		for len(c.outBuf) == 0 && !c.outClosed {
-			c.outCond.Wait()
+		for len(cc.outBuf) == 0 && !cc.outClosed {
+			cc.outCond.Wait()
 		}
-		if len(c.outBuf) == 0 {
-			c.outMu.Unlock()
+		if len(cc.outBuf) == 0 {
+			cc.outMu.Unlock()
 			return
 		}
-		buf := c.outBuf
-		c.outBuf = c.outSpare[:0]
-		c.outSpare = nil
-		c.outMu.Unlock()
+		buf := cc.outBuf
+		cc.outBuf = cc.outSpare[:0]
+		cc.outSpare = nil
+		cc.outMu.Unlock()
 
-		c.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
-		_, err := c.nc.Write(buf)
-		c.outMu.Lock()
-		c.outSpare = buf[:0]
+		cc.nc.SetWriteDeadline(time.Now().Add(cc.cl.opts.WriteTimeout))
+		_, err := cc.nc.Write(buf)
+		cc.outMu.Lock()
+		cc.outSpare = buf[:0]
 		if err != nil {
-			c.outMu.Unlock()
-			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
-			c.nc.Close()
-			c.outMu.Lock()
-			c.outClosed = true
-			c.outBuf = nil
+			cc.outMu.Unlock()
+			cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			cc.outMu.Lock()
 		}
 	}
 }
 
-// fail marks the client broken and releases every pending caller.
-func (c *Client) fail(err error) {
-	c.mu.Lock()
-	if c.err == nil {
-		c.err = err
+// fail kills the connection as a unit: pending calls see a closed channel
+// (their retry logic takes over), the socket closes, and the Client is
+// told to heal. Idempotent.
+func (cc *conn) fail(err error) {
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		return
 	}
-	pending := c.pending
-	c.pending = make(map[uint64]chan *wire.Response)
-	c.mu.Unlock()
+	cc.dead = true
+	cc.err = err
+	pending := cc.pending
+	cc.pending = make(map[uint64]chan *wire.Response)
+	cc.mu.Unlock()
+
+	cc.outMu.Lock()
+	cc.outClosed = true
+	cc.outBuf = nil
+	cc.outCond.Broadcast()
+	cc.outMu.Unlock()
+	cc.nc.Close()
+
 	for _, ch := range pending {
 		close(ch)
 	}
+	cc.cl.connDied(cc)
+}
+
+// teardown is fail plus waiting out the flusher, for an orderly Close.
+func (cc *conn) teardown(err error) error {
+	cc.fail(err)
+	<-cc.flusherDone
+	return nil
+}
+
+// deadErr returns the connection's terminal error (ErrClosed if none yet).
+func (cc *conn) deadErr() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return cc.err
+	}
+	return ErrClosed
+}
+
+// send registers the request's response channel and enqueues its frame.
+// An encode failure is permanent for the request but leaves the
+// connection healthy (the frame never entered the stream).
+func (cc *conn) send(req *wire.Request, ch chan *wire.Response) error {
+	cc.mu.Lock()
+	if cc.dead {
+		err := cc.err
+		cc.mu.Unlock()
+		return err
+	}
+	cc.pending[req.ID] = ch
+	cc.mu.Unlock()
+
+	cc.outMu.Lock()
+	if cc.outClosed {
+		cc.outMu.Unlock()
+		cc.dropPending(req.ID)
+		return cc.deadErr()
+	}
+	buf, err := cc.codec.AppendRequestFrame(cc.outBuf, req)
+	if err != nil {
+		cc.outMu.Unlock()
+		cc.dropPending(req.ID)
+		return err
+	}
+	cc.outBuf = buf
+	cc.outCond.Signal()
+	cc.outMu.Unlock()
+	return nil
+}
+
+func (cc *conn) dropPending(id uint64) {
+	cc.mu.Lock()
+	delete(cc.pending, id)
+	cc.mu.Unlock()
+}
+
+// idempotentOp reports whether op is safe to retry under an idempotency
+// id: the server dedups re-execution, so the retry is exactly-once.
+func idempotentOp(op string) bool {
+	switch op {
+	case wire.OpExec, wire.OpDDL, wire.OpSubmit, wire.OpWait, wire.OpPoll:
+		return true
+	}
+	return false
+}
+
+// naturallyRetryable reports ops safe to retry even without dedup:
+// read-only, or creating connection-scoped state that dies with the
+// failed connection anyway.
+func naturallyRetryable(op string) bool {
+	switch op {
+	case wire.OpPing, wire.OpStats, wire.OpTables, wire.OpSessionOpen:
+		return true
+	}
+	return false
 }
 
 // Call is one in-flight pipelined request: issue with an Async method (or
 // startCall), then block on the result when it is actually needed. The
 // issue side never waits on the network, so a caller can keep dozens of
 // requests in flight on one connection — the server executes them
-// concurrently and the client's flusher coalesces their frames.
+// concurrently and the client's flusher coalesces their frames. The
+// completion side owns retries: if the connection dies under the call (or
+// the server sheds it), response() re-issues the same request — same ID,
+// same idempotency id — on a healed connection, within the retry budget.
 type Call struct {
 	c   *Client
-	ch  chan *wire.Response
-	err error // issue-side failure, reported at completion
+	req wire.Request
+	ch  chan *wire.Response // nil: not (or no longer) issued
+	err error               // issue-side terminal failure
+
+	attempts int // retries consumed
 }
 
-// startCall registers the request and enqueues its frame for the flusher.
+// startCall assigns the request its IDs and makes a best-effort first
+// issue. A down connection is not an error here — response() heals and
+// issues.
 func (c *Client) startCall(req wire.Request) *Call {
 	call := &Call{c: c}
 	c.mu.Lock()
-	if c.err != nil {
-		call.err = c.err
+	if c.closed {
 		c.mu.Unlock()
+		call.err = ErrClosed
 		return call
 	}
 	c.nextID++
 	req.ID = c.nextID
-	call.ch = make(chan *wire.Response, 1)
-	c.pending[req.ID] = call.ch
+	if !c.noDedup && idempotentOp(req.Op) {
+		c.nextIdem++
+		req.Idem = c.nextIdem
+	}
+	cc := c.cc
 	c.mu.Unlock()
-
-	c.outMu.Lock()
-	if c.outClosed {
-		c.outMu.Unlock()
-		c.dropPending(req.ID)
-		call.err, call.ch = ErrClosed, nil
-		return call
+	call.req = req
+	if cc != nil {
+		call.issue(cc)
 	}
-	buf, err := c.codec.AppendRequestFrame(c.outBuf, &req)
-	if err != nil {
-		c.outMu.Unlock()
-		c.dropPending(req.ID)
-		call.err, call.ch = fmt.Errorf("%w: %v", ErrClosed, err), nil
-		c.fail(call.err)
-		return call
-	}
-	c.outBuf = buf
-	c.outCond.Signal()
-	c.outMu.Unlock()
 	return call
 }
 
-func (c *Client) dropPending(id uint64) {
-	c.mu.Lock()
-	delete(c.pending, id)
-	c.mu.Unlock()
+// issue registers the call on cc with a fresh response channel.
+func (call *Call) issue(cc *conn) error {
+	ch := make(chan *wire.Response, 1)
+	if err := cc.send(&call.req, ch); err != nil {
+		return err
+	}
+	call.ch = ch
+	return nil
 }
 
-// response blocks for the raw response and unwraps server-side errors.
+// permanentIssueErr reports send failures that no retry can fix: the
+// request itself cannot be encoded.
+func permanentIssueErr(err error) bool {
+	return errors.Is(err, wire.ErrEncode) || errors.Is(err, wire.ErrFrameTooLarge)
+}
+
+// retryable reports whether the call may be re-issued after a transport
+// failure that lost its response: only when the server dedups it (idem id
+// assigned) or re-execution is harmless.
+func (call *Call) retryable() bool {
+	return call.req.Idem != 0 || naturallyRetryable(call.req.Op)
+}
+
+// spend consumes one unit of retry budget; returns false once exhausted.
+func (call *Call) spend() bool {
+	call.attempts++
+	if call.attempts > call.c.opts.RetryBudget {
+		return false
+	}
+	call.c.retries.Add(1)
+	return true
+}
+
+// response blocks for the raw response, healing the connection and
+// retrying as the retry contract allows, and unwraps server-side errors.
 func (call *Call) response() (*wire.Response, error) {
 	if call.err != nil {
 		return nil, call.err
 	}
-	resp, ok := <-call.ch
-	if !ok {
-		call.c.mu.Lock()
-		err := call.c.err
-		call.c.mu.Unlock()
-		if err == nil {
-			err = ErrClosed
+	for {
+		if call.ch == nil {
+			cc, err := call.c.reconnect()
+			if err != nil {
+				if errors.Is(err, ErrClosed) {
+					return nil, err
+				}
+				return nil, &exhaustedError{cause: err}
+			}
+			if err := call.issue(cc); err != nil {
+				if permanentIssueErr(err) {
+					return nil, err
+				}
+				// The conn died between reconnect and issue; spend budget
+				// and heal again.
+				if !call.spend() {
+					return nil, &exhaustedError{cause: err}
+				}
+				continue
+			}
 		}
-		return nil, err
-	}
-	if !resp.OK {
-		if e := wire.ErrorForCode(resp.ErrCode, resp.Error); e != nil {
-			return nil, e
+		resp, ok := <-call.ch
+		if !ok {
+			// Transport death lost the response. Retry only when the
+			// request cannot double-execute.
+			call.ch = nil
+			cause := ErrClosed
+			if call.c.isClosed() {
+				return nil, cause
+			}
+			if !call.retryable() {
+				return nil, cause
+			}
+			if !call.spend() {
+				return nil, &exhaustedError{cause: cause}
+			}
+			continue
 		}
-		return nil, errors.New(resp.Error)
+		if !resp.OK {
+			err := wire.ErrorForCode(resp.ErrCode, resp.Error)
+			if err == nil {
+				err = errors.New(resp.Error)
+			}
+			if errors.Is(err, wire.ErrOverloaded) {
+				// Shed by admission control before dispatch: safe to retry
+				// any op, after a short growing backoff.
+				call.ch = nil
+				if !call.spend() {
+					return nil, &exhaustedError{cause: err}
+				}
+				d := time.Duration(1<<uint(call.attempts)) * time.Millisecond
+				if d > 100*time.Millisecond {
+					d = 100 * time.Millisecond
+				}
+				time.Sleep(d + time.Duration(mrand.Int63n(int64(d)+1)))
+				continue
+			}
+			return nil, err
+		}
+		return resp, nil
 	}
-	return resp, nil
 }
 
 // Result blocks until the call completes and returns its query result.
@@ -465,9 +845,11 @@ func (c *Client) Tables() ([]wire.TableInfo, error) {
 }
 
 // Handle awaits a submitted program's outcome, mirroring entangle.Handle.
-// The server delivers an outcome exactly once (and prunes its side of the
-// handle), so retrieval is single-flighted here: concurrent Wait/Poll
-// calls share one server request and every later call reads the cache.
+// Handles are scoped to the client identity server-side, so a Handle keeps
+// working across an automatic reconnect. The server delivers an outcome
+// exactly once (and prunes its side of the handle), so retrieval is
+// single-flighted here: concurrent Wait/Poll calls share one server
+// request and every later call reads the cache.
 type Handle struct {
 	c  *Client
 	id uint64
@@ -485,8 +867,10 @@ func (h *Handle) cached() (Outcome, bool) {
 }
 
 // Wait blocks until the program completes and returns its outcome. A
-// connection failure while waiting reports StatusFailed with the transport
-// error; the program itself still runs to completion server-side.
+// connection failure while waiting is retried (the Wait is idempotent
+// under its dedup id); if retries run out it reports StatusFailed with
+// the transport error — the program itself still runs to completion
+// server-side.
 func (h *Handle) Wait() Outcome {
 	h.fetchMu.Lock()
 	defer h.fetchMu.Unlock()
@@ -542,7 +926,9 @@ func (h *Handle) settle(resp *wire.Response, err error) Outcome {
 // InteractiveSession mirrors entangle.InteractiveSession over the wire:
 // statement-at-a-time classical transactions with BEGIN/COMMIT/ROLLBACK
 // and persistent host variables. Not safe for concurrent use, like its
-// embedded counterpart.
+// embedded counterpart. Sessions are connection-scoped server-side: if the
+// connection dies, the session's open transaction rolls back and further
+// Execs fail — by design, they are never transparently retried.
 type InteractiveSession struct {
 	c      *Client
 	id     uint64

@@ -47,10 +47,22 @@ func DialPoolOptions(addr string, size int, opts Options) (*Pool, error) {
 	return p, nil
 }
 
-// Get returns one pooled connection (round-robin). The Client stays owned
-// by the pool — do not Close it.
+// Get returns one pooled connection (round-robin), skipping clients whose
+// connection is currently down — each dead client keeps redialing in the
+// background, and Get routes around it until it heals. If every client is
+// down the round-robin pick is returned anyway: its next call blocks on
+// the reconnect rather than failing fast, which is the right behavior for
+// a momentary full outage. The Client stays owned by the pool — do not
+// Close it.
 func (p *Pool) Get() *Client {
-	return p.conns[p.next.Add(1)%uint64(len(p.conns))]
+	n := uint64(len(p.conns))
+	start := p.next.Add(1)
+	for i := uint64(0); i < n; i++ {
+		if c := p.conns[(start+i)%n]; c.Healthy() {
+			return c
+		}
+	}
+	return p.conns[start%n]
 }
 
 // Size reports the number of pooled connections.

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eq"
+	"repro/internal/fault"
 	"repro/internal/lock"
 	"repro/internal/sql"
 	"repro/internal/storage"
@@ -135,6 +136,9 @@ type Options struct {
 	VacuumInterval time.Duration
 	// Trace receives schedule events (e.g. *isolation.Recorder).
 	Trace core.TraceSink
+	// Faults, when set, arms the WAL's failpoints from the given registry
+	// (see internal/fault). Nil — the default — is zero-overhead.
+	Faults *fault.Registry
 }
 
 // DB is an open database.
@@ -166,7 +170,7 @@ func Open(opts Options) (*DB, error) {
 			return nil, fmt.Errorf("entangle: recovery: %w", err)
 		}
 		recoveredCSN = stats.MaxCSN
-		log, err = wal.Open(opts.Path, wal.Options{Sync: opts.SyncWAL})
+		log, err = wal.Open(opts.Path, wal.Options{Sync: opts.SyncWAL, Faults: opts.Faults})
 		if err != nil {
 			return nil, err
 		}

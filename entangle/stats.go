@@ -30,6 +30,14 @@ type StatsSnapshot struct {
 
 	SolveSteps     int64 `json:"solve_steps"`
 	SolveFallbacks int64 `json:"solve_fallbacks"`
+
+	// Service-layer counters, filled in by the network server's stats
+	// frame (always zero for an embedded DB — the engine itself never
+	// sheds, retries, or injects faults).
+	Sheds          int64 `json:"sheds"`
+	Retries        int64 `json:"retries"`
+	Reconnects     int64 `json:"reconnects"`
+	FaultsInjected int64 `json:"faults_injected"`
 }
 
 // SnapshotStats converts raw engine counters into the serializable form.

@@ -1,0 +1,81 @@
+package fault
+
+import (
+	"net"
+)
+
+// Conn wraps a net.Conn with read- and write-side failpoints. The server
+// installs it around accepted connections when a fault registry is
+// configured; each Write evaluates the write point and each Read the read
+// point, so faults land at frame boundaries (the wire layer issues one
+// Write per flushed batch and reads are length-prefixed).
+//
+// Actions:
+//   - KindDelay: sleep, then do the real I/O.
+//   - KindError: fail the call with an injected error without touching the
+//     socket (the peer sees silence; our side sees a failed call).
+//   - KindReset: hard-close the socket (SetLinger(0) on TCP → RST) and fail.
+//   - KindShortWrite (write side): write the first KeepBytes bytes, then
+//     reset — the peer sees a truncated frame then a dead conn.
+//   - KindDrop (write side): report success, send nothing, and reset —
+//     the peer silently loses the frame.
+type Conn struct {
+	net.Conn
+	readPt  *Point
+	writePt *Point
+}
+
+// WrapConn installs failpoints around nc. Nil points are inert.
+func WrapConn(nc net.Conn, readPt, writePt *Point) *Conn {
+	return &Conn{Conn: nc, readPt: readPt, writePt: writePt}
+}
+
+func (c *Conn) reset() {
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Conn.Close()
+}
+
+// Read applies the read-side failpoint, then delegates.
+func (c *Conn) Read(p []byte) (int, error) {
+	act, hit := c.readPt.Eval()
+	if hit {
+		switch act.Kind {
+		case KindReset, KindDrop, KindShortWrite:
+			c.reset()
+			return 0, c.readPt.errorFor(act)
+		default:
+			return 0, c.readPt.errorFor(act)
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+// Write applies the write-side failpoint, then delegates.
+func (c *Conn) Write(p []byte) (int, error) {
+	act, hit := c.writePt.Eval()
+	if !hit {
+		return c.Conn.Write(p)
+	}
+	switch act.Kind {
+	case KindShortWrite:
+		keep := act.KeepBytes
+		if keep > len(p) {
+			keep = len(p)
+		}
+		n, _ := c.Conn.Write(p[:keep])
+		c.reset()
+		return n, c.writePt.errorFor(act)
+	case KindDrop:
+		// Pretend the frame went out, then kill the conn: the peer loses
+		// the frame silently and later observes the reset.
+		c.reset()
+		return len(p), nil
+	case KindReset:
+		c.reset()
+		return 0, c.writePt.errorFor(act)
+	default: // KindError
+		return 0, c.writePt.errorFor(act)
+	}
+}

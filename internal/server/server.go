@@ -7,11 +7,27 @@
 //
 // One TCP connection is one client. Requests on a connection execute
 // concurrently (a parked OpWait does not block an OpExec that follows it);
-// responses are correlated by request ID. Connection-scoped state —
-// submitted-program handles and interactive sessions — dies with the
-// connection: open interactive transactions roll back, while submitted
-// programs keep running to their own outcome (a disconnect must not undo
-// a coordination that partners already depend on).
+// responses are correlated by request ID. Interactive sessions are
+// connection-scoped — open transactions roll back when the connection dies.
+// Submitted-program handles are scoped to the client *identity* (the Client
+// id carried on hello): a client that reconnects after a network fault
+// finds its handles again and can still Wait on programs it submitted, and
+// programs keep running across the disconnect (a disconnect must not undo
+// a coordination that partners already depend on). Connections that never
+// identify themselves get private, connection-scoped state — the PR 4
+// semantics.
+//
+// Retries are made exactly-once by a per-client dedup window: requests may
+// carry a client-assigned idempotency id, and the server remembers the
+// response of each completed idempotent request (bounded by
+// Options.DedupWindow). A retry of an already-executed request — typically
+// after the response was lost to a connection reset — replays the recorded
+// response instead of re-executing.
+//
+// The server sheds load instead of queueing without bound: a global
+// max-in-flight gate and a per-connection pending cap answer excess
+// requests with wire.ErrOverloaded (err_code "overloaded"), which clients
+// treat as retryable-with-backoff since a shed request was never dispatched.
 //
 // Every connection starts in the JSON codec (the v1 protocol); a client
 // may negotiate the binary codec with an OpHello first request. Response
@@ -29,15 +45,84 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/entangle"
+	"repro/internal/fault"
 	"repro/internal/wire"
 )
 
+// Options configures a Server. The zero value selects every default, so
+// NewWithOptions(db, Options{}) == New(db).
+type Options struct {
+	// MaxInFlight caps requests executing across all connections; excess
+	// requests are shed with wire.ErrOverloaded. Default 1024; negative
+	// disables the gate.
+	MaxInFlight int
+	// PerConnPending caps parked requests (OpWait/OpSessionExec) per
+	// connection. Beyond it the connection sheds instead of blocking its
+	// read loop. Default 64.
+	PerConnPending int
+	// WriteTimeout bounds one batched response write (default 30s). A
+	// client that stops reading its socket eventually fills the TCP send
+	// buffer; without a deadline the blocked flusher would buffer
+	// responses forever.
+	WriteTimeout time.Duration
+	// CloseFlushTimeout bounds the final drain of buffered responses
+	// during connection teardown (default 2s), so Shutdown is not held
+	// hostage by a peer that stopped reading.
+	CloseFlushTimeout time.Duration
+	// DedupWindow is how many completed idempotent responses are retained
+	// per client identity for retry replay (default 256).
+	DedupWindow int
+	// ClientTTL is how long a disconnected client identity's state
+	// (handles, dedup window) is retained awaiting a reconnect
+	// (default 5m).
+	ClientTTL time.Duration
+	// Faults, when set, arms the server's failpoints: "server.accept"
+	// (accepted connections are dropped), "server.dispatch" (requests fail
+	// or stall at dispatch), and "server.conn.read"/"server.conn.write"
+	// (accepted conns are wrapped with fault.Conn — resets, delays, short
+	// writes at frame boundaries). Nil — the default — is zero-overhead.
+	Faults *fault.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = 1024
+	}
+	if o.PerConnPending <= 0 {
+		o.PerConnPending = 64
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.CloseFlushTimeout <= 0 {
+		o.CloseFlushTimeout = 2 * time.Second
+	}
+	if o.DedupWindow <= 0 {
+		o.DedupWindow = 256
+	}
+	if o.ClientTTL <= 0 {
+		o.ClientTTL = 5 * time.Minute
+	}
+	return o
+}
+
+// ServiceStats are the service-layer counters, reported alongside the
+// engine counters in the stats frame.
+type ServiceStats struct {
+	Sheds          int64 // requests refused by admission control
+	Retries        int64 // idempotent retries answered from the dedup window
+	Reconnects     int64 // hellos that re-bound an existing client identity
+	FaultsInjected int64 // faults fired by the configured registry
+}
+
 // Server serves one DB over any number of listeners.
 type Server struct {
-	db *entangle.DB
+	db   *entangle.DB
+	opts Options
 
 	// JSONOnly disables binary-codec negotiation: hellos are answered
 	// with the JSON codec. Set before Serve; it exists for debugging
@@ -45,23 +130,48 @@ type Server struct {
 	// client's fallback path.
 	JSONOnly bool
 
-	mu     sync.Mutex
-	lns    map[net.Listener]struct{}
-	conns  map[*conn]struct{}
-	closed bool
+	mu      sync.Mutex
+	lns     map[net.Listener]struct{}
+	conns   map[*conn]struct{}
+	clients map[string]*clientState
+	closed  bool
 
 	connWg sync.WaitGroup // connection read loops
 	reqWg  sync.WaitGroup // in-flight requests (drained by Shutdown)
+
+	inflight   atomic.Int64 // requests executing now (global admission gate)
+	sheds      atomic.Int64
+	retries    atomic.Int64
+	reconnects atomic.Int64
+
+	// Failpoints (nil without Options.Faults; see internal/fault).
+	ptAccept   *fault.Point
+	ptDispatch *fault.Point
+	ptConnR    *fault.Point
+	ptConnW    *fault.Point
 }
 
-// New wraps a DB. The caller keeps ownership of the DB: Shutdown quiesces
-// the network side only, so the usual db.Drain + db.Close still follow.
-func New(db *entangle.DB) *Server {
-	return &Server{
-		db:    db,
-		lns:   make(map[net.Listener]struct{}),
-		conns: make(map[*conn]struct{}),
+// New wraps a DB with default options. The caller keeps ownership of the
+// DB: Shutdown quiesces the network side only, so the usual db.Drain +
+// db.Close still follow.
+func New(db *entangle.DB) *Server { return NewWithOptions(db, Options{}) }
+
+// NewWithOptions wraps a DB with explicit service options.
+func NewWithOptions(db *entangle.DB, opts Options) *Server {
+	s := &Server{
+		db:      db,
+		opts:    opts.withDefaults(),
+		lns:     make(map[net.Listener]struct{}),
+		conns:   make(map[*conn]struct{}),
+		clients: make(map[string]*clientState),
 	}
+	if f := s.opts.Faults; f != nil {
+		s.ptAccept = f.Point("server.accept")
+		s.ptDispatch = f.Point("server.dispatch")
+		s.ptConnR = f.Point("server.conn.read")
+		s.ptConnW = f.Point("server.conn.write")
+	}
+	return s
 }
 
 // ErrServerClosed is returned by Serve and ListenAndServe after Shutdown.
@@ -76,6 +186,16 @@ func (s *Server) ListenAndServe(addr string) error {
 		return err
 	}
 	return s.Serve(ln)
+}
+
+// ServiceStats returns the service-layer counters.
+func (s *Server) ServiceStats() ServiceStats {
+	return ServiceStats{
+		Sheds:          s.sheds.Load(),
+		Retries:        s.retries.Load(),
+		Reconnects:     s.reconnects.Load(),
+		FaultsInjected: s.opts.Faults.Fired(),
+	}
 }
 
 // Serve accepts connections on ln until Shutdown (or a fatal accept
@@ -107,15 +227,24 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		if err := s.ptAccept.Fire(); err != nil {
+			// Injected accept failure: the client sees the conn die
+			// immediately and redials.
+			nc.Close()
+			continue
+		}
+		if s.opts.Faults != nil {
+			nc = fault.WrapConn(nc, s.ptConnR, s.ptConnW)
+		}
 		c := &conn{
 			srv:         s,
 			nc:          nc,
 			br:          bufio.NewReaderSize(nc, readBufSize),
 			codecR:      wire.JSON,
 			codecW:      wire.JSON,
-			handles:     make(map[uint64]*entangle.Handle),
+			cs:          newClientState(""),
 			sessions:    make(map[uint64]*session),
-			slots:       make(chan struct{}, maxInflightPerConn),
+			slots:       make(chan struct{}, s.opts.PerConnPending),
 			flusherDone: make(chan struct{}),
 		}
 		c.outCond = sync.NewCond(&c.outMu)
@@ -180,7 +309,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 
 	// Teardown runs per-connection concurrently: close drains each
-	// connection's buffered responses (bounded by closeFlushTimeout), and
+	// connection's buffered responses (bounded by CloseFlushTimeout), and
 	// one stuck peer must not serialize behind another.
 	var closeWg sync.WaitGroup
 	for _, c := range conns {
@@ -206,25 +335,160 @@ func (s *Server) Addrs() []net.Addr {
 	return out
 }
 
-// writeTimeout bounds one batched response write. A client that stops
-// reading its socket eventually fills the TCP send buffer; without a
-// deadline the blocked flusher would buffer responses forever.
-const writeTimeout = 30 * time.Second
-
-// closeFlushTimeout bounds the final drain of buffered responses during
-// connection teardown, so Shutdown is not held hostage by a peer that
-// stopped reading.
-const closeFlushTimeout = 2 * time.Second
-
-// maxInflightPerConn caps concurrently executing requests per connection.
-// The read loop blocks once the cap is reached — natural backpressure on a
-// pipelining client instead of one goroutine per frame without bound.
-const maxInflightPerConn = 64
-
 // readBufSize is the per-connection buffered-reader size: big enough that
 // a pipelined batch of requests costs one read syscall, small enough to be
 // irrelevant against MaxFrameSize.
 const readBufSize = 64 << 10
+
+// dedupEntry is one idempotent request's lifecycle in a client's dedup
+// window: done closes when the owning execution finished, after which resp
+// (sans request ID, which the replayer rewrites) is the recorded answer.
+type dedupEntry struct {
+	done chan struct{}
+	resp wire.Response
+}
+
+// clientState is the per-client-identity state: submitted-program handles
+// and the idempotency dedup window. Named states (bound by hello) live in
+// Server.clients and survive reconnects until ClientTTL; anonymous
+// connections get a private state with identical mechanics but
+// connection-scoped life.
+type clientState struct {
+	id string
+
+	mu         sync.Mutex
+	refs       int       // bound connections
+	idleSince  time.Time // valid while refs == 0
+	nextHandle uint64
+	handles    map[uint64]*entangle.Handle
+	dedup      map[uint64]*dedupEntry
+	order      []uint64 // completed idem ids, oldest first (window pruning)
+}
+
+func newClientState(id string) *clientState {
+	return &clientState{
+		id:      id,
+		handles: make(map[uint64]*entangle.Handle),
+		dedup:   make(map[uint64]*dedupEntry),
+	}
+}
+
+// begin claims idempotency id idem. owner=true means the caller must
+// execute the request and finish (or abort) the entry; owner=false means
+// another execution owns it — wait on entry.done and replay entry.resp.
+func (cs *clientState) begin(idem uint64) (entry *dedupEntry, owner bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if e := cs.dedup[idem]; e != nil {
+		return e, false
+	}
+	e := &dedupEntry{done: make(chan struct{})}
+	cs.dedup[idem] = e
+	return e, true
+}
+
+// finish records the owner's response and prunes the window to size limit.
+// Callers must finish before enqueueing the response: a retry that arrives
+// after the peer saw (or lost) the response must always find the record.
+func (cs *clientState) finish(idem uint64, resp wire.Response, limit int) {
+	cs.mu.Lock()
+	e := cs.dedup[idem]
+	if e == nil { // aborted concurrently; nothing to record
+		cs.mu.Unlock()
+		return
+	}
+	e.resp = resp
+	cs.order = append(cs.order, idem)
+	for len(cs.order) > limit {
+		evict := cs.order[0]
+		cs.order = cs.order[1:]
+		delete(cs.dedup, evict)
+	}
+	cs.mu.Unlock()
+	close(e.done)
+}
+
+// abort removes an entry whose request never executed (shed by admission
+// control): current waiters get resp, but the id is forgotten so a retry
+// re-executes instead of replaying the refusal.
+func (cs *clientState) abort(idem uint64, resp wire.Response) {
+	cs.mu.Lock()
+	e := cs.dedup[idem]
+	delete(cs.dedup, idem)
+	cs.mu.Unlock()
+	if e != nil {
+		e.resp = resp
+		close(e.done)
+	}
+}
+
+func (cs *clientState) putHandle(h *entangle.Handle) uint64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.nextHandle++
+	cs.handles[cs.nextHandle] = h
+	return cs.nextHandle
+}
+
+func (cs *clientState) handle(id uint64) (*entangle.Handle, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if h := cs.handles[id]; h != nil {
+		return h, nil
+	}
+	return nil, fmt.Errorf("unknown handle %d", id)
+}
+
+func (cs *clientState) dropHandle(id uint64) {
+	cs.mu.Lock()
+	delete(cs.handles, id)
+	cs.mu.Unlock()
+}
+
+// bindClient attaches a connection to the named client identity, creating
+// or reviving its state. Re-binding an identity that already existed is a
+// reconnect. Idle states past ClientTTL are pruned here — binds are rare,
+// so the scan is free on the hot path.
+func (s *Server) bindClient(c *conn, id string) {
+	now := time.Now()
+	s.mu.Lock()
+	for cid, cs := range s.clients {
+		cs.mu.Lock()
+		expired := cs.refs == 0 && now.Sub(cs.idleSince) > s.opts.ClientTTL
+		cs.mu.Unlock()
+		if expired {
+			delete(s.clients, cid)
+		}
+	}
+	cs := s.clients[id]
+	known := cs != nil
+	if !known {
+		cs = newClientState(id)
+		s.clients[id] = cs
+	}
+	s.mu.Unlock()
+	cs.mu.Lock()
+	cs.refs++
+	cs.mu.Unlock()
+	if known {
+		s.reconnects.Add(1)
+	}
+	c.cs = cs
+}
+
+// unbindClient releases a connection's claim on a named identity; the
+// state lingers for ClientTTL awaiting a reconnect.
+func (s *Server) unbindClient(cs *clientState) {
+	if cs == nil || cs.id == "" {
+		return
+	}
+	cs.mu.Lock()
+	cs.refs--
+	if cs.refs == 0 {
+		cs.idleSince = time.Now()
+	}
+	cs.mu.Unlock()
+}
 
 // session wraps an interactive session with its serializing lock:
 // InteractiveSession is statement-at-a-time and not safe for concurrent
@@ -245,8 +509,14 @@ type conn struct {
 	// it), so it needs no lock.
 	codecR wire.Codec
 
+	// cs is the client state this connection acts for: a private
+	// connection-scoped state until a hello carrying a Client id binds a
+	// durable one. Written only by the read loop (before any concurrent
+	// handler exists — binding happens on the first request).
+	cs *clientState
+
 	inflight sync.WaitGroup // requests dispatched on this connection
-	slots    chan struct{}  // per-connection request cap (maxInflightPerConn)
+	slots    chan struct{}  // per-connection parked-request cap
 
 	// Write batching: handlers encode their response into outBuf under
 	// outMu; the flusher goroutine swaps the buffer out and writes it in
@@ -264,9 +534,7 @@ type conn struct {
 	flusherDone chan struct{}
 
 	mu          sync.Mutex
-	handles     map[uint64]*entangle.Handle
 	sessions    map[uint64]*session
-	nextHandle  uint64
 	nextSession uint64
 	closed      bool
 }
@@ -293,6 +561,7 @@ func (c *conn) serve() {
 		c.close()
 	}()
 	first := true
+	gated := c.srv.opts.MaxInFlight > 0
 	var rbuf []byte // recycled frame payload; decode copies what it keeps
 	for {
 		payload, err := wire.ReadFrameBuf(c.br, rbuf)
@@ -319,6 +588,17 @@ func (c *conn) serve() {
 			continue
 		}
 		first = false
+
+		// Global admission gate: when the server is already executing
+		// MaxInFlight requests, shed — a typed, retryable refusal — rather
+		// than queue unboundedly. Shed before dedup-begin, so a shed
+		// request leaves no record and its retry executes normally.
+		if gated && c.srv.inflight.Add(1) > int64(c.srv.opts.MaxInFlight) {
+			c.srv.inflight.Add(-1)
+			c.srv.sheds.Add(1)
+			c.enqueue(fail(req.ID, wire.ErrOverloaded))
+			continue
+		}
 		// Register the request under the server lock so it cannot race
 		// Shutdown's reqWg.Wait (Add at counter zero concurrent with Wait is
 		// undefined): either the request is registered before closed is set
@@ -326,37 +606,115 @@ func (c *conn) serve() {
 		c.srv.mu.Lock()
 		if c.srv.closed {
 			c.srv.mu.Unlock()
+			if gated {
+				c.srv.inflight.Add(-1)
+			}
 			c.enqueue(fail(req.ID, errors.New("server shutting down")))
 			return
 		}
 		c.srv.reqWg.Add(1)
 		c.inflight.Add(1)
 		c.srv.mu.Unlock()
+
+		// Idempotency dedup: a request carrying an idem id executes at
+		// most once per client identity. Losers of the race replay the
+		// owner's recorded response.
+		var entry *dedupEntry
+		if req.Idem != 0 {
+			var owner bool
+			entry, owner = c.cs.begin(req.Idem)
+			if !owner {
+				c.srv.retries.Add(1)
+				select {
+				case <-entry.done:
+					// Completed: replay inline, under the retry's own ID.
+					resp := entry.resp
+					resp.ID = req.ID
+					c.enqueue(resp)
+					c.release(gated)
+				default:
+					// Still executing (the original, on a conn the client
+					// may have abandoned): park a replayer. The owner always
+					// finishes — handlers return exactly one response — so
+					// this cannot leak.
+					go func(id uint64, entry *dedupEntry) {
+						defer c.release(gated)
+						<-entry.done
+						resp := entry.resp
+						resp.ID = id
+						c.enqueue(resp)
+					}(req.ID, entry)
+				}
+				continue
+			}
+		}
+
 		if req.Op != wire.OpWait && req.Op != wire.OpSessionExec {
-			c.enqueue(c.handle(req))
-			c.srv.reqWg.Done()
-			c.inflight.Done()
+			c.finishAndEnqueue(req, entry, c.dispatch(req))
+			c.release(gated)
 			continue
 		}
-		// Backpressure: block reading further frames once the connection
-		// has maxInflightPerConn parked requests.
-		c.slots <- struct{}{}
-		go func() {
-			defer c.srv.reqWg.Done()
-			defer c.inflight.Done()
+		// Parked ops are capped per connection: beyond PerConnPending the
+		// connection sheds instead of blocking its read loop behind its
+		// own pipeline.
+		select {
+		case c.slots <- struct{}{}:
+		default:
+			c.srv.sheds.Add(1)
+			shed := fail(req.ID, wire.ErrOverloaded)
+			if entry != nil {
+				c.cs.abort(req.Idem, shed)
+			}
+			c.enqueue(shed)
+			c.release(gated)
+			continue
+		}
+		go func(req wire.Request, entry *dedupEntry) {
+			defer c.release(gated)
 			defer func() { <-c.slots }()
-			c.enqueue(c.handle(req))
-		}()
+			c.finishAndEnqueue(req, entry, c.dispatch(req))
+		}(req, entry)
 	}
 }
 
-// hello negotiates the connection codec. Only the first request on a
-// connection may negotiate — by then no other response can be in flight,
-// so the codec switch has an unambiguous position in both byte streams.
+// release undoes one request's admission-gate and wait-group registration.
+func (c *conn) release(gated bool) {
+	if gated {
+		c.srv.inflight.Add(-1)
+	}
+	c.srv.reqWg.Done()
+	c.inflight.Done()
+}
+
+// finishAndEnqueue records an idempotent response in the dedup window
+// strictly before sending it: once the bytes can have reached the peer, a
+// retry must find the record.
+func (c *conn) finishAndEnqueue(req wire.Request, entry *dedupEntry, resp wire.Response) {
+	if entry != nil {
+		c.cs.finish(req.Idem, resp, c.srv.opts.DedupWindow)
+	}
+	c.enqueue(resp)
+}
+
+// dispatch applies the dispatch failpoint, then executes the request.
+func (c *conn) dispatch(req wire.Request) wire.Response {
+	if err := c.srv.ptDispatch.Fire(); err != nil {
+		return fail(req.ID, err)
+	}
+	return c.handle(req)
+}
+
+// hello negotiates the connection codec and binds the client identity.
+// Only the first request on a connection may negotiate — by then no other
+// response can be in flight, so the codec switch has an unambiguous
+// position in both byte streams.
 func (c *conn) hello(req wire.Request, first bool) {
 	if !first {
 		c.enqueue(fail(req.ID, errors.New("hello must be the first request")))
 		return
+	}
+	if req.Client != "" {
+		c.srv.bindClient(c, req.Client)
 	}
 	name := wire.CodecJSON
 	if req.Codec == wire.CodecBinary && !c.srv.JSONOnly {
@@ -427,7 +785,7 @@ func (c *conn) flusher() {
 
 		// The deadline bounds how long a non-reading client can stall the
 		// flusher (and with it every buffered response).
-		c.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		c.nc.SetWriteDeadline(time.Now().Add(c.srv.opts.WriteTimeout))
 		_, err := c.nc.Write(buf)
 		c.outMu.Lock()
 		c.outSpare = buf[:0]
@@ -443,8 +801,9 @@ func (c *conn) flusher() {
 }
 
 // close tears down the connection and its sessions (open transactions roll
-// back). Buffered responses get a bounded final flush before the socket
-// closes. Idempotent.
+// back); a named client identity is released to linger for ClientTTL.
+// Buffered responses get a bounded final flush before the socket closes.
+// Idempotent.
 func (c *conn) close() {
 	c.mu.Lock()
 	if c.closed {
@@ -454,8 +813,9 @@ func (c *conn) close() {
 	c.closed = true
 	sessions := c.sessions
 	c.sessions = nil
-	c.handles = nil
 	c.mu.Unlock()
+
+	c.srv.unbindClient(c.cs)
 
 	for _, ses := range sessions {
 		ses.mu.Lock()
@@ -470,7 +830,7 @@ func (c *conn) close() {
 	c.outClosed = true
 	c.outCond.Broadcast()
 	c.outMu.Unlock()
-	c.nc.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
+	c.nc.SetWriteDeadline(time.Now().Add(c.srv.opts.CloseFlushTimeout))
 	<-c.flusherDone
 	c.nc.Close()
 }
@@ -505,39 +865,32 @@ func (c *conn) handle(req wire.Request) wire.Response {
 		if err != nil {
 			return fail(req.ID, err)
 		}
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
-			// The connection died between read and dispatch; the program
-			// still runs (see package comment), but there is nobody to tell.
-			return fail(req.ID, errors.New("connection closed"))
-		}
-		c.nextHandle++
-		id := c.nextHandle
-		c.handles[id] = h
-		c.mu.Unlock()
-		return wire.Response{ID: req.ID, OK: true, Handle: id}
+		// The handle lives in the client state, not the connection: after
+		// a reconnect the same client can still Wait on it. The program
+		// runs regardless (see package comment).
+		return wire.Response{ID: req.ID, OK: true, Handle: c.cs.putHandle(h)}
 
 	case wire.OpWait:
-		h, err := c.lookupHandle(req.Handle)
+		h, err := c.cs.handle(req.Handle)
 		if err != nil {
 			return fail(req.ID, err)
 		}
 		o := h.Wait()
-		// The outcome is delivered exactly once per handle; the client
-		// library caches it (and single-flights concurrent Wait/Poll), so
-		// the entry can be pruned — otherwise a long-lived connection leaks
-		// one handle per submitted script.
-		c.dropHandle(req.Handle)
+		// The outcome is delivered exactly once per handle (the dedup
+		// window covers retries of the same Wait); the client library
+		// caches it (and single-flights concurrent Wait/Poll), so the
+		// entry can be pruned — otherwise a long-lived client leaks one
+		// handle per submitted script.
+		c.cs.dropHandle(req.Handle)
 		return wire.Response{ID: req.ID, OK: true, Done: true, Outcome: wire.FromOutcome(o)}
 
 	case wire.OpPoll:
-		h, err := c.lookupHandle(req.Handle)
+		h, err := c.cs.handle(req.Handle)
 		if err != nil {
 			return fail(req.ID, err)
 		}
 		if o, ok := h.Poll(); ok {
-			c.dropHandle(req.Handle)
+			c.cs.dropHandle(req.Handle)
 			return wire.Response{ID: req.ID, OK: true, Done: true, Outcome: wire.FromOutcome(o)}
 		}
 		return wire.Response{ID: req.ID, OK: true, Done: false}
@@ -575,7 +928,7 @@ func (c *conn) handle(req wire.Request) wire.Response {
 		delete(c.sessions, req.Session)
 		c.mu.Unlock()
 		if ses == nil {
-			return fail(req.ID, fmt.Errorf("unknown session %d", req.Session))
+			return fail(req.ID, fmt.Errorf("%w %d", wire.ErrUnknownSession, req.Session))
 		}
 		ses.mu.Lock()
 		err := ses.is.Close()
@@ -586,11 +939,17 @@ func (c *conn) handle(req wire.Request) wire.Response {
 		return wire.Response{ID: req.ID, OK: true}
 
 	case wire.OpStats:
-		snap, err := json.Marshal(c.srv.db.StatsSnapshot())
+		snap := c.srv.db.StatsSnapshot()
+		svc := c.srv.ServiceStats()
+		snap.Sheds = svc.Sheds
+		snap.Retries = svc.Retries
+		snap.Reconnects = svc.Reconnects
+		snap.FaultsInjected = svc.FaultsInjected
+		raw, err := json.Marshal(snap)
 		if err != nil {
 			return fail(req.ID, err)
 		}
-		return wire.Response{ID: req.ID, OK: true, Stats: snap}
+		return wire.Response{ID: req.ID, OK: true, Stats: raw}
 
 	case wire.OpTables:
 		return wire.Response{ID: req.ID, OK: true, Tables: wire.TableInfos(c.srv.db.Catalog())}
@@ -600,28 +959,13 @@ func (c *conn) handle(req wire.Request) wire.Response {
 	}
 }
 
-func (c *conn) lookupHandle(id uint64) (*entangle.Handle, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if h := c.handles[id]; h != nil {
-		return h, nil
-	}
-	return nil, fmt.Errorf("unknown handle %d", id)
-}
-
-func (c *conn) dropHandle(id uint64) {
-	c.mu.Lock()
-	delete(c.handles, id)
-	c.mu.Unlock()
-}
-
 func (c *conn) lookupSession(id uint64) (*session, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if s := c.sessions[id]; s != nil {
 		return s, nil
 	}
-	return nil, fmt.Errorf("unknown session %d", id)
+	return nil, fmt.Errorf("%w %d", wire.ErrUnknownSession, id)
 }
 
 func toWireResult(res *entangle.Result) *wire.Result {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
@@ -26,12 +27,20 @@ type Log struct {
 	appends int64
 	flushes int64 // physical writes (a batch counts once)
 	failed  error // first write/sync error; latches the log (fail-stop)
+
+	// Failpoints (nil without a fault registry; see internal/fault).
+	ptAppendErr   *fault.Point // "wal.append.error": write fails, nothing lands
+	ptAppendShort *fault.Point // "wal.append.short": torn write of KeepBytes
+	ptSyncErr     *fault.Point // "wal.sync.error": fsync fails after the write
 }
 
 // Options configures a Log.
 type Options struct {
 	// Sync forces an fsync after every commit-class record.
 	Sync bool
+	// Faults, when set, arms the log's failpoints ("wal.append.error",
+	// "wal.append.short", "wal.sync.error") from the given registry.
+	Faults *fault.Registry
 }
 
 // Open opens (creating if needed) the log file at path.
@@ -40,7 +49,13 @@ func Open(path string, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	return &Log{f: f, path: path, sync: opts.Sync}, nil
+	l := &Log{f: f, path: path, sync: opts.Sync}
+	if opts.Faults != nil {
+		l.ptAppendErr = opts.Faults.Point("wal.append.error")
+		l.ptAppendShort = opts.Faults.Point("wal.append.short")
+		l.ptSyncErr = opts.Faults.Point("wal.sync.error")
+	}
+	return l, nil
 }
 
 // frameInto appends r's length-prefixed, CRC-framed encoding to buf. The
@@ -102,6 +117,26 @@ func (l *Log) AppendBatch(rs []*Record) error {
 		l.buf = frameInto(l.buf, r)
 		needSync = needSync || flushClass(r.Type)
 	}
+	if err := l.ptAppendErr.Fire(); err != nil {
+		l.failed = err
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if act, hit := l.ptAppendShort.Eval(); hit {
+		// Torn write: only a prefix of the batch reaches the file, exactly
+		// as a crash mid-write would leave it. The log latches failed so
+		// no later append can bury the torn tail mid-file.
+		keep := act.KeepBytes
+		if keep > len(l.buf) {
+			keep = len(l.buf)
+		}
+		if _, err := l.f.Write(l.buf[:keep]); err != nil {
+			l.failed = err
+			return fmt.Errorf("wal: append: %w", err)
+		}
+		err := l.ptAppendShort.ErrFor(act)
+		l.failed = err
+		return fmt.Errorf("wal: append: %w", err)
+	}
 	if _, err := l.f.Write(l.buf); err != nil {
 		l.failed = err
 		return fmt.Errorf("wal: append: %w", err)
@@ -110,6 +145,10 @@ func (l *Log) AppendBatch(rs []*Record) error {
 	l.appends += int64(len(rs))
 	l.flushes++
 	if l.sync && needSync {
+		if err := l.ptSyncErr.Fire(); err != nil {
+			l.failed = err
+			return fmt.Errorf("wal: sync: %w", err)
+		}
 		if err := l.f.Sync(); err != nil {
 			l.failed = err
 			return fmt.Errorf("wal: sync: %w", err)

@@ -24,8 +24,10 @@ import (
 //	uvarint id
 //	uvarint handle
 //	uvarint session
+//	uvarint idem
 //	string  sql
 //	string  codec
+//	string  client
 //
 // Response payload:
 //
@@ -158,7 +160,7 @@ func strSize(s string) int { return uvlen(uint64(len(s))) + len(s) }
 
 func binaryRequestSize(r *Request) int {
 	return 1 + uvlen(r.ID) + uvlen(r.Handle) + uvlen(r.Session) +
-		strSize(r.SQL) + strSize(r.Codec)
+		uvlen(r.Idem) + strSize(r.SQL) + strSize(r.Codec) + strSize(r.Client)
 }
 
 func binaryResultSize(res *Result) int {
@@ -221,8 +223,10 @@ func (binaryCodec) AppendRequestFrame(buf []byte, req *Request) ([]byte, error) 
 	out = binary.AppendUvarint(out, req.ID)
 	out = binary.AppendUvarint(out, req.Handle)
 	out = binary.AppendUvarint(out, req.Session)
+	out = binary.AppendUvarint(out, req.Idem)
 	out = appendStr(out, req.SQL)
 	out = appendStr(out, req.Codec)
+	out = appendStr(out, req.Client)
 	return out, nil
 }
 
@@ -432,8 +436,10 @@ func (binaryCodec) DecodeRequest(payload []byte, req *Request) error {
 	req.ID = r.uvarint()
 	req.Handle = r.uvarint()
 	req.Session = r.uvarint()
+	req.Idem = r.uvarint()
 	req.SQL = r.str()
 	req.Codec = r.str()
+	req.Client = r.str()
 	return r.done()
 }
 

@@ -81,6 +81,7 @@ var allOps = []string{
 
 var allErrCodes = []string{
 	"", ErrCodeTimeout, ErrCodeEngineClosed, ErrCodeRolledBack, ErrCodeDraining,
+	ErrCodeOverloaded,
 }
 
 func genRequest(rng *rand.Rand) Request {
@@ -91,6 +92,8 @@ func genRequest(rng *rand.Rand) Request {
 		Handle:  rng.Uint64() >> uint(rng.Intn(64)),
 		Session: rng.Uint64() >> uint(rng.Intn(64)),
 		Codec:   []string{"", CodecJSON, CodecBinary}[rng.Intn(3)],
+		Idem:    rng.Uint64() >> uint(rng.Intn(64)),
+		Client:  []string{"", randString(rng, 1+rng.Intn(16))}[rng.Intn(2)],
 	}
 }
 

@@ -11,12 +11,29 @@ import (
 // survive the trip: errors.Is(o.Err, core.ErrTimeout) holds on the client
 // exactly when it held on the server.
 
+// ErrOverloaded is returned when the server's admission control sheds a
+// request instead of queueing it. It is retryable by construction: a shed
+// request was never dispatched, so retrying it (with backoff) is safe for
+// every op, idempotent or not.
+var ErrOverloaded = errors.New("server overloaded, retry later")
+
+// ErrUnknownSession is returned for a session id the server no longer
+// tracks. Interactive sessions are connection-scoped: when a connection
+// dies its sessions roll back, so a self-healed client holding a stale id
+// sees this error and must open a fresh session (the shell does exactly
+// that).
+var ErrUnknownSession = errors.New("unknown session")
+
 // CodeForError returns the wire code for an engine sentinel error ("" for
 // other errors, which travel as plain text).
 func CodeForError(err error) string {
 	switch {
 	case err == nil:
 		return ""
+	case errors.Is(err, ErrOverloaded):
+		return ErrCodeOverloaded
+	case errors.Is(err, ErrUnknownSession):
+		return ErrCodeUnknownSession
 	case errors.Is(err, core.ErrDraining):
 		return ErrCodeDraining
 	case errors.Is(err, core.ErrTimeout):
@@ -34,6 +51,10 @@ func CodeForError(err error) string {
 // plain error built from text.
 func ErrorForCode(code, text string) error {
 	switch code {
+	case ErrCodeOverloaded:
+		return ErrOverloaded
+	case ErrCodeUnknownSession:
+		return ErrUnknownSession
 	case ErrCodeDraining:
 		return core.ErrDraining
 	case ErrCodeTimeout:

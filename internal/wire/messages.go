@@ -71,6 +71,8 @@ type Request struct {
 	Handle  uint64 `json:"handle,omitempty"`  // wait / poll
 	Session uint64 `json:"session,omitempty"` // session_exec / session_close
 	Codec   string `json:"codec,omitempty"`   // hello: codec the client wants
+	Idem    uint64 `json:"idem,omitempty"`    // client-assigned idempotency id (0 = none)
+	Client  string `json:"client,omitempty"`  // hello: stable client identity for dedup across reconnects
 }
 
 // Response is the server→client frame payload. Exactly one per request,
@@ -123,6 +125,13 @@ const (
 	ErrCodeEngineClosed = "engine_closed" // core.ErrEngineClosed
 	ErrCodeRolledBack   = "rolled_back"   // core.ErrRolledBack
 	ErrCodeDraining     = "draining"      // core.ErrDraining
+	ErrCodeOverloaded   = "overloaded"    // wire.ErrOverloaded (admission control shed)
+
+	// ErrCodeUnknownSession marks a session id the server no longer knows —
+	// the connection that owned it died (sessions are connection-scoped and
+	// roll back on disconnect) and the client reconnected underneath it.
+	// Typed so callers can open a fresh session instead of parsing text.
+	ErrCodeUnknownSession = "unknown_session" // wire.ErrUnknownSession
 )
 
 // TableInfo is one catalog entry.
