@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck examples serve-smoke chaos bench-smoke bench-json pprof pprof-ground ci
+.PHONY: all build test race vet staticcheck examples serve-smoke obs-smoke chaos bench-smoke bench-json pprof pprof-ground ci
 
 all: build
 
@@ -39,6 +39,13 @@ examples:
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 -v .
 
+# Observability smoke: the real youtopia-serve binary with -debug-addr,
+# traced TCP clients coordinating a pair, then /metrics, /traces/recent,
+# and the pprof index asserted over the debug HTTP surface (also covered
+# by `make test`; this target is the direct entry point and the CI gate).
+obs-smoke:
+	$(GO) test -run TestObsSmoke -count=1 -v .
+
 # Chaos smoke: the fault-injection suite under the race detector — the
 # PR 8 acceptance soak (coordination groups stay all-or-nothing while
 # connections reset and the server sheds) plus the WAL torn-write sweeps
@@ -57,16 +64,17 @@ bench-smoke:
 	@cat bench-smoke.txt
 
 # Machine-readable perf trajectory: one iteration of every benchmark family
-# — now including the BenchmarkOverloadShedding shed-vs-unbounded
-# tail-latency comparison — rendered as BENCH_pr8.json (benchmark name ->
-# experiment seconds; benchmarks without the exp-seconds metric fall back
-# to ns/op converted to seconds; B/op, allocs/op, and custom metrics like
-# p50-ms/p90-ms/shed-frac appear under "name:metric" keys). CI derives the
-# same file from bench-smoke.txt and uploads it as an artifact.
+# — the server-throughput rows now run with a live metrics registry and
+# report answer-latency percentiles — rendered as BENCH_pr9.json (benchmark
+# name -> experiment seconds; benchmarks without the exp-seconds metric
+# fall back to ns/op converted to seconds; B/op, allocs/op, and custom
+# metrics like ops/sec or answer-p99-ms appear under "name:metric" keys).
+# CI derives the same file from bench-smoke.txt and uploads it as an
+# artifact.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . > bench-smoke.txt 2>&1 || (cat bench-smoke.txt; exit 1)
-	$(GO) run ./cmd/benchjson < bench-smoke.txt > BENCH_pr8.json
-	@cat BENCH_pr8.json
+	$(GO) run ./cmd/benchjson < bench-smoke.txt > BENCH_pr9.json
+	@cat BENCH_pr9.json
 
 # Fuzz smoke: a short randomized run of each wire-protocol fuzz target
 # (frame reader and binary codec) on top of the committed seed corpus.

@@ -24,6 +24,7 @@ import (
 	"repro/internal/eq"
 	"repro/internal/harness"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -642,6 +643,13 @@ func BenchmarkWALAppend(b *testing.B) {
 // with pipelined workers over a pooled client (depth amortizes write
 // batching on both sides — the ≥100k ops/s acceptance row, recorded in
 // BENCH_pr6.json).
+//
+// Since PR 9 the measured server runs with a LIVE metrics registry — the
+// acceptance criterion is that the metered binary/96 row stays within 3%
+// of the unmetered PR 8 row — and the answer-latency percentiles the
+// registry accumulates (p50/p99/p999 of submit → outcome for the pair
+// coordinations) are reported alongside throughput, so BENCH_pr9.json
+// carries the latency distribution, not just the rate.
 func BenchmarkServerThroughput(b *testing.B) {
 	for _, mode := range []struct {
 		name  string
@@ -654,12 +662,20 @@ func BenchmarkServerThroughput(b *testing.B) {
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				secs, ops, err := measureServerThroughput(8, 6, mode.codec, mode.depth)
+				reg := obs.NewRegistry()
+				secs, ops, err := measureServerThroughput(8, 6, mode.codec, mode.depth, reg)
 				if err != nil {
 					b.Fatal(err)
 				}
 				b.ReportMetric(secs, "exp-seconds")
 				b.ReportMetric(float64(ops)/secs, "ops/sec")
+				hs := reg.Snapshot().Histograms["answer_latency"]
+				if hs.Count == 0 {
+					b.Fatal("metered run recorded no answer latencies")
+				}
+				b.ReportMetric(hs.P50MS, "answer-p50-ms")
+				b.ReportMetric(hs.P99MS, "answer-p99-ms")
+				b.ReportMetric(hs.P999, "answer-p999-ms")
 			}
 		})
 	}
@@ -672,8 +688,8 @@ func BenchmarkServerThroughput(b *testing.B) {
 // plus one entangled pair coordination (submit + wait of half a pair), so
 // coordinations ride alongside the classical stream exactly as the
 // paper's middle tier intends.
-func measureServerThroughput(workers, rounds int, codec string, depth int) (float64, int, error) {
-	db, err := entangle.Open(entangle.Options{RunFrequency: workers / 2})
+func measureServerThroughput(workers, rounds int, codec string, depth int, reg *obs.Registry) (float64, int, error) {
+	db, err := entangle.Open(entangle.Options{RunFrequency: workers / 2, Metrics: reg})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -734,7 +750,7 @@ func measureServerThroughput(workers, rounds int, codec string, depth int) (floa
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				c := pool.Get() // worker affinity: handles stay on one conn
+				c := pool.Get()  // worker affinity: handles stay on one conn
 				partner := i ^ 1 // worker 2k coordinates with 2k+1
 				calls := make([]*client.Call, 0, depth)
 				for r := 0; r < rounds; r++ {
@@ -820,7 +836,6 @@ func BenchmarkEnginePairEndToEnd(b *testing.B) {
 		}
 	}
 }
-
 
 // BenchmarkOverloadShedding (PR 8) compares admission control against an
 // unbounded server under a flood of parked coordination Waits — the load

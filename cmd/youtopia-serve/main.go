@@ -15,6 +15,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -24,6 +26,7 @@ import (
 
 	"repro/entangle"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -76,6 +79,10 @@ func main() {
 		maxInFlight = flag.Int("max-in-flight", 0, "admission control: max requests executing across all connections; excess is shed with a retryable error (0 = default 1024, negative = unbounded)")
 		perConnPend = flag.Int("per-conn-pending", 0, "max parked Wait/session requests per connection before shedding (0 = default 64)")
 		faultSeed   = flag.Int64("fault-seed", 1, "failpoint RNG seed (with -fault; fixed seed = reproducible chaos)")
+		debugAddr   = flag.String("debug-addr", "", "observability HTTP address (/metrics, /traces/recent, /debug/pprof, /debug/vars); empty = off")
+		slowQuery   = flag.Duration("slow-query", 0, "log the full span tree of any traced query slower than this (0 = off)")
+		slowSpan    = flag.Duration("slow-span", 0, "log any single lifecycle span (e.g. one grounding round) slower than this (0 = off)")
+		traceRing   = flag.Int("trace-ring", 0, "recent-trace ring size (0 = default 256)")
 	)
 	var faultSpecs []string
 	flag.Func("fault", "arm a failpoint, name:kind:prob[:delay] (repeatable); e.g. server.conn.write:reset:0.01, wal.sync.error:error:0.001, server.dispatch:delay:0.05:2ms", func(s string) error {
@@ -98,6 +105,21 @@ func main() {
 		fmt.Printf("youtopia-serve: chaos armed (%d failpoints, seed %d)\n", len(faultSpecs), *faultSeed)
 	}
 
+	// Observability: the registry always exists when a debug address is
+	// requested; the tracer also turns on when slow-query/slow-span
+	// logging is wanted without the HTTP surface.
+	var metrics *obs.Registry
+	var tracer *obs.Tracer
+	if *debugAddr != "" || *slowQuery > 0 || *slowSpan > 0 {
+		metrics = obs.NewRegistry()
+		tracer = obs.NewTracer(obs.TracerOptions{
+			RingSize:  *traceRing,
+			SlowQuery: *slowQuery,
+			SlowSpan:  *slowSpan,
+			Log:       os.Stderr,
+		})
+	}
+
 	db, err := entangle.Open(entangle.Options{
 		Path:         *walPath,
 		SyncWAL:      *syncWAL,
@@ -105,6 +127,8 @@ func main() {
 		Connections:  *conns,
 		GroundCache:  *groundCache,
 		Faults:       reg,
+		Metrics:      metrics,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "youtopia-serve:", err)
@@ -117,6 +141,38 @@ func main() {
 		Faults:         reg,
 	})
 	srv.JSONOnly = *jsonOnly
+
+	if *debugAddr != "" {
+		// The debug /metrics document joins three layers under one fetch:
+		// the obs registry (counters + percentiles), the legacy stats
+		// snapshot with service counters folded in (same shape as the
+		// wire's stats frame), and the fault firing ring — firings carry
+		// trace ids, so a chaos artifact correlates against /traces/recent.
+		statsFn := func() any {
+			snap := db.StatsSnapshot()
+			svc := srv.ServiceStats()
+			snap.Sheds = svc.Sheds
+			snap.Retries = svc.Retries
+			snap.Reconnects = svc.Reconnects
+			snap.FaultsInjected = svc.FaultsInjected
+			return struct {
+				Engine  entangle.StatsSnapshot `json:"engine"`
+				Firings []fault.Firing         `json:"fault_firings,omitempty"`
+			}{Engine: snap, Firings: reg.Firings()}
+		}
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "youtopia-serve: debug listen:", err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := http.Serve(dln, obs.DebugMux(metrics, tracer, statsFn)); err != nil {
+				fmt.Fprintln(os.Stderr, "youtopia-serve: debug server:", err)
+			}
+		}()
+		fmt.Printf("youtopia-serve: debug listening on %s\n", dln.Addr())
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe(*addr) }()
 

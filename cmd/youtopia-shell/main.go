@@ -13,6 +13,8 @@
 //
 //	\tables          list tables
 //	\stats           engine counters (JSON snapshot)
+//	\metrics         observability registry (counters + latency percentiles)
+//	\trace <id>      one traced query's span tree (ids print on submit)
 //	\checkpoint      snapshot + truncate the WAL (embedded -wal mode only)
 //	\async           submit the next BEGIN...COMMIT block without waiting
 //	\wait            wait for all outstanding async transactions
@@ -26,10 +28,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/entangle"
 	"repro/entangle/client"
+	"repro/internal/obs"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -44,6 +48,15 @@ type result struct {
 // waiter abstracts entangle.Handle and client.Handle.
 type waiter interface{ Wait() entangle.Outcome }
 
+// traceOf reports a handle's trace id; both handle types carry one when
+// tracing is enabled (0 otherwise).
+func traceOf(h waiter) uint64 {
+	if t, ok := h.(interface{ TraceID() uint64 }); ok {
+		return t.TraceID()
+	}
+	return 0
+}
+
 // backend is the shell's engine surface, satisfied embedded and remote.
 type backend interface {
 	// Exec runs classical statements through an interactive session (host
@@ -54,6 +67,10 @@ type backend interface {
 	Submit(script string) (waiter, error)
 	Tables() ([]wire.TableInfo, error)
 	Stats() (entangle.StatsSnapshot, error)
+	// Metrics is the observability registry snapshot (\metrics).
+	Metrics() (obs.Snapshot, error)
+	// Trace fetches one traced query's span tree by id (\trace <id>).
+	Trace(id uint64) (obs.Trace, error)
 	// Checkpoint snapshots the database and truncates the WAL (embedded
 	// mode only; requires -wal).
 	Checkpoint() error
@@ -81,6 +98,16 @@ func (l *localBackend) Tables() ([]wire.TableInfo, error) {
 }
 
 func (l *localBackend) Stats() (entangle.StatsSnapshot, error) { return l.db.StatsSnapshot(), nil }
+
+func (l *localBackend) Metrics() (obs.Snapshot, error) { return l.db.Metrics().Snapshot(), nil }
+
+func (l *localBackend) Trace(id uint64) (obs.Trace, error) {
+	tr, ok := l.db.Tracer().Get(id)
+	if !ok {
+		return tr, fmt.Errorf("unknown trace %d", id)
+	}
+	return tr, nil
+}
 
 func (l *localBackend) Checkpoint() error { return l.db.Checkpoint() }
 
@@ -129,6 +156,10 @@ func (r *remoteBackend) Tables() ([]wire.TableInfo, error) { return r.c.Tables()
 
 func (r *remoteBackend) Stats() (entangle.StatsSnapshot, error) { return r.c.Stats() }
 
+func (r *remoteBackend) Metrics() (obs.Snapshot, error) { return r.c.Metrics() }
+
+func (r *remoteBackend) Trace(id uint64) (obs.Trace, error) { return r.c.Trace(id) }
+
 func (r *remoteBackend) Checkpoint() error {
 	return fmt.Errorf("\\checkpoint is embedded-mode only (the server owns its WAL)")
 }
@@ -155,14 +186,20 @@ func main() {
 		// The shell is the debugging surface, so its connection stays on
 		// JSON frames — a tcpdump of a shell session reads as text even
 		// when the server offers the binary codec.
-		c, err = client.DialOptions(*connect, client.Options{Codec: wire.CodecJSON})
+		// Tracing is on: the shell is the debugging surface, and a traced
+		// request against a server without a tracer costs nothing (the
+		// server drops the id).
+		c, err = client.DialOptions(*connect, client.Options{Codec: wire.CodecJSON, Trace: true})
 		if err == nil {
 			be = &remoteBackend{c: c, is: c.Interactive()}
 			fmt.Printf("connected to %s\n", *connect)
 		}
 	} else {
 		var db *entangle.DB
-		db, err = entangle.Open(entangle.Options{Path: *walPath, RunFrequency: *freq})
+		// The embedded shell always traces: the ring is bounded and an
+		// interactive session never notices the per-query span cost.
+		db, err = entangle.Open(entangle.Options{Path: *walPath, RunFrequency: *freq,
+			Tracer: obs.NewTracer(obs.TracerOptions{})})
 		if err == nil {
 			be = &localBackend{db: db, is: db.Interactive()}
 		}
@@ -219,6 +256,33 @@ func main() {
 				}
 				data, _ := json.MarshalIndent(snap, "  ", "  ")
 				fmt.Println("  " + string(data))
+			case "\\metrics":
+				snap, err := be.Metrics()
+				if err != nil {
+					fmt.Println("  error:", err)
+					break
+				}
+				data, _ := json.MarshalIndent(snap, "  ", "  ")
+				fmt.Println("  " + string(data))
+			case "\\trace":
+				fields := strings.Fields(line)
+				if len(fields) != 2 {
+					fmt.Println("  usage: \\trace <id>")
+					break
+				}
+				id, perr := strconv.ParseUint(fields[1], 10, 64)
+				if perr != nil {
+					fmt.Println("  error:", perr)
+					break
+				}
+				tr, err := be.Trace(id)
+				if err != nil {
+					fmt.Println("  error:", err)
+					break
+				}
+				for _, l := range strings.Split(strings.TrimRight(obs.FormatTrace(&tr), "\n"), "\n") {
+					fmt.Println("  " + l)
+				}
 			case "\\checkpoint":
 				if err := be.Checkpoint(); err != nil {
 					fmt.Println("  error:", err)
@@ -269,10 +333,18 @@ func main() {
 			} else if async {
 				pending = append(pending, h)
 				pendName = append(pendName, fmt.Sprintf("txn-%d", len(pending)))
-				fmt.Println("  submitted asynchronously; \\wait to collect")
+				if id := traceOf(h); id != 0 {
+					fmt.Printf("  submitted asynchronously (trace %d); \\wait to collect\n", id)
+				} else {
+					fmt.Println("  submitted asynchronously; \\wait to collect")
+				}
 			} else {
 				o := h.Wait()
-				fmt.Printf("  %v (attempts=%d)\n", o.Status, o.Attempts)
+				if id := traceOf(h); id != 0 {
+					fmt.Printf("  %v (attempts=%d, trace=%d)\n", o.Status, o.Attempts, id)
+				} else {
+					fmt.Printf("  %v (attempts=%d)\n", o.Status, o.Attempts)
+				}
 				if o.Err != nil {
 					fmt.Println("  error:", o.Err)
 				}

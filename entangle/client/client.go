@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"repro/entangle"
+	"repro/internal/obs"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -112,6 +113,13 @@ type Options struct {
 	// (plus jitter) up to ReconnectMaxBackoff. Defaults 25ms and 1s.
 	ReconnectBackoff    time.Duration
 	ReconnectMaxBackoff time.Duration
+
+	// Trace mints a lifecycle trace id for every Exec and SubmitScript
+	// call and attaches it on the wire, so a server run with tracing
+	// enabled records the query's span tree under an id this client knows
+	// (Handle.TraceID, Call.TraceID). Off by default: an untraced request
+	// is byte-identical to the PR 6 encoding and costs the server nothing.
+	Trace bool
 }
 
 func (o Options) withDefaults() Options {
@@ -802,7 +810,7 @@ func (c *Client) Exec(script string) (*Result, error) {
 // ExecAsync issues an Exec without waiting; pipelined requests complete
 // independently and in any order.
 func (c *Client) ExecAsync(script string) *Call {
-	return c.startCall(wire.Request{Op: wire.OpExec, SQL: script})
+	return c.startCall(wire.Request{Op: wire.OpExec, SQL: script, Trace: c.mintTrace()})
 }
 
 // Query runs a single SELECT and returns its rows.
@@ -815,11 +823,23 @@ func (c *Client) QueryAsync(src string) *Call { return c.ExecAsync(src) }
 // entangled queries) to the server's run scheduler and returns immediately
 // with a Handle.
 func (c *Client) SubmitScript(script string) (*Handle, error) {
-	resp, err := c.call(wire.Request{Op: wire.OpSubmit, SQL: script})
+	trace := c.mintTrace()
+	resp, err := c.call(wire.Request{Op: wire.OpSubmit, SQL: script, Trace: trace})
 	if err != nil {
 		return nil, err
 	}
-	return &Handle{c: c, id: resp.Handle}, nil
+	if resp.Trace != 0 {
+		trace = resp.Trace
+	}
+	return &Handle{c: c, id: resp.Handle, trace: trace}, nil
+}
+
+// mintTrace returns a fresh trace id when Options.Trace is set, else 0.
+func (c *Client) mintTrace() uint64 {
+	if !c.opts.Trace {
+		return 0
+	}
+	return obs.MintID()
 }
 
 // Stats fetches the engine counter snapshot.
@@ -844,6 +864,36 @@ func (c *Client) Tables() ([]wire.TableInfo, error) {
 	return resp.Tables, nil
 }
 
+// Metrics fetches the server's observability registry snapshot — the
+// counters and latency-histogram percentiles behind the \metrics shell
+// command and the /metrics debug endpoint.
+func (c *Client) Metrics() (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	resp, err := c.call(wire.Request{Op: wire.OpMetrics})
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(resp.Stats, &snap); err != nil {
+		return snap, fmt.Errorf("client: decode metrics: %w", err)
+	}
+	return snap, nil
+}
+
+// Trace fetches one trace's recorded span tree by id. The id is resolved
+// through entanglement merges server-side, so the id minted at submit
+// time keeps working after its trace folded into a partner's.
+func (c *Client) Trace(id uint64) (obs.Trace, error) {
+	var tr obs.Trace
+	resp, err := c.call(wire.Request{Op: wire.OpTrace, Handle: id})
+	if err != nil {
+		return tr, err
+	}
+	if err := json.Unmarshal(resp.Stats, &tr); err != nil {
+		return tr, fmt.Errorf("client: decode trace: %w", err)
+	}
+	return tr, nil
+}
+
 // Handle awaits a submitted program's outcome, mirroring entangle.Handle.
 // Handles are scoped to the client identity server-side, so a Handle keeps
 // working across an automatic reconnect. The server delivers an outcome
@@ -851,13 +901,24 @@ func (c *Client) Tables() ([]wire.TableInfo, error) {
 // single-flighted here: concurrent Wait/Poll calls share one server
 // request and every later call reads the cache.
 type Handle struct {
-	c  *Client
-	id uint64
+	c     *Client
+	id    uint64
+	trace uint64 // minted trace id, updated to canonical on settle
 
 	fetchMu sync.Mutex // single-flights the outcome retrieval
-	mu      sync.Mutex // guards out/got
+	mu      sync.Mutex // guards out/got/trace
 	out     Outcome
 	got     bool
+}
+
+// TraceID returns the lifecycle trace id attached to this submission (0
+// when the client is not tracing). After the outcome arrives, the id is
+// the canonical one — if the program entangled with a partner and their
+// traces merged, both handles report the same id.
+func (h *Handle) TraceID() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.trace
 }
 
 func (h *Handle) cached() (Outcome, bool) {
@@ -877,7 +938,7 @@ func (h *Handle) Wait() Outcome {
 	if o, ok := h.cached(); ok {
 		return o
 	}
-	resp, err := h.c.call(wire.Request{Op: wire.OpWait, Handle: h.id})
+	resp, err := h.c.call(wire.Request{Op: wire.OpWait, Handle: h.id, Trace: h.TraceID()})
 	return h.settle(resp, err)
 }
 
@@ -898,7 +959,7 @@ func (h *Handle) Poll() (Outcome, bool) {
 	if o, ok := h.cached(); ok {
 		return o, true
 	}
-	resp, err := h.c.call(wire.Request{Op: wire.OpPoll, Handle: h.id})
+	resp, err := h.c.call(wire.Request{Op: wire.OpPoll, Handle: h.id, Trace: h.TraceID()})
 	if err == nil && !resp.Done {
 		return Outcome{}, false
 	}
@@ -910,6 +971,9 @@ func (h *Handle) settle(resp *wire.Response, err error) Outcome {
 	defer h.mu.Unlock()
 	if h.got {
 		return h.out
+	}
+	if resp != nil && resp.Trace != 0 {
+		h.trace = resp.Trace
 	}
 	switch {
 	case err != nil:

@@ -34,6 +34,7 @@ import (
 	"repro/internal/eq"
 	"repro/internal/fault"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -139,6 +140,17 @@ type Options struct {
 	// Faults, when set, arms the WAL's failpoints from the given registry
 	// (see internal/fault). Nil — the default — is zero-overhead.
 	Faults *fault.Registry
+	// Metrics, when set, is the observability registry all engine counters
+	// and latency histograms register into (see internal/obs). Nil opens a
+	// private registry — Stats/StatsSnapshot always work — that simply is
+	// not shared with a debug endpoint.
+	Metrics *obs.Registry
+	// Tracer, when set, enables per-query lifecycle tracing: Exec and
+	// SubmitScript mint a trace id per call (parse → submit → ground →
+	// solve → validate → commit → answer spans), and traced ids arriving
+	// over the wire are honored. Nil — the default — records nothing and
+	// keeps the id==0 fast path allocation-free.
+	Tracer *obs.Tracer
 }
 
 // DB is an open database.
@@ -193,6 +205,8 @@ func Open(opts Options) (*DB, error) {
 		SolveBudget:    opts.SolveBudget,
 		VacuumInterval: opts.VacuumInterval,
 		Trace:          opts.Trace,
+		Metrics:        opts.Metrics,
+		Tracer:         opts.Tracer,
 	})
 	return &DB{cat: cat, locks: locks, log: log, txm: txm, engine: engine, path: opts.Path}, nil
 }
@@ -246,9 +260,32 @@ type Result = sql.Result
 // Exec runs a single classical statement (or bare script) directly,
 // outside the run scheduler, and returns the last statement's result.
 // INSERT/UPDATE/DELETE statements each commit individually (autocommit),
-// matching a direct client connection.
+// matching a direct client connection. With Options.Tracer set, the whole
+// call runs under one freshly minted trace id.
 func (db *DB) Exec(script string) (*Result, error) {
+	return db.ExecTraced(script, db.mintTrace())
+}
+
+// ExecTraced is Exec under a caller-supplied trace id (0 = untraced) —
+// the server passes the id that arrived on the wire so the trace spans
+// the full request. The id's lifecycle belongs to this call: the trace is
+// finished when it returns.
+func (db *DB) ExecTraced(script string, trace uint64) (*Result, error) {
+	tracer := db.engine.Tracer()
+	var parseStart time.Time
+	if trace != 0 {
+		parseStart = time.Now()
+		tracer.Begin(trace, parseStart)
+		defer tracer.Finish(trace, time.Now())
+	}
 	stmts, err := sql.Parse(script)
+	if trace != 0 {
+		note := ""
+		if err != nil {
+			note = "error"
+		}
+		tracer.Span(trace, trace, "parse", parseStart, time.Since(parseStart), note)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +303,7 @@ func (db *DB) Exec(script string) (*Result, error) {
 		}
 		stmt := st
 		var res *Result
-		o := db.engine.RunDirect(core.Program{Body: func(tx *core.Tx) error {
+		o := db.engine.RunDirect(core.Program{Trace: trace, Body: func(tx *core.Tx) error {
 			var err error
 			res, err = session.Exec(tx, db.cat, stmt)
 			return err
@@ -289,20 +326,69 @@ func (db *DB) Query(src string) (*Result, error) { return db.Exec(src) }
 func (db *DB) Submit(p Program) *Handle { return db.engine.Submit(p) }
 
 // RunDirect executes a non-entangled program immediately (the classical
-// path).
-func (db *DB) RunDirect(p Program) Outcome { return db.engine.RunDirect(p) }
+// path). A program submitted here with a nonzero Trace has its trace
+// finished on return.
+func (db *DB) RunDirect(p Program) Outcome {
+	o := db.engine.RunDirect(p)
+	if p.Trace != 0 {
+		db.engine.Tracer().Finish(p.Trace, time.Now())
+	}
+	return o
+}
 
 // SubmitScript compiles a SQL script and routes it appropriately: scripts
 // wrapped in BEGIN TRANSACTION go through the entangled scheduler; bare
 // scripts run as autocommit programs through the scheduler too (so their
-// entangled queries, if any, can coordinate).
+// entangled queries, if any, can coordinate). With Options.Tracer set,
+// the submission mints a trace id; Handle outcomes finish the trace.
 func (db *DB) SubmitScript(script string) (*Handle, error) {
+	return db.SubmitScriptTraced(script, db.mintTrace())
+}
+
+// SubmitScriptTraced is SubmitScript under a caller-supplied trace id
+// (0 = untraced). Compilation is recorded as the trace's parse span; the
+// engine records the remaining lifecycle and finishes the trace when the
+// program settles.
+func (db *DB) SubmitScriptTraced(script string, trace uint64) (*Handle, error) {
+	tracer := db.engine.Tracer()
+	var parseStart time.Time
+	if trace != 0 {
+		parseStart = time.Now()
+		tracer.Begin(trace, parseStart)
+	}
 	prog, err := sql.BuildProgram(db.cat, script)
+	if trace != 0 {
+		note := ""
+		if err != nil {
+			note = "error"
+		}
+		tracer.Span(trace, trace, "parse", parseStart, time.Since(parseStart), note)
+		if err != nil {
+			// The program never reaches the engine; the trace ends here.
+			tracer.Finish(trace, time.Now())
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
+	prog.Trace = trace
 	return db.engine.Submit(prog), nil
 }
+
+// mintTrace returns a fresh trace id when tracing is enabled, else 0.
+func (db *DB) mintTrace() uint64 {
+	if db.engine.Tracer() == nil {
+		return 0
+	}
+	return obs.MintID()
+}
+
+// Metrics exposes the engine's observability registry (never nil — a
+// private registry backs it when Options.Metrics was unset).
+func (db *DB) Metrics() *obs.Registry { return db.engine.Metrics() }
+
+// Tracer exposes the lifecycle tracer (nil when tracing is disabled).
+func (db *DB) Tracer() *obs.Tracer { return db.engine.Tracer() }
 
 // Vacuum prunes MVCC row versions no active snapshot can reach and
 // returns the number of versions reclaimed. The watermark is the oldest

@@ -27,6 +27,7 @@ import (
 
 	"repro/entangle"
 	"repro/entangle/client"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -38,7 +39,10 @@ func main() {
 	if addr == "" {
 		// No server given: host one on a loopback port. The clients below
 		// still speak real TCP to it.
-		db, err := entangle.Open(entangle.Options{RunFrequency: 2})
+		db, err := entangle.Open(entangle.Options{
+			RunFrequency: 2,
+			Tracer:       obs.NewTracer(obs.TracerOptions{}),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -57,11 +61,14 @@ func main() {
 		fmt.Println("in-process server on", addr)
 	}
 
-	// Two users, two TCP connections.
-	mickey, err := client.Dial(addr)
+	// Two users, two TCP connections. Trace: true mints a lifecycle trace
+	// id per submitted query; the server merges the pair's ids when the
+	// queries entangle, and -debug-addr's /traces/recent (or the shell's
+	// \trace) shows the merged span tree.
+	mickey, err := client.DialOptions(addr, client.Options{Trace: true})
 	must(err)
 	defer mickey.Close()
-	minnie, err := client.Dial(addr)
+	minnie, err := client.DialOptions(addr, client.Options{Trace: true})
 	must(err)
 	defer minnie.Close()
 
@@ -93,6 +100,9 @@ func main() {
 
 	fmt.Println("Mickey:", h1.Wait().Status)
 	fmt.Println("Minnie:", h2.Wait().Status)
+	if h1.TraceID() == h2.TraceID() {
+		fmt.Printf("coordination trace %d (one merged trace for both members)\n", h1.TraceID())
+	}
 
 	res, err := mickey.Query("SELECT name, fno, fdate FROM Bookings")
 	must(err)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/txn"
@@ -24,12 +25,22 @@ func (e *Engine) RunDirect(p Program) Outcome {
 	if timeout <= 0 {
 		timeout = e.opts.DefaultTimeout
 	}
-	deadline := time.Now().Add(timeout)
+	start := time.Now()
+	deadline := start.Add(timeout)
 	ent := &pending{prog: p, deadline: deadline}
 
 	for {
 		o, done := e.runDirectOnce(p, ent, deadline)
 		if done {
+			e.met.execLatency.Observe(time.Since(start))
+			// Record the exec span but do NOT finish the trace: a traced
+			// direct program is one statement of a larger traced request
+			// (DB.ExecTraced runs a whole script under one id), so the
+			// layer that minted the id owns its Finish.
+			if t := p.Trace; t != 0 && e.tracer != nil {
+				e.tracer.Span(t, t, "exec", start, time.Since(start),
+					fmt.Sprintf("status=%v attempts=%d", o.Status, ent.attempts))
+			}
 			return o
 		}
 	}
@@ -69,41 +80,35 @@ func (e *Engine) runDirectOnce(p Program, ent *pending, deadline time.Time) (Out
 	case err == nil:
 		if m.tx != nil {
 			if cerr := m.tx.Commit(); cerr != nil {
-				e.bumpStat(func(s *Stats) { s.Failures++ })
+				e.bump(e.met.failures)
 				return Outcome{Status: StatusFailed, Err: cerr, Attempts: ent.attempts}, true
 			}
 		}
-		e.bumpStat(func(s *Stats) { s.Commits++ })
+		e.bump(e.met.commits)
 		return Outcome{Status: StatusCommitted, Attempts: ent.attempts}, true
 	case errors.Is(err, errRetrySentinel):
 		if m.tx != nil {
 			m.tx.Abort()
 		}
 		if time.Now().After(deadline) {
-			e.bumpStat(func(s *Stats) { s.Timeouts++ })
+			e.bump(e.met.timeouts)
 			return Outcome{Status: StatusTimedOut, Err: ErrTimeout, Attempts: ent.attempts}, true
 		}
-		e.bumpStat(func(s *Stats) { s.Requeues++ })
+		e.bump(e.met.requeues)
 		return Outcome{}, false
 	case errors.Is(err, errRollbackSentinel):
 		if m.tx != nil {
 			m.tx.Abort()
 		}
-		e.bumpStat(func(s *Stats) { s.Rollbacks++ })
+		e.bump(e.met.rollbacks)
 		return Outcome{Status: StatusRolledBack, Err: ErrRolledBack, Attempts: ent.attempts}, true
 	default:
 		if m.tx != nil {
 			m.tx.Abort()
 		}
-		e.bumpStat(func(s *Stats) { s.Failures++ })
+		e.bump(e.met.failures)
 		return Outcome{Status: StatusFailed, Err: err, Attempts: ent.attempts}, true
 	}
-}
-
-func (e *Engine) bumpStat(f func(*Stats)) {
-	e.statsMu.Lock()
-	f(&e.stats)
-	e.statsMu.Unlock()
 }
 
 // Begin/Commit helpers for code that wants a bare classical transaction

@@ -4,10 +4,10 @@ import (
 	"context"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/eq"
+	"repro/internal/obs"
 	"repro/internal/txn"
 )
 
@@ -81,6 +81,15 @@ type Options struct {
 	VacuumInterval time.Duration
 	// Trace receives schedule events (nil disables tracing).
 	Trace TraceSink
+	// Metrics is the observability registry the engine registers its
+	// counters and latency histograms in. Nil makes the engine create a
+	// private registry, so the legacy Stats snapshot always works; pass
+	// one to surface engine metrics on a shared /metrics endpoint.
+	Metrics *obs.Registry
+	// Tracer receives per-query lifecycle spans (submit → ground → solve
+	// → validate → commit → answer). Nil disables lifecycle tracing; a
+	// program with Trace == 0 records nothing either way.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) withDefaults() Options {
@@ -148,6 +157,8 @@ type pending struct {
 	deadline time.Time
 	handle   *Handle
 	attempts int
+	submitAt time.Time // Submit time: answer-latency histogram anchor
+	enqueued time.Time // last (re)entry into the pool: submit-span anchor
 }
 
 // Engine is the entangled transaction manager.
@@ -182,18 +193,22 @@ type Engine struct {
 	stop   chan struct{}
 	done   chan struct{}
 
+	// statsMu orders program-lifecycle counter increments against Stats
+	// snapshots: every submitted/settled transition bumps its registry
+	// counter under this lock and Stats reads the whole registry under it,
+	// so a snapshot is internally consistent (settled ≤ submitted always
+	// holds). Hot-path counters are bumped lock-free outside it.
 	statsMu sync.Mutex
-	stats   Stats
+	met     *coreMetrics
+	tracer  *obs.Tracer
 
 	nextOp uint64 // entanglement operation ids (guarded by statsMu)
 
 	// Grounding hot-path machinery: the cross-round grounding cache (nil
-	// when Options.GroundCache is off), the atomic index-probe counter the
-	// parallel grounding workers bump, and the streaming pipeline's
-	// rows/peak-batch accounting.
-	groundCache   *groundCache
-	indexedProbes atomic.Int64
-	streamStats   eq.StreamStats
+	// when Options.GroundCache is off) and the streaming pipeline's
+	// rows/peak-batch accounting (bridged into the registry as gauges).
+	groundCache *groundCache
+	streamStats eq.StreamStats
 }
 
 // NewEngine builds an engine over a transaction manager.
@@ -213,6 +228,14 @@ func NewEngine(txm *txn.Manager, opts Options) *Engine {
 	if o.GroundCache {
 		e.groundCache = newGroundCache(0)
 	}
+	reg := o.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e.met = newCoreMetrics(reg)
+	e.tracer = o.Tracer
+	reg.Gauge("ground_rows_streamed", e.streamStats.Rows)
+	reg.Gauge("ground_peak_batch_rows", e.streamStats.PeakBatchRows)
 	if o.Trace != nil {
 		txm.SetObserver(&traceObserver{e: e})
 	}
@@ -223,26 +246,26 @@ func NewEngine(txm *txn.Manager, opts Options) *Engine {
 // Txm exposes the substrate transaction manager (DDL, direct access).
 func (e *Engine) Txm() *txn.Manager { return e.txm }
 
-// Stats returns a copy of the cumulative counters.
+// Stats returns a copy of the cumulative counters: one registry read
+// under statsMu, so the lifecycle counters (incremented under the same
+// lock) form an internally consistent set.
 func (e *Engine) Stats() Stats {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
-	s := e.stats
-	s.IndexedGroundings = e.indexedProbes.Load()
-	s.GroundRowsStreamed = e.streamStats.Rows()
-	s.GroundPeakBatchRows = e.streamStats.PeakBatchRows()
-	return s
+	return e.met.legacy(&e.streamStats)
 }
 
 // Submit queues an entangled transaction for execution and returns a
 // handle to await its outcome.
 func (e *Engine) Submit(p Program) *Handle {
 	h := newHandle()
+	h.trace = p.Trace
 	timeout := p.Timeout
 	if timeout <= 0 {
 		timeout = e.opts.DefaultTimeout
 	}
-	ent := &pending{prog: p, deadline: time.Now().Add(timeout), handle: h}
+	now := time.Now()
+	ent := &pending{prog: p, deadline: now.Add(timeout), handle: h, submitAt: now, enqueued: now}
 	// The enqueue happens under e.mu, the same lock Close and Drain take to
 	// flip their flags, so a program is either published before the flag
 	// (and swept by the scheduler's shutdown/drain pass) or refused — never
@@ -263,14 +286,31 @@ func (e *Engine) Submit(p Program) *Handle {
 		return h
 	}
 	e.mu.Unlock()
-	e.statsMu.Lock()
-	e.stats.Submitted++
-	e.statsMu.Unlock()
+	e.bump(e.met.submitted)
+	if t := p.Trace; t != 0 {
+		e.tracer.Begin(t, now)
+	}
 	select {
 	case e.wake <- struct{}{}:
 	default:
 	}
 	return h
+}
+
+// settle delivers a program's final outcome: lifecycle counter, answer-
+// latency observation, trace answer span + finish, then the handle send.
+// Every settlement of a submitted program goes through here.
+func (e *Engine) settle(ent *pending, c *obs.Counter, o Outcome) {
+	e.bump(c)
+	now := time.Now()
+	if !ent.submitAt.IsZero() {
+		e.met.answerLatency.Observe(now.Sub(ent.submitAt))
+	}
+	if t := ent.prog.Trace; t != 0 {
+		e.tracer.Span(t, t, "answer", ent.submitAt, now.Sub(ent.submitAt), "status="+o.Status.String())
+		e.tracer.Finish(t, now)
+	}
+	ent.handle.done <- o
 }
 
 // Flush synchronously executes one run over the currently pooled
@@ -332,7 +372,7 @@ func (e *Engine) loop() {
 				break
 			}
 			for _, ent := range pool {
-				ent.handle.done <- Outcome{Status: StatusFailed, Err: ErrEngineClosed, Attempts: ent.attempts}
+				e.settle(ent, nil, Outcome{Status: StatusFailed, Err: ErrEngineClosed, Attempts: ent.attempts})
 			}
 			return
 		case reply := <-e.flush:
@@ -374,10 +414,7 @@ func (e *Engine) runIfDue(force bool) {
 			select {
 			case ent := <-e.arrivalq:
 				if e.drainAborted {
-					e.statsMu.Lock()
-					e.stats.Timeouts++
-					e.statsMu.Unlock()
-					ent.handle.done <- Outcome{Status: StatusTimedOut, Err: ErrDraining, Attempts: ent.attempts}
+					e.settle(ent, e.met.timeouts, Outcome{Status: StatusTimedOut, Err: ErrDraining, Attempts: ent.attempts})
 					continue
 				}
 				e.pool = append(e.pool, ent)
@@ -396,10 +433,7 @@ func (e *Engine) runIfDue(force bool) {
 		kept := e.pool[:0]
 		for _, ent := range e.pool {
 			if now.After(ent.deadline) {
-				e.statsMu.Lock()
-				e.stats.Timeouts++
-				e.statsMu.Unlock()
-				ent.handle.done <- Outcome{Status: StatusTimedOut, Err: ErrTimeout, Attempts: ent.attempts}
+				e.settle(ent, e.met.timeouts, Outcome{Status: StatusTimedOut, Err: ErrTimeout, Attempts: ent.attempts})
 			} else {
 				kept = append(kept, ent)
 			}
@@ -420,16 +454,13 @@ func (e *Engine) runIfDue(force bool) {
 
 // requeue returns an entry to the pool (or expires it).
 func (e *Engine) requeue(ent *pending) {
-	if time.Now().After(ent.deadline) {
-		e.statsMu.Lock()
-		e.stats.Timeouts++
-		e.statsMu.Unlock()
-		ent.handle.done <- Outcome{Status: StatusTimedOut, Err: ErrTimeout, Attempts: ent.attempts}
+	now := time.Now()
+	if now.After(ent.deadline) {
+		e.settle(ent, e.met.timeouts, Outcome{Status: StatusTimedOut, Err: ErrTimeout, Attempts: ent.attempts})
 		return
 	}
-	e.statsMu.Lock()
-	e.stats.Requeues++
-	e.statsMu.Unlock()
+	e.bump(e.met.requeues)
+	ent.enqueued = now // the next submit span measures this pool wait
 	// Called from the scheduler goroutine (finalizeRun), so appending to
 	// the pool directly is safe.
 	e.pool = append(e.pool, ent)
@@ -439,7 +470,7 @@ func (e *Engine) nextOpID() uint64 {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
 	e.nextOp++
-	e.stats.EntangleOps++
+	e.met.entangleOps.Add(1)
 	return e.nextOp
 }
 
@@ -521,10 +552,7 @@ func (e *Engine) abortPoolForDrain() {
 		break
 	}
 	for _, ent := range pool {
-		e.statsMu.Lock()
-		e.stats.Timeouts++
-		e.statsMu.Unlock()
-		ent.handle.done <- Outcome{Status: StatusTimedOut, Err: ErrDraining, Attempts: ent.attempts}
+		e.settle(ent, e.met.timeouts, Outcome{Status: StatusTimedOut, Err: ErrDraining, Attempts: ent.attempts})
 	}
 }
 
@@ -533,7 +561,7 @@ func (e *Engine) abortPoolForDrain() {
 func (e *Engine) vacuum() {
 	pruned := e.txm.Vacuum()
 	e.statsMu.Lock()
-	e.stats.Vacuums++
-	e.stats.VersionsPruned += int64(pruned)
+	e.met.vacuums.Add(1)
+	e.met.versionsPrune.Add(int64(pruned))
 	e.statsMu.Unlock()
 }

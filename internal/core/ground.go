@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
+	"repro/internal/obs"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/eq"
 	"repro/internal/storage"
@@ -95,7 +95,7 @@ type groundReader struct {
 	txID    uint64           // posing transaction (0 for autocommit members)
 	trace   TraceSink
 	cursors *roundCursors // shared round cursor cache (nil: capture directly)
-	indexed *atomic.Int64 // engine's IndexedGroundings counter (nil ok)
+	indexed *obs.Counter  // engine's indexed_groundings counter (nil ok)
 	traced  map[string]bool
 }
 

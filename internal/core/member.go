@@ -38,7 +38,7 @@ func (m *member) check(err error) error {
 	}
 	if retryable(err) {
 		if errors.Is(err, txn.ErrWriteConflict) {
-			m.run.e.bumpStat(func(s *Stats) { s.WriteConflicts++ })
+			m.run.e.bump(m.run.e.met.writeConflict)
 		}
 		panic(unwindRetry)
 	}

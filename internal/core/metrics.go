@@ -1,0 +1,147 @@
+package core
+
+import (
+	"repro/internal/eq"
+	"repro/internal/obs"
+)
+
+// coreMetrics is the engine's counter and histogram set, registry-backed.
+// The scattered Stats{...} fields of earlier revisions live behind these
+// handles now: one obs.Registry owns every engine quantity, so a snapshot
+// is a single registry read instead of a mixture of mutex-copied struct
+// fields and separately-loaded atomics.
+//
+// Counter names match the legacy StatsSnapshot JSON tags so /metrics and
+// \stats agree on vocabulary.
+type coreMetrics struct {
+	reg *obs.Registry
+
+	submitted     *obs.Counter
+	runs          *obs.Counter
+	evalRounds    *obs.Counter
+	commits       *obs.Counter
+	groupCommits  *obs.Counter
+	commitBatches *obs.Counter
+	entangleOps   *obs.Counter
+	requeues      *obs.Counter
+	timeouts      *obs.Counter
+	rollbacks     *obs.Counter
+	failures      *obs.Counter
+	widowsAverted *obs.Counter
+	writeConflict *obs.Counter
+	vacuums       *obs.Counter
+	versionsPrune *obs.Counter
+
+	groundCacheHits   *obs.Counter
+	groundCacheMisses *obs.Counter
+	indexedGroundings *obs.Counter
+
+	solveSteps     *obs.Counter
+	solveFallbacks *obs.Counter
+
+	// Latency histograms (log-spaced buckets, p50/p99/p999 via /metrics).
+	answerLatency *obs.Histogram // Submit -> outcome delivery, end to end
+	execLatency   *obs.Histogram // RunDirect (classical path), end to end
+	groundRound   *obs.Histogram // grounding stage of one evaluation round
+	solveRound    *obs.Histogram // coordinating-set search of one round
+	commitFlush   *obs.Histogram // batched end-of-run WAL commit flush
+	groundPull    *obs.Histogram // one cursor batch pull in the streaming pipeline
+}
+
+func newCoreMetrics(reg *obs.Registry) *coreMetrics {
+	return &coreMetrics{
+		reg:           reg,
+		submitted:     reg.Counter("submitted"),
+		runs:          reg.Counter("runs"),
+		evalRounds:    reg.Counter("eval_rounds"),
+		commits:       reg.Counter("commits"),
+		groupCommits:  reg.Counter("group_commits"),
+		commitBatches: reg.Counter("commit_batches"),
+		entangleOps:   reg.Counter("entangle_ops"),
+		requeues:      reg.Counter("requeues"),
+		timeouts:      reg.Counter("timeouts"),
+		rollbacks:     reg.Counter("rollbacks"),
+		failures:      reg.Counter("failures"),
+		widowsAverted: reg.Counter("widows_averted"),
+		writeConflict: reg.Counter("write_conflicts"),
+		vacuums:       reg.Counter("vacuums"),
+		versionsPrune: reg.Counter("versions_pruned"),
+
+		groundCacheHits:   reg.Counter("ground_cache_hits"),
+		groundCacheMisses: reg.Counter("ground_cache_misses"),
+		indexedGroundings: reg.Counter("indexed_groundings"),
+
+		solveSteps:     reg.Counter("solve_steps"),
+		solveFallbacks: reg.Counter("solve_fallbacks"),
+
+		answerLatency: reg.Histogram("answer_latency"),
+		execLatency:   reg.Histogram("exec_latency"),
+		groundRound:   reg.Histogram("ground_round"),
+		solveRound:    reg.Histogram("solve_round"),
+		commitFlush:   reg.Histogram("commit_flush"),
+		groundPull:    reg.Histogram("ground_pull"),
+	}
+}
+
+// legacy renders the registry-backed counters as the historical Stats
+// struct in one pass; stream supplies the streaming pipeline's gauges.
+// Callers hold e.statsMu so the lifecycle counters (which are incremented
+// under the same lock) form an internally consistent set — a snapshot can
+// never show more settled programs than submitted ones.
+func (m *coreMetrics) legacy(stream *eq.StreamStats) Stats {
+	return Stats{
+		Submitted:      m.submitted.Load(),
+		Runs:           m.runs.Load(),
+		EvalRounds:     m.evalRounds.Load(),
+		Commits:        m.commits.Load(),
+		GroupCommits:   m.groupCommits.Load(),
+		CommitBatches:  m.commitBatches.Load(),
+		EntangleOps:    m.entangleOps.Load(),
+		Requeues:       m.requeues.Load(),
+		Timeouts:       m.timeouts.Load(),
+		Rollbacks:      m.rollbacks.Load(),
+		Failures:       m.failures.Load(),
+		WidowsAverted:  m.widowsAverted.Load(),
+		WriteConflicts: m.writeConflict.Load(),
+		Vacuums:        m.vacuums.Load(),
+		VersionsPruned: m.versionsPrune.Load(),
+
+		GroundCacheHits:   m.groundCacheHits.Load(),
+		GroundCacheMisses: m.groundCacheMisses.Load(),
+		IndexedGroundings: m.indexedGroundings.Load(),
+
+		GroundRowsStreamed:  stream.Rows(),
+		GroundPeakBatchRows: stream.PeakBatchRows(),
+
+		SolveSteps:     m.solveSteps.Load(),
+		SolveFallbacks: m.solveFallbacks.Load(),
+	}
+}
+
+// bump increments one lifecycle counter under statsMu, the snapshot
+// consistency lock. Hot-path counters (index probes, streamed rows) are
+// bumped lock-free instead; only program-lifecycle transitions need the
+// ordering the lock provides.
+func (e *Engine) bump(c *obs.Counter) {
+	if c == nil {
+		return
+	}
+	e.statsMu.Lock()
+	c.Add(1)
+	e.statsMu.Unlock()
+}
+
+func (e *Engine) bumpN(c *obs.Counter, n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	e.statsMu.Lock()
+	c.Add(n)
+	e.statsMu.Unlock()
+}
+
+// Metrics exposes the engine's registry (its own when none was supplied).
+func (e *Engine) Metrics() *obs.Registry { return e.met.reg }
+
+// Tracer exposes the lifecycle tracer; nil when tracing is disabled.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }

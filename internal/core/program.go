@@ -100,6 +100,10 @@ type Program struct {
 	// NoLatency exempts this program from Options.StmtLatency simulation
 	// (bulk loading, administrative programs).
 	NoLatency bool
+	// Trace is the lifecycle trace id stamped on this program's spans
+	// (minted by the network client, or by the DB layer when embedded).
+	// Zero — the default — records nothing and costs nothing.
+	Trace uint64
 	// Body is the transaction logic. It may call Tx.Entangle any number of
 	// times; calls block until the query is answered in some run. Returning
 	// nil makes the transaction ready to commit; returning an error rolls
@@ -166,14 +170,20 @@ type Outcome struct {
 // concurrent use from multiple goroutines (the network server waits on
 // and polls the same handle from different requests).
 type Handle struct {
-	done chan Outcome  // the engine sends the outcome exactly once
-	fin  chan struct{} // closed once out is settled
-	out  Outcome
+	done  chan Outcome  // the engine sends the outcome exactly once
+	fin   chan struct{} // closed once out is settled
+	out   Outcome
+	trace uint64 // the submitted program's trace id (0 = untraced)
 }
 
 func newHandle() *Handle {
 	return &Handle{done: make(chan Outcome, 1), fin: make(chan struct{})}
 }
+
+// TraceID returns the trace id the program was submitted under (0 when
+// untraced). It is the id as minted; after an entanglement merge the
+// tracer resolves it to the canonical trace (obs.Tracer.Canonical).
+func (h *Handle) TraceID() uint64 { return h.trace }
 
 // settle records the outcome received from done and releases every other
 // waiter. Exactly one goroutine can receive from done, so exactly one

@@ -2,7 +2,9 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/eq"
 	"repro/internal/txn"
@@ -49,6 +51,7 @@ type run struct {
 	active  int // members in stateRunning
 	members []*member
 	wg      sync.WaitGroup
+	round   int // evaluation rounds so far (scheduler goroutine only)
 }
 
 // sentinels classifying how a body unwound.
@@ -89,8 +92,14 @@ func (e *Engine) executeRun(batch []*pending) {
 	defer e.txm.Exit()
 	r := &run{e: e}
 	r.cond = sync.NewCond(&r.mu)
+	runStart := time.Now()
 	for _, ent := range batch {
 		ent.attempts++
+		if t := ent.prog.Trace; t != 0 && e.tracer != nil {
+			// The submit span covers the pool wait: (re)enqueue to run start.
+			e.tracer.Span(t, t, "submit", ent.enqueued, runStart.Sub(ent.enqueued),
+				fmt.Sprintf("attempt=%d", ent.attempts))
+		}
 		m := &member{
 			run:      r,
 			entry:    ent,
@@ -235,9 +244,8 @@ func (e *Engine) releaseConn() { <-e.conns }
 // repeatable quasi-read guarantee end to end; a member whose validation
 // fails aborts and retries in a later run, exactly like a deadlock victim.
 func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
-	e.statsMu.Lock()
-	e.stats.EvalRounds++
-	e.statsMu.Unlock()
+	e.bump(e.met.evalRounds)
+	r.round++
 
 	snap := e.txm.AcquireSnapshot()
 	defer snap.Release()
@@ -265,7 +273,7 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 			txID:    txID,
 			trace:   e.opts.Trace,
 			cursors: cursors,
-			indexed: &e.indexedProbes,
+			indexed: e.met.indexedGroundings,
 		}}
 		// Cross-round grounding reuse: a pending query whose grounded
 		// tables' CSN fingerprint has not advanced is answered from its
@@ -274,7 +282,7 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 			cacheKeys[i] = m.query.String()
 			if gs, ok := e.groundCache.lookup(cacheKeys[i], e.txm.Catalog(), m.tx); ok {
 				p.Cached, p.HasCached = gs, true
-				e.bumpStat(func(s *Stats) { s.GroundCacheHits++ })
+				e.bump(e.met.groundCacheHits)
 				// Preserve RG attribution for the isolation checker: the
 				// cached result stands in for grounding reads of the same
 				// tables.
@@ -284,7 +292,7 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 					}
 				}
 			} else {
-				e.bumpStat(func(s *Stats) { s.GroundCacheMisses++ })
+				e.bump(e.met.groundCacheMisses)
 			}
 		}
 		pendings[i] = p
@@ -294,6 +302,7 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 	// round trips overlapped) is safe. The coordinating-set search inside
 	// Evaluate still consumes the groundings in submission order, so the
 	// chosen answers match the serialized path's exactly.
+	evalStart := time.Now()
 	res := eq.Evaluate(pendings, eq.EvalOptions{
 		MaxGroundings: e.opts.MaxGroundings,
 		GroundWorkers: e.opts.GroundWorkers,
@@ -301,13 +310,30 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 		SolveBudget:   e.opts.SolveBudget,
 		BatchRows:     e.opts.GroundBatch,
 		Stream:        &e.streamStats,
+		PullDur:       e.met.groundPull,
 	})
-	e.bumpStat(func(s *Stats) {
-		s.SolveSteps += int64(res.Solve.Steps)
-		if res.Solve.Exhausted {
-			s.SolveFallbacks++
+	e.bumpN(e.met.solveSteps, int64(res.Solve.Steps))
+	if res.Solve.Exhausted {
+		e.bump(e.met.solveFallbacks)
+	}
+	e.met.groundRound.Observe(res.GroundDur)
+	e.met.solveRound.Observe(res.SolveDur)
+
+	// Per-round trace spans: every traced member that went through this
+	// round's grounding and search gets ground + solve spans (the stage
+	// work is shared; the spans attribute its wall time to each waiter).
+	var roundNote string
+	if e.tracer != nil {
+		roundNote = fmt.Sprintf("round=%d", r.round)
+		for _, m := range blocked {
+			t := m.entry.prog.Trace
+			if t == 0 {
+				continue
+			}
+			e.tracer.Span(t, t, "ground", evalStart, res.GroundDur, roundNote)
+			e.tracer.Span(t, t, "solve", evalStart.Add(res.GroundDur), res.SolveDur, roundNote)
 		}
-	})
+	}
 
 	// Freshly grounded queries refill the cache (own-writes groundings and
 	// fingerprints already past the round snapshot are refused inside).
@@ -355,6 +381,41 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 
 	aborted := make(map[int]bool) // members whose quasi-read locks failed
 	for _, comp := range components {
+		compStart := time.Now()
+		// Entangled queries share one fate from here on; their lifecycle
+		// traces merge too — one trace id (the smallest) now carries every
+		// member's spans, each still attributed to its original actor.
+		if e.tracer != nil && len(comp) > 1 {
+			ids := make([]uint64, 0, len(comp))
+			for _, i := range comp {
+				if t := blocked[i].entry.prog.Trace; t != 0 {
+					ids = append(ids, t)
+				}
+			}
+			if len(ids) > 1 {
+				e.tracer.Merge(ids)
+			}
+		}
+		// recordValidate stamps the lock/validate span (entangle logging,
+		// quasi-read locks, round-snapshot validation) on every traced
+		// member of the component, however the section exits.
+		recordValidate := func(comp []int) {
+			if e.tracer == nil {
+				return
+			}
+			d := time.Since(compStart)
+			for _, i := range comp {
+				t := blocked[i].entry.prog.Trace
+				if t == 0 {
+					continue
+				}
+				note := roundNote
+				if aborted[i] {
+					note += " stale"
+				}
+				e.tracer.Span(t, t, "validate", compStart, d, note)
+			}
+		}
 		opID := e.nextOpID()
 		var txIDs []uint64
 		for _, i := range comp {
@@ -367,6 +428,7 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 				for _, i := range comp {
 					aborted[i] = true
 				}
+				recordValidate(comp)
 				continue
 			}
 		}
@@ -435,6 +497,7 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 		if sink := e.opts.Trace; sink != nil {
 			sink.Entangle(opID, txIDs)
 		}
+		recordValidate(comp)
 	}
 
 	// Deliver. Empty answers resume the transaction too; NoPartner and
@@ -503,9 +566,7 @@ func (e *Engine) groundChanged(tables []string, csn uint64) bool {
 // atomically iff every member is ready; everyone else aborts and is
 // requeued (or finalized if rolled back, failed, or timed out).
 func (e *Engine) finalizeRun(r *run) {
-	e.statsMu.Lock()
-	e.stats.Runs++
-	e.statsMu.Unlock()
+	e.bump(e.met.runs)
 
 	// Union-find groups over the accumulated partner edges. Autocommit
 	// members are excluded: they have no commit to coordinate.
@@ -594,13 +655,18 @@ func (e *Engine) finalizeRun(r *run) {
 			batched = append(batched, i)
 		}
 	}
+	commitStart := time.Now()
+	var commitDur time.Duration
 	if len(txnUnits) > 0 {
-		if batchErr := e.txm.CommitUnits(txnUnits); batchErr == nil {
+		batchErr := e.txm.CommitUnits(txnUnits)
+		commitDur = time.Since(commitStart)
+		e.met.commitFlush.Observe(commitDur)
+		if batchErr == nil {
 			e.statsMu.Lock()
-			e.stats.CommitBatches++
+			e.met.commitBatches.Add(1)
 			for _, u := range txnUnits {
 				if len(u) > 1 {
-					e.stats.GroupCommits++
+					e.met.groupCommits.Add(1)
 				}
 			}
 			e.statsMu.Unlock()
@@ -623,19 +689,16 @@ func (e *Engine) finalizeRun(r *run) {
 	}
 	for i, u := range units {
 		for _, m := range u.members {
+			if t := m.entry.prog.Trace; t != 0 && e.tracer != nil && len(u.txns) > 0 {
+				e.tracer.Span(t, t, "commit", commitStart, commitDur, "")
+			}
 			// A commit failure dooms only the failed unit; pure-autocommit
 			// groups had nothing to commit and always succeed.
 			if unitErr[i] != nil {
-				m.entry.handle.done <- Outcome{Status: StatusFailed, Err: unitErr[i], Attempts: m.entry.attempts}
-				e.statsMu.Lock()
-				e.stats.Failures++
-				e.statsMu.Unlock()
+				e.settle(m.entry, e.met.failures, Outcome{Status: StatusFailed, Err: unitErr[i], Attempts: m.entry.attempts})
 				continue
 			}
-			m.entry.handle.done <- Outcome{Status: StatusCommitted, Attempts: m.entry.attempts}
-			e.statsMu.Lock()
-			e.stats.Commits++
-			e.statsMu.Unlock()
+			e.settle(m.entry, e.met.commits, Outcome{Status: StatusCommitted, Attempts: m.entry.attempts})
 		}
 	}
 
@@ -650,23 +713,15 @@ func (e *Engine) finalizeRun(r *run) {
 					m.tx.Abort()
 				}
 				if m.tx != nil || !m.entry.prog.Autocommit {
-					e.statsMu.Lock()
-					e.stats.WidowsAverted++
-					e.statsMu.Unlock()
+					e.bump(e.met.widowsAverted)
 				}
 				e.requeue(m.entry)
 			case stateAbortedRetry:
 				e.requeue(m.entry)
 			case stateRolledBack:
-				e.statsMu.Lock()
-				e.stats.Rollbacks++
-				e.statsMu.Unlock()
-				m.entry.handle.done <- Outcome{Status: StatusRolledBack, Err: ErrRolledBack, Attempts: m.entry.attempts}
+				e.settle(m.entry, e.met.rollbacks, Outcome{Status: StatusRolledBack, Err: ErrRolledBack, Attempts: m.entry.attempts})
 			case stateAbortedFinal:
-				e.statsMu.Lock()
-				e.stats.Failures++
-				e.statsMu.Unlock()
-				m.entry.handle.done <- Outcome{Status: StatusFailed, Err: m.finalErr, Attempts: m.entry.attempts}
+				e.settle(m.entry, e.met.failures, Outcome{Status: StatusFailed, Err: m.finalErr, Attempts: m.entry.attempts})
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -103,6 +104,11 @@ type Result struct {
 	// search nodes spent, component count, and whether any component
 	// exhausted its budget and fell back to the greedy closure.
 	Solve SolveStats
+	// GroundDur and SolveDur are the wall time the round spent in the
+	// grounding stage and the coordinating-set search — the per-round
+	// span durations the engine's tracer records.
+	GroundDur time.Duration
+	SolveDur  time.Duration
 }
 
 // EvalOptions tunes evaluation.
@@ -136,6 +142,10 @@ type EvalOptions struct {
 	// Stream, when non-nil, accumulates rows-streamed and peak-batch
 	// accounting across the round's grounding pipelines.
 	Stream *StreamStats
+	// PullDur, when non-nil, observes the duration of every cursor batch
+	// pull on the streaming grounding path. Nil (the disabled registry
+	// case) adds zero cost — no clock reads, no allocations.
+	PullDur *obs.Histogram
 }
 
 // Evaluate runs one round of entangled query answering over the pending
@@ -155,7 +165,9 @@ func Evaluate(pending []Pending, opts EvalOptions) *Result {
 	for i, p := range pending {
 		queries[i] = p.Query
 	}
+	groundStart := time.Now()
 	groundings, errs := GroundAll(pending, opts)
+	res.GroundDur = time.Since(groundStart)
 	errored := make(map[int]error)
 	for i, p := range pending {
 		if errs[i] != nil {
@@ -169,8 +181,10 @@ func Evaluate(pending []Pending, opts EvalOptions) *Result {
 	// The pipeline barrier: however the groundings were produced, the
 	// coordinating-set search consumes them indexed by submission order, so
 	// its choices are independent of worker scheduling.
+	solveStart := time.Now()
 	chosen, solveStats := SolveBudget(groundings, opts.SolveBudget)
 	res.Solve = solveStats
+	res.SolveDur = time.Since(solveStart)
 
 	// Entanglement membership: queries whose chosen groundings exchange
 	// atoms. Build atom -> producer query and atom -> consumer queries maps
@@ -264,6 +278,7 @@ func GroundAll(pending []Pending, opts EvalOptions) ([][]*Grounding, []error) {
 			MaxGroundings: maxG,
 			BatchRows:     opts.BatchRows,
 			Stats:         opts.Stream,
+			PullDur:       opts.PullDur,
 		})
 		if err != nil {
 			errs[i] = err

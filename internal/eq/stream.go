@@ -3,7 +3,9 @@ package eq
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -93,6 +95,10 @@ type GroundOptions struct {
 	BatchRows int
 	// Stats, when non-nil, accumulates rows-streamed / peak-batch accounting.
 	Stats *StreamStats
+	// PullDur, when non-nil, observes every cursor batch pull's duration.
+	// The nil (disabled) path reads no clock and allocates nothing — the
+	// grounding pull loop is a zero-alloc gate.
+	PullDur *obs.Histogram
 }
 
 // sliceCursor adapts a materialized row slice to RowCursor — the path for
@@ -132,13 +138,14 @@ type streamLevel struct {
 
 // groundStream drives one query's streaming join.
 type groundStream struct {
-	q     *Query
-	plan  *joinPlan
-	r     Reader
-	ir    IndexedReader
-	cr    CursorReader
-	batch int
-	stats *StreamStats
+	q       *Query
+	plan    *joinPlan
+	r       Reader
+	ir      IndexedReader
+	cr      CursorReader
+	batch   int
+	stats   *StreamStats
+	pullDur *obs.Histogram
 
 	val      Valuation
 	levels   []streamLevel
@@ -157,16 +164,17 @@ func newGroundStream(q *Query, plan *joinPlan, r Reader, opts GroundOptions) *gr
 		batch = DefaultBatchRows
 	}
 	s := &groundStream{
-		q:     q,
-		plan:  plan,
-		r:     r,
-		ir:    ir,
-		cr:    cr,
-		batch: batch,
-		stats: opts.Stats,
-		val:   make(Valuation),
-		seen:  make(map[string]bool),
-		max:   opts.MaxGroundings,
+		q:       q,
+		plan:    plan,
+		r:       r,
+		ir:      ir,
+		cr:      cr,
+		batch:   batch,
+		stats:   opts.Stats,
+		pullDur: opts.PullDur,
+		val:     make(Valuation),
+		seen:    make(map[string]bool),
+		max:     opts.MaxGroundings,
 	}
 	s.levels = make([]streamLevel, len(plan.steps))
 	for i := range s.levels {
@@ -270,7 +278,14 @@ func (s *groundStream) refill(i int) (bool, error) {
 	lv := &s.levels[i]
 	lv.buf = lv.buf[:0]
 	lv.pos = 0
+	var pullStart time.Time
+	if s.pullDur != nil {
+		pullStart = time.Now()
+	}
 	buf, err := lv.cur.Next(lv.buf, s.batch)
+	if s.pullDur != nil {
+		s.pullDur.Observe(time.Since(pullStart))
+	}
 	if err != nil {
 		return false, fmt.Errorf("eq: grounding read of %s: %w", lv.step.atom.Rel, err)
 	}

@@ -265,7 +265,7 @@ func TestGroundCapTerminatesCrossProduct(t *testing.T) {
 	}
 	cr := &cursorReader{probeReader: probeReader{MapReader: MapReader{"Big": rows}}}
 	q := &Query{
-		Head:   []Atom{{Rel: "H", Args: []Term{V("a"), V("b"), V("c")}}},
+		Head: []Atom{{Rel: "H", Args: []Term{V("a"), V("b"), V("c")}}},
 		Body: []Atom{
 			{Rel: "Big", Args: []Term{V("a")}},
 			{Rel: "Big", Args: []Term{V("b")}},
@@ -323,5 +323,47 @@ func TestGroundStreamStatsBounded(t *testing.T) {
 	}
 	if peak := stats.PeakBatchRows(); peak != batch {
 		t.Errorf("peak batch rows = %d, want %d", peak, batch)
+	}
+}
+
+// TestGroundPullPathZeroAllocWhenDisabled pins the observability tax of
+// the streaming pull loop at exactly zero when metrics are off: with nil
+// Stats and nil PullDur, a steady-state open/refill cycle (cursor cached,
+// batch buffers at capacity) must not allocate. This is the gate that
+// keeps a metrics-disabled engine byte-for-byte as cheap as before the
+// instrumentation existed — no time.Now, no histogram, no garbage.
+func TestGroundPullPathZeroAllocWhenDisabled(t *testing.T) {
+	rows := make([]types.Tuple, 256)
+	for i := range rows {
+		rows[i] = types.Tuple{types.Int(int64(i % 7))}
+	}
+	db := MapReader{"R": rows}
+	q := &Query{
+		Head:   []Atom{{Rel: "H", Args: []Term{V("a")}}},
+		Body:   []Atom{{Rel: "R", Args: []Term{V("a")}}},
+		Choose: 1,
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plan := planQuery(q, db)
+	s := newGroundStream(q, plan, db, GroundOptions{BatchRows: 64})
+	drain := func() {
+		if err := s.open(0); err != nil {
+			panic(err)
+		}
+		for {
+			more, err := s.refill(0)
+			if err != nil {
+				panic(err)
+			}
+			if !more {
+				return
+			}
+		}
+	}
+	drain() // warm up: cache the scan cursor, grow buffers to capacity
+	if allocs := testing.AllocsPerRun(100, drain); allocs != 0 {
+		t.Fatalf("disabled pull path allocated %v allocs per cursor drain, want 0", allocs)
 	}
 }

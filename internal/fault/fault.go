@@ -69,12 +69,27 @@ type Trigger struct {
 	OneShot bool
 }
 
+// Firing is one recorded fault injection: which point fired and the
+// lifecycle trace id active at the firing site (0 when the request was
+// untraced). The registry keeps a bounded ring of these so a chaos run's
+// fault schedule can be correlated against the trace ring — "this query
+// was slow because server.dispatch injected into it" becomes a join on
+// trace id instead of guesswork.
+type Firing struct {
+	Point string `json:"point"`
+	Trace uint64 `json:"trace,omitempty"`
+}
+
+// maxFirings bounds the registry's firing ring; older entries drop first.
+const maxFirings = 1024
+
 // Registry holds the named failpoints of one system instance. A nil
 // *Registry is valid and permanently inert.
 type Registry struct {
 	seed  int64
 	mu    sync.Mutex
 	pts   map[string]*Point
+	ring  []Firing
 	fired atomic.Int64
 }
 
@@ -149,6 +164,28 @@ func (r *Registry) Fired() int64 {
 	return r.fired.Load()
 }
 
+// record appends one firing to the bounded ring.
+func (r *Registry) record(point string, trace uint64) {
+	r.fired.Add(1)
+	r.mu.Lock()
+	r.ring = append(r.ring, Firing{Point: point, Trace: trace})
+	if over := len(r.ring) - maxFirings; over > 0 {
+		r.ring = append(r.ring[:0], r.ring[over:]...)
+	}
+	r.mu.Unlock()
+}
+
+// Firings returns a copy of the recorded firing ring, oldest first.
+// Nil-safe.
+func (r *Registry) Firings() []Firing {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Firing(nil), r.ring...)
+}
+
 // Point is one named failpoint. The zero of usefulness is a nil *Point:
 // every method is safe and inert on a nil receiver.
 type Point struct {
@@ -174,7 +211,14 @@ func (p *Point) Name() string {
 // Eval is the core hook: it decides whether the point fires now and, for
 // KindDelay, performs the sleep inline. It returns the action and true when
 // the caller must apply a non-delay action, and false on the fast path.
-func (p *Point) Eval() (Action, bool) {
+func (p *Point) Eval() (Action, bool) { return p.EvalTagged(0) }
+
+// EvalTagged is Eval with the caller's active lifecycle trace id attached
+// to the recorded firing (0 = untraced, identical to Eval). Sites that
+// know which request they are injecting into — the server's dispatch
+// hook, most usefully — pass the request's trace so chaos runs can be
+// joined against the trace ring.
+func (p *Point) EvalTagged(trace uint64) (Action, bool) {
 	if p == nil || !p.armed.Load() {
 		return Action{}, false
 	}
@@ -205,7 +249,7 @@ func (p *Point) Eval() (Action, bool) {
 	}
 	act := p.act
 	p.mu.Unlock()
-	p.reg.fired.Add(1)
+	p.reg.record(p.name, trace)
 	if act.Kind == KindDelay {
 		time.Sleep(act.Delay)
 		return Action{}, false
@@ -217,8 +261,12 @@ func (p *Point) Eval() (Action, bool) {
 // (KindError, KindShortWrite, KindReset, KindDrop all map to an injected
 // error here; use Eval directly where those kinds need bespoke handling,
 // e.g. on a net.Conn). Delays happen inline. Nil receiver: no-op.
-func (p *Point) Fire() error {
-	act, hit := p.Eval()
+func (p *Point) Fire() error { return p.FireTagged(0) }
+
+// FireTagged is Fire with the caller's active trace id attached to the
+// recorded firing.
+func (p *Point) FireTagged(trace uint64) error {
+	act, hit := p.EvalTagged(trace)
 	if !hit {
 		return nil
 	}

@@ -246,3 +246,53 @@ func BenchmarkNilPoint(b *testing.B) {
 		}
 	}
 }
+
+func TestFiringsTaggedAndBounded(t *testing.T) {
+	r := NewRegistry(1)
+	p := r.Enable("server.dispatch", Trigger{EveryNth: 2}, Action{Kind: KindError})
+	if err := p.FireTagged(11); err != nil { // call 1: miss
+		t.Fatalf("call 1 fired: %v", err)
+	}
+	if err := p.FireTagged(22); err == nil { // call 2: hit
+		t.Fatal("call 2 did not fire")
+	}
+	_ = p.Fire()                             // call 3: miss
+	if err := p.FireTagged(44); err == nil { // call 4: hit, traced
+		t.Fatal("call 4 did not fire")
+	}
+	got := r.Firings()
+	want := []Firing{{Point: "server.dispatch", Trace: 22}, {Point: "server.dispatch", Trace: 44}}
+	if len(got) != len(want) {
+		t.Fatalf("firings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if r.Fired() != 2 {
+		t.Fatalf("Fired() = %d, want 2", r.Fired())
+	}
+
+	// The ring stays bounded and keeps the newest firings.
+	r2 := NewRegistry(2)
+	p2 := r2.Enable("spam", Trigger{}, Action{Kind: KindError})
+	for i := 0; i < maxFirings+50; i++ {
+		_ = p2.FireTagged(uint64(i + 1))
+	}
+	ring := r2.Firings()
+	if len(ring) != maxFirings {
+		t.Fatalf("ring length %d, want %d", len(ring), maxFirings)
+	}
+	if ring[len(ring)-1].Trace != uint64(maxFirings+50) {
+		t.Fatalf("newest firing trace %d, want %d", ring[len(ring)-1].Trace, maxFirings+50)
+	}
+	if ring[0].Trace != 51 {
+		t.Fatalf("oldest retained trace %d, want 51", ring[0].Trace)
+	}
+
+	var nilReg *Registry
+	if nilReg.Firings() != nil {
+		t.Fatal("nil registry returned firings")
+	}
+}

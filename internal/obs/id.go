@@ -1,0 +1,39 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace id minting. An id must be nonzero (zero means "untraced" on every
+// path) and collision-free enough that two clients tracing concurrently
+// never merge by accident: the high 40 bits are a per-process random base
+// and the low 24 bits an atomic sequence, so one process mints up to 16M
+// distinct ids and separate processes are randomized apart.
+
+var (
+	mintOnce sync.Once
+	mintBase uint64
+	mintSeq  atomic.Uint64
+)
+
+// MintID returns a fresh nonzero trace id.
+func MintID() uint64 {
+	mintOnce.Do(func() {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err == nil {
+			mintBase = binary.LittleEndian.Uint64(b[:])
+		} else {
+			mintBase = uint64(time.Now().UnixNano())
+		}
+		mintBase &^= 0xffffff // low 24 bits carry the sequence
+	})
+	id := mintBase + mintSeq.Add(1)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}

@@ -696,12 +696,19 @@ func (c *conn) finishAndEnqueue(req wire.Request, entry *dedupEntry, resp wire.R
 	c.enqueue(resp)
 }
 
-// dispatch applies the dispatch failpoint, then executes the request.
+// dispatch applies the dispatch failpoint, then executes the request. A
+// traced request gets its trace id echoed back canonicalized — after an
+// entanglement merge the client learns which trace its spans live under —
+// and a dispatch fault injected into it is recorded against the same id.
 func (c *conn) dispatch(req wire.Request) wire.Response {
-	if err := c.srv.ptDispatch.Fire(); err != nil {
+	if err := c.srv.ptDispatch.FireTagged(req.Trace); err != nil {
 		return fail(req.ID, err)
 	}
-	return c.handle(req)
+	resp := c.handle(req)
+	if req.Trace != 0 && resp.Trace == 0 {
+		resp.Trace = c.srv.db.Tracer().Canonical(req.Trace)
+	}
+	return resp
 }
 
 // hello negotiates the connection codec and binds the client identity.
@@ -848,7 +855,7 @@ func (c *conn) handle(req wire.Request) wire.Response {
 		return wire.Response{ID: req.ID, OK: true, Version: wire.ProtocolVersion}
 
 	case wire.OpExec:
-		res, err := c.srv.db.Exec(req.SQL)
+		res, err := c.srv.db.ExecTraced(req.SQL, req.Trace)
 		if err != nil {
 			return fail(req.ID, err)
 		}
@@ -861,7 +868,7 @@ func (c *conn) handle(req wire.Request) wire.Response {
 		return wire.Response{ID: req.ID, OK: true}
 
 	case wire.OpSubmit:
-		h, err := c.srv.db.SubmitScript(req.SQL)
+		h, err := c.srv.db.SubmitScriptTraced(req.SQL, req.Trace)
 		if err != nil {
 			return fail(req.ID, err)
 		}
@@ -953,6 +960,25 @@ func (c *conn) handle(req wire.Request) wire.Response {
 
 	case wire.OpTables:
 		return wire.Response{ID: req.ID, OK: true, Tables: wire.TableInfos(c.srv.db.Catalog())}
+
+	case wire.OpMetrics:
+		raw, err := json.Marshal(c.srv.db.Metrics().Snapshot())
+		if err != nil {
+			return fail(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, OK: true, Stats: raw}
+
+	case wire.OpTrace:
+		// The trace id travels in Handle — the same opaque-u64 shape.
+		tr, ok := c.srv.db.Tracer().Get(req.Handle)
+		if !ok {
+			return fail(req.ID, fmt.Errorf("unknown trace %d", req.Handle))
+		}
+		raw, err := json.Marshal(tr)
+		if err != nil {
+			return fail(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, OK: true, Stats: raw, Trace: tr.ID}
 
 	default:
 		return fail(req.ID, fmt.Errorf("unknown op %q", req.Op))

@@ -28,12 +28,15 @@ import (
 //	string  sql
 //	string  codec
 //	string  client
+//	[uvarint trace]  — present only when Trace != 0; decoders read it iff
+//	                   payload bytes remain, so a traceless frame is
+//	                   byte-identical to the PR 6 encoding
 //
 // Response payload:
 //
 //	uvarint id
 //	u8      flags (bit0 OK, bit1 Done, bit2 Result, bit3 Outcome,
-//	               bit4 Stats, bit5 Tables)
+//	               bit4 Stats, bit5 Tables, bit6 Trace)
 //	varint  version
 //	uvarint handle
 //	uvarint session
@@ -45,6 +48,7 @@ import (
 //	[Outcome] string status; string error; string err_code; varint attempts
 //	[Stats]   bytes (raw JSON, opaque to the codec)
 //	[Tables]  uvarint n, n×(string name; string schema; varint rows)
+//	[Trace]   uvarint trace id
 //
 // Decoding is strict: unknown opcodes, truncated fields, element counts
 // exceeding the remaining payload (rejected before allocating), and
@@ -65,6 +69,8 @@ const (
 	opcodeStats        = 10
 	opcodeTables       = 11
 	opcodeHello        = 12
+	opcodeMetrics      = 13
+	opcodeTrace        = 14
 )
 
 func opcodeOf(op string) (byte, bool) {
@@ -93,6 +99,10 @@ func opcodeOf(op string) (byte, bool) {
 		return opcodeTables, true
 	case OpHello:
 		return opcodeHello, true
+	case OpMetrics:
+		return opcodeMetrics, true
+	case OpTrace:
+		return opcodeTrace, true
 	}
 	return 0, false
 }
@@ -123,6 +133,10 @@ func opOf(code byte) (string, bool) {
 		return OpTables, true
 	case opcodeHello:
 		return OpHello, true
+	case opcodeMetrics:
+		return OpMetrics, true
+	case opcodeTrace:
+		return OpTrace, true
 	}
 	return "", false
 }
@@ -135,6 +149,7 @@ const (
 	respFlagOutcome = 1 << 3
 	respFlagStats   = 1 << 4
 	respFlagTables  = 1 << 5
+	respFlagTrace   = 1 << 6
 )
 
 // --- sizes ---------------------------------------------------------------
@@ -159,8 +174,12 @@ func vlen(x int64) int {
 func strSize(s string) int { return uvlen(uint64(len(s))) + len(s) }
 
 func binaryRequestSize(r *Request) int {
-	return 1 + uvlen(r.ID) + uvlen(r.Handle) + uvlen(r.Session) +
+	n := 1 + uvlen(r.ID) + uvlen(r.Handle) + uvlen(r.Session) +
 		uvlen(r.Idem) + strSize(r.SQL) + strSize(r.Codec) + strSize(r.Client)
+	if r.Trace != 0 {
+		n += uvlen(r.Trace)
+	}
+	return n
 }
 
 func binaryResultSize(res *Result) int {
@@ -193,6 +212,9 @@ func binaryResponseSize(r *Response) int {
 		for _, t := range r.Tables {
 			n += strSize(t.Name) + strSize(t.Schema) + vlen(int64(t.Rows))
 		}
+	}
+	if r.Trace != 0 {
+		n += uvlen(r.Trace)
 	}
 	return n
 }
@@ -227,6 +249,9 @@ func (binaryCodec) AppendRequestFrame(buf []byte, req *Request) ([]byte, error) 
 	out = appendStr(out, req.SQL)
 	out = appendStr(out, req.Codec)
 	out = appendStr(out, req.Client)
+	if req.Trace != 0 {
+		out = binary.AppendUvarint(out, req.Trace)
+	}
 	return out, nil
 }
 
@@ -253,6 +278,9 @@ func (binaryCodec) AppendResponseFrame(buf []byte, resp *Response) ([]byte, erro
 	}
 	if len(resp.Tables) > 0 {
 		flags |= respFlagTables
+	}
+	if resp.Trace != 0 {
+		flags |= respFlagTrace
 	}
 	out := grow(buf, headerSize+size)
 	out = appendUint32(out, uint32(size))
@@ -294,6 +322,9 @@ func (binaryCodec) AppendResponseFrame(buf []byte, resp *Response) ([]byte, erro
 			out = appendStr(out, t.Schema)
 			out = binary.AppendVarint(out, int64(t.Rows))
 		}
+	}
+	if resp.Trace != 0 {
+		out = binary.AppendUvarint(out, resp.Trace)
 	}
 	return out, nil
 }
@@ -440,6 +471,13 @@ func (binaryCodec) DecodeRequest(payload []byte, req *Request) error {
 	req.SQL = r.str()
 	req.Codec = r.str()
 	req.Client = r.str()
+	// Optional trailing trace id: a PR 6 encoder simply never writes it,
+	// and "read iff bytes remain" keeps the strict no-trailing-garbage
+	// rule intact — anything after the trace uvarint still fails done().
+	req.Trace = 0
+	if r.err == nil && r.remaining() > 0 {
+		req.Trace = r.uvarint()
+	}
 	return r.done()
 }
 
@@ -498,6 +536,10 @@ func (binaryCodec) DecodeResponse(payload []byte, resp *Response) error {
 				resp.Tables = append(resp.Tables, t)
 			}
 		}
+	}
+	resp.Trace = 0
+	if flags&respFlagTrace != 0 {
+		resp.Trace = r.uvarint()
 	}
 	return r.done()
 }

@@ -77,6 +77,7 @@ func genTuple(rng *rand.Rand) types.Tuple {
 var allOps = []string{
 	OpPing, OpExec, OpDDL, OpSubmit, OpWait, OpPoll,
 	OpSessionOpen, OpSessionExec, OpSessionClose, OpStats, OpTables, OpHello,
+	OpMetrics, OpTrace,
 }
 
 var allErrCodes = []string{
@@ -94,6 +95,7 @@ func genRequest(rng *rand.Rand) Request {
 		Codec:   []string{"", CodecJSON, CodecBinary}[rng.Intn(3)],
 		Idem:    rng.Uint64() >> uint(rng.Intn(64)),
 		Client:  []string{"", randString(rng, 1+rng.Intn(16))}[rng.Intn(2)],
+		Trace:   []uint64{0, rng.Uint64() >> uint(rng.Intn(64))}[rng.Intn(2)],
 	}
 }
 
@@ -119,6 +121,7 @@ func genResponse(rng *rand.Rand) Response {
 		Handle:  rng.Uint64() >> uint(rng.Intn(64)),
 		Session: rng.Uint64() >> uint(rng.Intn(64)),
 		Done:    rng.Intn(2) == 0,
+		Trace:   []uint64{0, rng.Uint64() >> uint(rng.Intn(64))}[rng.Intn(2)],
 	}
 	if rng.Intn(3) == 0 {
 		resp.Result = genResult(rng)
@@ -279,6 +282,59 @@ func TestBinaryEncodeExactSize(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Errorf("encode into pre-sized buffer allocates %v times", allocs)
+	}
+}
+
+// TestBinaryTraceOptionality pins the compat contract of the trace field:
+// a Trace=0 request encodes to exactly the PR 6 byte layout (no trailing
+// uvarint at all), a traced frame round-trips, and attaching a trace to
+// the encode hot path costs zero allocations either way.
+func TestBinaryTraceOptionality(t *testing.T) {
+	base := Request{ID: 9, Op: OpSubmit, SQL: "BEGIN; COMMIT"}
+	traced := base
+	traced.Trace = 0xdeadbeefcafe
+
+	plain, err := Binary.AppendRequestFrame(nil, &base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTrace, err := Binary.AppendRequestFrame(nil, &traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainPayload := framePayload(t, plain)
+	tracedPayload := framePayload(t, withTrace)
+	if want := len(plainPayload) + uvlen(traced.Trace); len(tracedPayload) != want {
+		t.Fatalf("traced payload %d bytes, want plain %d + uvarint %d", len(tracedPayload), len(plainPayload), uvlen(traced.Trace))
+	}
+	if !bytes.Equal(tracedPayload[:len(plainPayload)], plainPayload) {
+		t.Fatal("traced payload does not extend the plain encoding byte-for-byte")
+	}
+	var back Request
+	if err := Binary.DecodeRequest(framePayload(t, withTrace), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Trace != traced.Trace {
+		t.Fatalf("trace id lost: got %#x want %#x", back.Trace, traced.Trace)
+	}
+	var backPlain Request
+	if err := Binary.DecodeRequest(framePayload(t, plain), &backPlain); err != nil {
+		t.Fatal(err)
+	}
+	if backPlain.Trace != 0 {
+		t.Fatalf("traceless frame decoded trace %#x", backPlain.Trace)
+	}
+
+	for name, req := range map[string]*Request{"absent": &base, "present": &traced} {
+		buf := make([]byte, 0, 4096)
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := Binary.AppendRequestFrame(buf, req); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("request encode (trace %s) allocates %v times", name, allocs)
+		}
 	}
 }
 

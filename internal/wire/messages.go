@@ -61,6 +61,17 @@ const (
 	// sides speak from then on. A PR 4 server answers it with
 	// "unknown op" and the client falls back to JSON.
 	OpHello = "hello"
+	// OpMetrics: observability registry snapshot — counters plus latency
+	// histogram percentiles (obs.Registry.Snapshot), carried as raw JSON
+	// in Response.Stats. Distinct from OpStats, which renders the legacy
+	// entangle.StatsSnapshot counter set.
+	OpMetrics = "metrics"
+	// OpTrace: fetch one trace's span tree by id (Request.Handle carries
+	// the trace id — it is the same "server-side opaque u64" shape a
+	// handle is, so the binary frame needs no new field). The rendered
+	// obs.Trace rides in Response.Stats as raw JSON; unknown ids answer
+	// OK=false.
+	OpTrace = "trace"
 )
 
 // Request is the client→server frame payload.
@@ -73,6 +84,7 @@ type Request struct {
 	Codec   string `json:"codec,omitempty"`   // hello: codec the client wants
 	Idem    uint64 `json:"idem,omitempty"`    // client-assigned idempotency id (0 = none)
 	Client  string `json:"client,omitempty"`  // hello: stable client identity for dedup across reconnects
+	Trace   uint64 `json:"trace,omitempty"`   // lifecycle trace id (0 = untraced; see internal/obs)
 }
 
 // Response is the server→client frame payload. Exactly one per request,
@@ -97,8 +109,15 @@ type Response struct {
 	Session uint64          `json:"session,omitempty"` // session_open
 	Done    bool            `json:"done,omitempty"`    // poll: outcome present
 	Outcome *Outcome        `json:"outcome,omitempty"` // wait / poll
-	Stats   json.RawMessage `json:"stats,omitempty"`   // stats (entangle.StatsSnapshot)
+	Stats   json.RawMessage `json:"stats,omitempty"`   // stats / metrics / trace payloads
 	Tables  []TableInfo     `json:"tables,omitempty"`  // tables
+
+	// Trace echoes the request's trace id — canonicalized, so after an
+	// entanglement merge the client learns which trace its spans now live
+	// under. Zero when the request was untraced; JSON peers that predate
+	// the field simply never see it (omitempty), and the binary codec
+	// gates it behind a flags bit, so absent = zero bytes on the wire.
+	Trace uint64 `json:"trace,omitempty"`
 }
 
 // Result is a query result in wire form; rows reuse the value encoding of
