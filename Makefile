@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck examples serve-smoke obs-smoke chaos bench-smoke bench-json pprof pprof-ground ci
+.PHONY: all build test race vet staticcheck examples serve-smoke obs-smoke shard-smoke chaos bench-smoke bench-json pprof pprof-ground ci
 
 all: build
 
@@ -46,6 +46,14 @@ serve-smoke:
 obs-smoke:
 	$(GO) test -run TestObsSmoke -count=1 -v .
 
+# Sharding smoke: two real youtopia-serve processes joined into a 2-shard
+# placement (-shard/-peers), the sharded quickstart booking a cross-shard
+# gift-match pair atomically through the two-phase group commit, then a
+# graceful SIGTERM drain of both shards (also covered by `make test`;
+# this target is the direct entry point and the CI gate).
+shard-smoke:
+	$(GO) test -run TestShardSmoke -count=1 -v .
+
 # Chaos smoke: the fault-injection suite under the race detector — the
 # PR 8 acceptance soak (coordination groups stay all-or-nothing while
 # connections reset and the server sheds) plus the WAL torn-write sweeps
@@ -64,17 +72,17 @@ bench-smoke:
 	@cat bench-smoke.txt
 
 # Machine-readable perf trajectory: one iteration of every benchmark family
-# — the server-throughput rows now run with a live metrics registry and
-# report answer-latency percentiles — rendered as BENCH_pr9.json (benchmark
-# name -> experiment seconds; benchmarks without the exp-seconds metric
-# fall back to ns/op converted to seconds; B/op, allocs/op, and custom
-# metrics like ops/sec or answer-p99-ms appear under "name:metric" keys).
-# CI derives the same file from bench-smoke.txt and uploads it as an
-# artifact.
+# — the sharded-throughput rows report the 1-shard vs 2-shard scaling
+# factor (scaling-x) alongside the metered server-throughput latency
+# percentiles — rendered as BENCH_pr10.json (benchmark name -> experiment
+# seconds; benchmarks without the exp-seconds metric fall back to ns/op
+# converted to seconds; B/op, allocs/op, and custom metrics like ops/sec,
+# answer-p99-ms, or scaling-x appear under "name:metric" keys). CI derives
+# the same file from bench-smoke.txt and uploads it as an artifact.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . > bench-smoke.txt 2>&1 || (cat bench-smoke.txt; exit 1)
-	$(GO) run ./cmd/benchjson < bench-smoke.txt > BENCH_pr9.json
-	@cat BENCH_pr9.json
+	$(GO) run ./cmd/benchjson < bench-smoke.txt > BENCH_pr10.json
+	@cat BENCH_pr10.json
 
 # Fuzz smoke: a short randomized run of each wire-protocol fuzz target
 # (frame reader and binary codec) on top of the committed seed corpus.

@@ -28,6 +28,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 // armFault parses one -fault spec, "name:kind:prob[:delay]", and arms the
@@ -83,6 +84,8 @@ func main() {
 		slowQuery   = flag.Duration("slow-query", 0, "log the full span tree of any traced query slower than this (0 = off)")
 		slowSpan    = flag.Duration("slow-span", 0, "log any single lifecycle span (e.g. one grounding round) slower than this (0 = off)")
 		traceRing   = flag.Int("trace-ring", 0, "recent-trace ring size (0 = default 256)")
+		shardID     = flag.Int("shard", 0, "this process's shard id (with -peers)")
+		peerList    = flag.String("peers", "", "sharded deployment: comma-separated addresses of every shard in order (Nodes[i] serves shard i; entry -shard must be this process's address). Shard 0 hosts the group coordinator. Empty = unsharded")
 	)
 	var faultSpecs []string
 	flag.Func("fault", "arm a failpoint, name:kind:prob[:delay] (repeatable); e.g. server.conn.write:reset:0.01, wal.sync.error:error:0.001, server.dispatch:delay:0.05:2ms", func(s string) error {
@@ -116,6 +119,7 @@ func main() {
 			RingSize:  *traceRing,
 			SlowQuery: *slowQuery,
 			SlowSpan:  *slowSpan,
+			Shard:     *shardID,
 			Log:       os.Stderr,
 		})
 	}
@@ -141,6 +145,32 @@ func main() {
 		Faults:         reg,
 	})
 	srv.JSONOnly = *jsonOnly
+
+	// Sharded deployment: join the placement map, host the coordinator on
+	// shard 0, and resolve any in-doubt groups recovery surfaced against
+	// the coordinator's logged decisions (in the background — the
+	// coordinator may still be starting; in-doubt effects stay withheld
+	// until their verdict arrives).
+	if *peerList != "" {
+		nodes := strings.Split(*peerList, ",")
+		for i := range nodes {
+			nodes[i] = strings.TrimSpace(nodes[i])
+		}
+		if err := srv.EnableSharding(shard.New(nodes), *shardID, server.ShardOptions{}); err != nil {
+			fmt.Fprintln(os.Stderr, "youtopia-serve:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("youtopia-serve: shard %d of %d (coordinator %s)\n", *shardID, len(nodes), nodes[0])
+		if len(db.InDoubt()) > 0 {
+			go func() {
+				if err := srv.ResolveInDoubtGroups(time.Minute); err != nil {
+					fmt.Fprintln(os.Stderr, "youtopia-serve:", err)
+				} else {
+					fmt.Println("youtopia-serve: in-doubt groups resolved")
+				}
+			}()
+		}
+	}
 
 	if *debugAddr != "" {
 		// The debug /metrics document joins three layers under one fetch:
@@ -225,5 +255,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "youtopia-serve: close:", err)
 		os.Exit(1)
 	}
+	srv.CloseSharding()
 	fmt.Println("youtopia-serve: bye")
 }

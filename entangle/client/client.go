@@ -612,10 +612,13 @@ func idempotentOp(op string) bool {
 
 // naturallyRetryable reports ops safe to retry even without dedup:
 // read-only, or creating connection-scoped state that dies with the
-// failed connection anyway.
+// failed connection anyway. The 2PC shard ops (offer/prepare/vote/decide)
+// are deliberately absent: the protocol repairs its own lost messages
+// (see shard.go), so a transport retry could only resurrect stale ones.
 func naturallyRetryable(op string) bool {
 	switch op {
-	case wire.OpPing, wire.OpStats, wire.OpTables, wire.OpSessionOpen:
+	case wire.OpPing, wire.OpStats, wire.OpTables, wire.OpSessionOpen,
+		wire.OpPlacement, wire.OpShardStatus:
 		return true
 	}
 	return false

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
 
@@ -208,5 +209,40 @@ func TestPoolGetSkipsDead(t *testing.T) {
 	down := &Pool{conns: []*Client{{}, {closed: true}}}
 	if down.Get() == nil {
 		t.Fatal("Get returned nil during full outage")
+	}
+
+	// Sharded affinity: GetShard must keep preferring the HOME shard's
+	// connection when it is healthy, even while an unrelated mid-list
+	// client is down — a dead shard 1 must not perturb routing to shards
+	// 0 and 2 (the round-robin fallback would).
+	for i := 0; i < 30; i++ {
+		if got := p.GetShard(0); got != alive1 {
+			t.Fatalf("GetShard(0) = %p, want home conn %p despite dead shard 1", got, alive1)
+		}
+		if got := p.GetShard(2); got != alive2 {
+			t.Fatalf("GetShard(2) = %p, want home conn %p despite dead shard 1", got, alive2)
+		}
+	}
+	// The dead home shard falls back to a healthy connection rather than
+	// handing out a down client.
+	for i := 0; i < 30; i++ {
+		if got := p.GetShard(1); got == dead {
+			t.Fatal("GetShard(1) handed out the dead home client")
+		}
+	}
+}
+
+// TestPoolRouteHomeShard pins routing: a sharded pool sends a script to
+// the connection owning its routing key's shard.
+func TestPoolRouteHomeShard(t *testing.T) {
+	a, b := &Client{cc: &conn{}}, &Client{cc: &conn{}}
+	m := &shard.Map{Version: 1, Shards: 2, Nodes: []string{"a", "b"},
+		Overrides: map[string]int{"Mickey": 0, "Minnie": 1}}
+	p := &Pool{conns: []*Client{a, b}, placement: m}
+	if got := p.Route("SELECT * FROM Flights WHERE who = 'Mickey'"); got != a {
+		t.Fatal("Mickey routed off shard 0")
+	}
+	if got := p.Route("SELECT * FROM Flights WHERE who = 'Minnie'"); got != b {
+		t.Fatal("Minnie routed off shard 1")
 	}
 }

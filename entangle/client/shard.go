@@ -1,0 +1,95 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// The sharded-deployment surface of the client: the placement fetch and
+// the server-to-server 2PC ops. Servers in a sharded deployment dial
+// their peers with this very package, so the cross-shard protocol rides
+// the same connection machinery (reconnects, write batching, codec
+// negotiation) as ordinary client traffic.
+//
+// Retry discipline: offer/prepare/vote/decide are deliberately NOT
+// transparently retried — the 2PC protocol already repairs every lost
+// message (a lost offer re-offers on the scheduler's retry tick, a lost
+// prepare or vote times the group out into a safe abort, a lost decide is
+// recovered by the participant's status poll), and a blind transport
+// retry could resurrect a message the protocol has moved past. Placement
+// and status are read-only and retry freely.
+
+// Placement fetches the server's versioned shard placement map.
+func (c *Client) Placement() (*shard.Map, error) {
+	resp, err := c.call(wire.Request{Op: wire.OpPlacement})
+	if err != nil {
+		return nil, err
+	}
+	return shard.Unmarshal(resp.Stats)
+}
+
+// SubmitScriptTraced is SubmitScript under a caller-supplied trace id (0 =
+// honor Options.Trace). Servers forwarding a submission to its home shard
+// use it to keep the client's minted id on the forwarded program.
+func (c *Client) SubmitScriptTraced(script string, trace uint64) (*Handle, error) {
+	if trace == 0 {
+		trace = c.mintTrace()
+	}
+	resp, err := c.call(wire.Request{Op: wire.OpSubmit, SQL: script, Trace: trace})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Trace != 0 {
+		trace = resp.Trace
+	}
+	return &Handle{c: c, id: resp.Handle, trace: trace}, nil
+}
+
+// shardCall sends one 2PC message (JSON payload in Request.SQL).
+func (c *Client) shardCall(op string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("client: encode %s: %w", op, err)
+	}
+	_, err = c.call(wire.Request{Op: op, SQL: string(raw)})
+	return err
+}
+
+// ShardOffer advertises an unmatched entangled query to the coordinator.
+func (c *Client) ShardOffer(o dist.Offer) error {
+	return c.shardCall(wire.OpShardOffer, &o)
+}
+
+// ShardPrepare delivers a matched answer to a participant for
+// revalidation and durable prepare.
+func (c *Client) ShardPrepare(p dist.Prepare) error {
+	return c.shardCall(wire.OpShardPrepare, &p)
+}
+
+// ShardVote reports a participant's prepare outcome to the coordinator.
+func (c *Client) ShardVote(v dist.Vote) error {
+	return c.shardCall(wire.OpShardVote, &v)
+}
+
+// ShardDecide delivers the coordinator's logged verdict to a participant.
+func (c *Client) ShardDecide(d dist.Decide) error {
+	return c.shardCall(wire.OpShardDecide, &d)
+}
+
+// ShardStatus inquires a group's verdict (in-doubt resolution). The group
+// id travels in the request's Handle field — the same opaque-u64 shape.
+func (c *Client) ShardStatus(group uint64) (dist.Status, error) {
+	var st dist.Status
+	resp, err := c.call(wire.Request{Op: wire.OpShardStatus, Handle: group})
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(resp.Stats, &st); err != nil {
+		return st, fmt.Errorf("client: decode status: %w", err)
+	}
+	return st, nil
+}

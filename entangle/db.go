@@ -155,12 +155,13 @@ type Options struct {
 
 // DB is an open database.
 type DB struct {
-	cat    *storage.Catalog
-	locks  *lock.Manager
-	log    *wal.Log
-	txm    *txn.Manager
-	engine *core.Engine
-	path   string
+	cat      *storage.Catalog
+	locks    *lock.Manager
+	log      *wal.Log
+	txm      *txn.Manager
+	engine   *core.Engine
+	path     string
+	recovery *wal.RecoveryStats // nil when opened without a WAL
 }
 
 // Open creates (or recovers) a database. When Options.Path names an
@@ -175,12 +176,14 @@ func Open(opts Options) (*DB, error) {
 	}
 	locks := lock.NewSharded(lockTimeout, opts.LockShards)
 	var log *wal.Log
+	var recovery *wal.RecoveryStats
 	var recoveredCSN uint64
 	if opts.Path != "" {
 		stats, err := wal.RecoverAll(opts.Path, cat)
 		if err != nil {
 			return nil, fmt.Errorf("entangle: recovery: %w", err)
 		}
+		recovery = stats
 		recoveredCSN = stats.MaxCSN
 		log, err = wal.Open(opts.Path, wal.Options{Sync: opts.SyncWAL, Faults: opts.Faults})
 		if err != nil {
@@ -191,6 +194,11 @@ func Open(opts Options) (*DB, error) {
 	// New commits must allocate CSNs past everything already recovered, so
 	// recovered version order and fresh snapshots stay consistent.
 	txm.SeedClock(recoveredCSN)
+	if recovery != nil {
+		// Fresh transaction ids must not collide with in-doubt predecessors
+		// still awaiting their group decision.
+		txm.SeedTx(recovery.MaxTx)
+	}
 	engine := core.NewEngine(txm, core.Options{
 		Isolation:      opts.Isolation,
 		RunFrequency:   opts.RunFrequency,
@@ -208,7 +216,7 @@ func Open(opts Options) (*DB, error) {
 		Metrics:        opts.Metrics,
 		Tracer:         opts.Tracer,
 	})
-	return &DB{cat: cat, locks: locks, log: log, txm: txm, engine: engine, path: opts.Path}, nil
+	return &DB{cat: cat, locks: locks, log: log, txm: txm, engine: engine, path: opts.Path, recovery: recovery}, nil
 }
 
 // Close stops the engine and closes the log. Pending transactions fail

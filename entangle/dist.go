@@ -1,0 +1,95 @@
+package entangle
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/wal"
+)
+
+// The sharded-deployment surface of a DB: one logical database served by
+// several processes, each owning disjoint shards. The engine's commit
+// path switches to the two-phase distributed group coordinator, and the
+// recovery residue (in-doubt participants, logged coordinator decisions)
+// becomes visible so the server can resolve crashed groups at startup.
+
+// DistConfig and DistTransport are re-exported so servers wire sharding
+// without importing internal/core.
+type (
+	DistConfig    = core.DistConfig
+	DistTransport = core.DistTransport
+)
+
+// EnableDist switches the engine to the distributed commit path. Call
+// right after Open, before any traffic.
+func (db *DB) EnableDist(cfg DistConfig) { db.engine.EnableDist(cfg) }
+
+// DeliverPrepare hands a coordinator's prepare to the engine (the server's
+// shard_prepare op lands here).
+func (db *DB) DeliverPrepare(p dist.Prepare) { db.engine.DeliverPrepare(p) }
+
+// ApplyDecision applies a coordinator's group verdict to the engine's
+// parked members (the server's shard_decide op lands here). Idempotent.
+func (db *DB) ApplyDecision(group uint64, commit bool) { db.engine.ApplyDecision(group, commit) }
+
+// LogDecision durably records a distributed group verdict in this node's
+// WAL — the coordinator calls it BEFORE fanning the decision out.
+func (db *DB) LogDecision(group uint64, commit bool) error {
+	return db.txm.LogDecision(group, commit)
+}
+
+// InDoubt returns the transactions recovery left in-doubt (prepared, no
+// local verdict), keyed to their distributed group ids. Empty on a clean
+// start.
+func (db *DB) InDoubt() map[wal.TxID]uint64 {
+	if db.recovery == nil || len(db.recovery.InDoubt) == 0 {
+		return nil
+	}
+	out := make(map[wal.TxID]uint64, len(db.recovery.InDoubt))
+	for tx, g := range db.recovery.InDoubt {
+		out[tx] = g
+	}
+	return out
+}
+
+// RecoveredDecisions returns the distributed-group verdicts this node's
+// own WAL recorded — on the coordinator node, the authoritative answers
+// for participants resolving in-doubt groups.
+func (db *DB) RecoveredDecisions() map[uint64]bool {
+	if db.recovery == nil || len(db.recovery.Decisions) == 0 {
+		return nil
+	}
+	out := make(map[uint64]bool, len(db.recovery.Decisions))
+	for g, c := range db.recovery.Decisions {
+		out[g] = c
+	}
+	return out
+}
+
+// ResolveInDoubt applies a coordinator decision to every in-doubt
+// transaction of the given group: commit redoes the withheld effects at a
+// fresh CSN; abort just closes them out. Resolved transactions drop from
+// the in-doubt set.
+func (db *DB) ResolveInDoubt(group uint64, commit bool) error {
+	if db.recovery == nil {
+		return nil
+	}
+	for tx, g := range db.recovery.InDoubt {
+		if g != group {
+			continue
+		}
+		if commit {
+			if err := db.txm.CommitRecovered(tx, db.recovery.InDoubtRecords[tx]); err != nil {
+				return fmt.Errorf("entangle: resolve group %d: %w", group, err)
+			}
+		} else {
+			if err := db.txm.AbortRecovered(tx); err != nil {
+				return fmt.Errorf("entangle: resolve group %d: %w", group, err)
+			}
+		}
+		delete(db.recovery.InDoubt, tx)
+		delete(db.recovery.InDoubtRecords, tx)
+	}
+	return nil
+}

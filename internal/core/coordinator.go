@@ -1,0 +1,201 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/txn"
+)
+
+// coordinator owns the points where a run interacts with commit scope:
+// before each evaluation round (delivering answers prepared elsewhere),
+// after each round (exporting unmatched queries), and at end of run (the
+// §4 group-commit rules). The in-process engine uses localCoordinator —
+// the historical path, byte for byte; a sharded engine swaps in
+// distCoordinator, which extends the same rules across processes with a
+// two-phase group commit.
+type coordinator interface {
+	// beforeRound may resume blocked members from externally prepared
+	// state. It returns how many members it resumed and the members still
+	// blocked (the evaluation round's input).
+	beforeRound(r *run, blocked []*member) (resumed int, remaining []*member)
+	// afterRound runs once per evaluation round, after local evaluation.
+	afterRound(r *run)
+	// finalize applies the end-of-run commit/abort rules.
+	finalize(r *run)
+}
+
+// localCoordinator is the single-process path: no external answers, no
+// offers, and the end-of-run rules exactly as §4 states them.
+type localCoordinator struct{ e *Engine }
+
+func (lc *localCoordinator) beforeRound(r *run, blocked []*member) (int, []*member) {
+	return 0, blocked
+}
+
+func (lc *localCoordinator) afterRound(r *run) {}
+
+// finalize applies the §4 end-of-run rules: entanglement groups commit
+// atomically iff every member is ready; everyone else aborts and is
+// requeued (or finalized if rolled back, failed, or timed out).
+func (lc *localCoordinator) finalize(r *run) {
+	e := lc.e
+	e.bump(e.met.runs)
+
+	// Union-find groups over the accumulated partner edges. Autocommit
+	// members are excluded: they have no commit to coordinate.
+	idx := make(map[*member]int, len(r.members))
+	for i, m := range r.members {
+		idx[m] = i
+	}
+	parent := make([]int, len(r.members))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	widowGuard := e.opts.Isolation != NoWidowGuard
+	if widowGuard {
+		for i, m := range r.members {
+			if m.tx == nil {
+				continue
+			}
+			for p := range m.partners {
+				if p.tx != nil {
+					parent[find(idx[p])] = find(i)
+				}
+			}
+		}
+	}
+	groups := make(map[int][]*member)
+	for i, m := range r.members {
+		groups[find(i)] = append(groups[find(i)], m)
+	}
+
+	// First pass: split the groups into commit units (every member ready)
+	// and abort groups. All units commit through one batched WAL append —
+	// a single group-commit flush for the whole run — instead of one
+	// serialized flush per group.
+	type commitUnit struct {
+		members []*member
+		txns    []*txn.Txn
+	}
+	var units []commitUnit
+	var abortGroups [][]*member
+	for _, group := range groups {
+		allReady := true
+		for _, m := range group {
+			if m.state != stateReady {
+				allReady = false
+				break
+			}
+		}
+		if !allReady {
+			abortGroups = append(abortGroups, group)
+			continue
+		}
+		u := commitUnit{members: group}
+		for _, m := range group {
+			if m.tx != nil {
+				u.txns = append(u.txns, m.tx)
+			}
+		}
+		units = append(units, u)
+	}
+
+	// Validate up front so a single stale transaction (an engine-invariant
+	// violation, not a runtime condition) fails only its own unit rather
+	// than sinking the whole batch.
+	unitErr := make([]error, len(units))
+	var txnUnits [][]*txn.Txn
+	var batched []int // unit index per txnUnits entry
+	for i, u := range units {
+		if len(u.txns) == 0 {
+			continue
+		}
+		for _, t := range u.txns {
+			if t.State() != txn.Active {
+				unitErr[i] = errStaleCommit
+				break
+			}
+		}
+		if unitErr[i] == nil {
+			txnUnits = append(txnUnits, u.txns)
+			batched = append(batched, i)
+		}
+	}
+	commitStart := time.Now()
+	var commitDur time.Duration
+	if len(txnUnits) > 0 {
+		batchErr := e.txm.CommitUnits(txnUnits)
+		commitDur = time.Since(commitStart)
+		e.met.commitFlush.Observe(commitDur)
+		if batchErr == nil {
+			e.statsMu.Lock()
+			e.met.commitBatches.Add(1)
+			for _, u := range txnUnits {
+				if len(u) > 1 {
+					e.met.groupCommits.Add(1)
+				}
+			}
+			e.statsMu.Unlock()
+		} else {
+			// The batched WAL append failed (I/O error). Everything behind
+			// the flush fails, as in any group-commit DBMS, and we must not
+			// write more: retrying per unit could append valid records past
+			// a torn frame mid-log (unrecoverable, where a torn tail is
+			// not), and appending Abort records could contradict a commit
+			// record the failed batch already made durable. The log itself
+			// latches failed on the first write error, so all further
+			// durable work fails loudly (fail-stop); the failed units'
+			// transactions stay in limbo deliberately — whether their
+			// commit record reached disk is indeterminate, so neither
+			// undoing in memory nor releasing their locks is safe.
+			for _, i := range batched {
+				unitErr[i] = batchErr
+			}
+		}
+	}
+	for i, u := range units {
+		for _, m := range u.members {
+			if t := m.entry.prog.Trace; t != 0 && e.tracer != nil && len(u.txns) > 0 {
+				e.tracer.Span(t, t, "commit", commitStart, commitDur, "")
+			}
+			// A commit failure dooms only the failed unit; pure-autocommit
+			// groups had nothing to commit and always succeed.
+			if unitErr[i] != nil {
+				e.settle(m.entry, e.met.failures, Outcome{Status: StatusFailed, Err: unitErr[i], Attempts: m.entry.attempts})
+				continue
+			}
+			e.settle(m.entry, e.met.commits, Outcome{Status: StatusCommitted, Attempts: m.entry.attempts})
+		}
+	}
+
+	for _, group := range abortGroups {
+		// Group cannot commit: every member aborts. Ready members are the
+		// averted widows — they roll back because a partner could not
+		// commit.
+		for _, m := range group {
+			switch m.state {
+			case stateReady:
+				if m.tx != nil {
+					m.tx.Abort()
+				}
+				if m.tx != nil || !m.entry.prog.Autocommit {
+					e.bump(e.met.widowsAverted)
+				}
+				e.requeue(m.entry)
+			case stateAbortedRetry:
+				e.requeue(m.entry)
+			case stateRolledBack:
+				e.settle(m.entry, e.met.rollbacks, Outcome{Status: StatusRolledBack, Err: ErrRolledBack, Attempts: m.entry.attempts})
+			case stateAbortedFinal:
+				e.settle(m.entry, e.met.failures, Outcome{Status: StatusFailed, Err: m.finalErr, Attempts: m.entry.attempts})
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// memNet wires two engines and a matchmaker together in-process: the
+// participant transports call straight into the matchmaker, and the
+// matchmaker's sends call straight into the engines — the full
+// cross-shard protocol minus the sockets.
+type memNet struct {
+	mm      *dist.Matchmaker
+	engines map[string]*Engine
+	// dropYes makes the first N yes-votes vanish (a lost vote; the group
+	// must time out and abort).
+	dropYes atomic.Int64
+}
+
+func (n *memNet) Prepare(node string, p dist.Prepare) error {
+	n.engines[node].DeliverPrepare(p)
+	return nil
+}
+
+func (n *memNet) Decide(node string, d dist.Decide) error {
+	n.engines[node].ApplyDecision(d.Group, d.Commit)
+	return nil
+}
+
+type memTransport struct {
+	net  *memNet
+	node string
+}
+
+func (t *memTransport) Offer(o dist.Offer) { t.net.mm.AddOffer(&o) }
+
+func (t *memTransport) Vote(v dist.Vote) {
+	if v.Yes && t.net.dropYes.Add(-1) >= 0 {
+		return
+	}
+	t.net.mm.HandleVote(v)
+}
+
+func (t *memTransport) Status(group uint64) (dist.Status, error) {
+	return t.net.mm.Decision(group), nil
+}
+
+// newDistPair builds two sharded engines over disjoint copies of the
+// travel schema, joined by an in-memory matchmaker.
+func newDistPair(t *testing.T, groupTimeout time.Duration) (*memNet, *Engine, *Engine) {
+	t.Helper()
+	net := &memNet{engines: make(map[string]*Engine)}
+	net.mm = dist.New(dist.Options{
+		Send:          net,
+		GroupTimeout:  groupTimeout,
+		SweepInterval: 20 * time.Millisecond,
+	})
+	t.Cleanup(net.mm.Close)
+	opts := Options{RetryInterval: 10 * time.Millisecond}
+	ea := newTestEngine(t, opts)
+	eb := newTestEngine(t, opts)
+	ea.EnableDist(DistConfig{Shard: 0, Node: "A", Transport: &memTransport{net: net, node: "A"},
+		StatusGrace: 200 * time.Millisecond, StatusTick: 50 * time.Millisecond})
+	eb.EnableDist(DistConfig{Shard: 1, Node: "B", Transport: &memTransport{net: net, node: "B"},
+		StatusGrace: 200 * time.Millisecond, StatusTick: 50 * time.Millisecond})
+	net.engines["A"] = ea
+	net.engines["B"] = eb
+	return net, ea, eb
+}
+
+// TestDistPairCommitsAcrossEngines is the cross-shard milestone at engine
+// level: a flight-booking pair split across two engines with disjoint
+// storage coordinates through the matchmaker and commits atomically.
+func TestDistPairCommitsAcrossEngines(t *testing.T) {
+	_, ea, eb := newDistPair(t, 3*time.Second)
+	h1 := ea.Submit(bookFlightProg("Mickey", "Minnie", 5*time.Second))
+	h2 := eb.Submit(bookFlightProg("Minnie", "Mickey", 5*time.Second))
+	o1, o2 := h1.Wait(), h2.Wait()
+	if o1.Status != StatusCommitted || o2.Status != StatusCommitted {
+		t.Fatalf("outcomes = %+v, %+v", o1, o2)
+	}
+	ra := scanAll(t, ea, "Reservations")
+	rb := scanAll(t, eb, "Reservations")
+	if len(ra) != 1 || len(rb) != 1 {
+		t.Fatalf("reservations = %v / %v", ra, rb)
+	}
+	if !ra[0][1].Equal(rb[0][1]) || !ra[0][2].Equal(rb[0][2]) {
+		t.Fatalf("pair booked different flights across shards: %v vs %v", ra, rb)
+	}
+	// Each shard committed its member through the distributed group path.
+	if ga := ea.Stats().GroupCommits; ga != 1 {
+		t.Errorf("shard A GroupCommits = %d, want 1", ga)
+	}
+	if gb := eb.Stats().GroupCommits; gb != 1 {
+		t.Errorf("shard B GroupCommits = %d, want 1", gb)
+	}
+}
+
+// TestDistLostVoteAbortsThenRetries injects a lost yes-vote: the first
+// group must resolve to abort (all-or-nothing — nobody commits on a group
+// whose tally never completed), after which both members retry and commit
+// in a later group.
+func TestDistLostVoteAbortsThenRetries(t *testing.T) {
+	net, ea, eb := newDistPair(t, 300*time.Millisecond)
+	net.dropYes.Store(1)
+	h1 := ea.Submit(bookFlightProg("Mickey", "Minnie", 15*time.Second))
+	h2 := eb.Submit(bookFlightProg("Minnie", "Mickey", 15*time.Second))
+	o1, o2 := h1.Wait(), h2.Wait()
+	if o1.Status != StatusCommitted || o2.Status != StatusCommitted {
+		t.Fatalf("outcomes = %+v, %+v", o1, o2)
+	}
+	ra := scanAll(t, ea, "Reservations")
+	rb := scanAll(t, eb, "Reservations")
+	if len(ra) != 1 || len(rb) != 1 {
+		t.Fatalf("reservations = %v / %v (all-or-nothing violated)", ra, rb)
+	}
+	if !ra[0][1].Equal(rb[0][1]) {
+		t.Fatalf("pair split across flights: %v vs %v", ra, rb)
+	}
+	// The aborted first group rolled somebody back as an averted widow.
+	if wa, wb := ea.Stats().WidowsAverted, eb.Stats().WidowsAverted; wa+wb == 0 {
+		t.Errorf("WidowsAverted = %d + %d, want > 0", wa, wb)
+	}
+}
+
+// TestDistSingletonOffersDoNotMatch: two queries that cannot satisfy each
+// other's posts just time out on their own shards; the matchmaker must not
+// invent a group.
+func TestDistSingletonOffersDoNotMatch(t *testing.T) {
+	_, ea, eb := newDistPair(t, time.Second)
+	h1 := ea.Submit(bookFlightProg("Mickey", "Goofy", 400*time.Millisecond))
+	h2 := eb.Submit(bookFlightProg("Minnie", "Donald", 400*time.Millisecond))
+	o1, o2 := h1.Wait(), h2.Wait()
+	if o1.Status != StatusTimedOut || o2.Status != StatusTimedOut {
+		t.Fatalf("outcomes = %+v, %+v, want timeouts", o1, o2)
+	}
+	if n := len(scanAll(t, ea, "Reservations")) + len(scanAll(t, eb, "Reservations")); n != 0 {
+		t.Fatalf("reservations leaked: %d", n)
+	}
+}

@@ -159,12 +159,19 @@ type pending struct {
 	attempts int
 	submitAt time.Time // Submit time: answer-latency histogram anchor
 	enqueued time.Time // last (re)entry into the pool: submit-span anchor
+	offerID  uint64    // stable cross-shard offer id (minted on first export)
 }
 
 // Engine is the entangled transaction manager.
 type Engine struct {
 	txm  *txn.Manager
 	opts Options
+
+	// coord owns the commit path: localCoordinator in-process (the
+	// historical behavior), distCoordinator when EnableDist has made this
+	// engine one shard of a partitioned deployment.
+	coord coordinator
+	dist  *distRuntime // nil unless EnableDist
 
 	conns chan struct{} // connection-pool semaphore
 
@@ -192,6 +199,9 @@ type Engine struct {
 	drainq chan drainMsg
 	stop   chan struct{}
 	done   chan struct{}
+	// requeueq carries pool re-entries from goroutines other than the
+	// scheduler (a distributed group decided abort; the members retry).
+	requeueq chan *pending
 
 	// statsMu orders program-lifecycle counter increments against Stats
 	// snapshots: every submitted/settled transition bumps its registry
@@ -224,7 +234,9 @@ func NewEngine(txm *txn.Manager, opts Options) *Engine {
 		drainq:   make(chan drainMsg),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+		requeueq: make(chan *pending, 1024),
 	}
+	e.coord = &localCoordinator{e: e}
 	if o.GroundCache {
 		e.groundCache = newGroundCache(0)
 	}
@@ -310,6 +322,11 @@ func (e *Engine) settle(ent *pending, c *obs.Counter, o Outcome) {
 		e.tracer.Span(t, t, "answer", ent.submitAt, now.Sub(ent.submitAt), "status="+o.Status.String())
 		e.tracer.Finish(t, now)
 	}
+	if e.dist != nil {
+		// A settled program can no longer honor a cross-shard reservation:
+		// withdraw its offer so a racing prepare is voted down promptly.
+		e.dist.forget(ent)
+	}
 	ent.handle.done <- o
 }
 
@@ -360,11 +377,20 @@ func (e *Engine) loop() {
 		case <-vacuumC:
 			e.vacuum()
 		case <-e.stop:
+			if e.dist != nil {
+				// Parked in-doubt groups outlive the scheduler: their prepare
+				// records stay in the WAL and restart resolves them against
+				// the coordinator's decision. The handles fail now.
+				e.dist.shutdown()
+			}
 			pool := e.pool
 			e.pool = nil
 			for {
 				select {
 				case ent := <-e.arrivalq:
+					pool = append(pool, ent)
+					continue
+				case ent := <-e.requeueq:
 					pool = append(pool, ent)
 					continue
 				default:
@@ -389,6 +415,8 @@ func (e *Engine) loop() {
 			msg.reply <- len(e.pool) + len(e.arrivalq)
 		case <-e.wake:
 			e.runIfDue(false)
+		case ent := <-e.requeueq:
+			e.requeue(ent)
 		case <-ticker.C:
 			e.runIfDue(true)
 		}
@@ -545,6 +573,9 @@ func (e *Engine) abortPoolForDrain() {
 	for {
 		select {
 		case ent := <-e.arrivalq:
+			pool = append(pool, ent)
+			continue
+		case ent := <-e.requeueq:
 			pool = append(pool, ent)
 			continue
 		default:

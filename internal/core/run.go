@@ -35,6 +35,15 @@ type member struct {
 	answerCh chan answerMsg
 	partners map[*member]bool // entanglement partners accumulated this run
 	finalErr error
+
+	// Cross-shard scratch (distCoordinator only). A NoPartner evaluation
+	// leaves the groundings behind so afterRound can export them as an
+	// offer; distGroup marks a member resumed from a matchmaker prepare,
+	// committed through the two-phase path instead of the local rules.
+	offerGrounds []*eq.Grounding
+	offerTables  []string
+	offerCSN     uint64
+	distGroup    uint64
 }
 
 type answerMsg struct {
@@ -117,14 +126,22 @@ func (e *Engine) executeRun(batch []*pending) {
 	// Evaluation rounds: once every member is blocked, ready, or aborted,
 	// evaluate all pending entangled queries together; resume the answered
 	// transactions; repeat until a round answers nobody (Figure 4's "the
-	// system recognizes that no-one can proceed further").
+	// system recognizes that no-one can proceed further"). The coordinator
+	// brackets each round: beforeRound resumes members whose answers were
+	// prepared elsewhere (cross-shard reservations), afterRound exports the
+	// still-unmatched queries. The local coordinator makes both a no-op.
 	for {
 		r.waitQuiescent()
 		blocked := r.blockedMembers()
 		if len(blocked) == 0 {
 			break
 		}
-		if e.evaluateQueries(r, blocked) == 0 {
+		resumed, remaining := e.coord.beforeRound(r, blocked)
+		if len(remaining) > 0 {
+			resumed += e.evaluateQueries(r, remaining)
+		}
+		e.coord.afterRound(r)
+		if resumed == 0 {
 			break
 		}
 	}
@@ -138,7 +155,7 @@ func (e *Engine) executeRun(batch []*pending) {
 		m.answerCh <- answerMsg{abortRun: true}
 	}
 	r.wg.Wait()
-	e.finalizeRun(r)
+	e.coord.finalize(r)
 }
 
 func (r *run) waitQuiescent() {
@@ -511,6 +528,13 @@ func (e *Engine) evaluateQueries(r *run, blocked []*member) int {
 		if a == nil {
 			continue
 		}
+		if a.Status == eq.NoPartner && e.dist != nil && m.tx != nil {
+			// No local partner: remember what this round computed so the
+			// coordinator can offer the query to the matchmaker.
+			m.offerGrounds = res.Groundings[i]
+			m.offerTables = res.GroundTables[i]
+			m.offerCSN = snap.View.CSN
+		}
 		if !aborted[i] && a.Status == eq.EmptyAnswer && lockingLevel(e.opts.Isolation) && m.tx != nil {
 			for _, table := range res.GroundTables[i] {
 				if err := m.tx.LockTableShared(table); err != nil {
@@ -560,169 +584,4 @@ func (e *Engine) groundChanged(tables []string, csn uint64) bool {
 		}
 	}
 	return false
-}
-
-// finalizeRun applies the §4 end-of-run rules: entanglement groups commit
-// atomically iff every member is ready; everyone else aborts and is
-// requeued (or finalized if rolled back, failed, or timed out).
-func (e *Engine) finalizeRun(r *run) {
-	e.bump(e.met.runs)
-
-	// Union-find groups over the accumulated partner edges. Autocommit
-	// members are excluded: they have no commit to coordinate.
-	idx := make(map[*member]int, len(r.members))
-	for i, m := range r.members {
-		idx[m] = i
-	}
-	parent := make([]int, len(r.members))
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		if parent[x] != x {
-			parent[x] = find(parent[x])
-		}
-		return parent[x]
-	}
-	widowGuard := e.opts.Isolation != NoWidowGuard
-	if widowGuard {
-		for i, m := range r.members {
-			if m.tx == nil {
-				continue
-			}
-			for p := range m.partners {
-				if p.tx != nil {
-					parent[find(idx[p])] = find(i)
-				}
-			}
-		}
-	}
-	groups := make(map[int][]*member)
-	for i, m := range r.members {
-		groups[find(i)] = append(groups[find(i)], m)
-	}
-
-	// First pass: split the groups into commit units (every member ready)
-	// and abort groups. All units commit through one batched WAL append —
-	// a single group-commit flush for the whole run — instead of one
-	// serialized flush per group.
-	type commitUnit struct {
-		members []*member
-		txns    []*txn.Txn
-	}
-	var units []commitUnit
-	var abortGroups [][]*member
-	for _, group := range groups {
-		allReady := true
-		for _, m := range group {
-			if m.state != stateReady {
-				allReady = false
-				break
-			}
-		}
-		if !allReady {
-			abortGroups = append(abortGroups, group)
-			continue
-		}
-		u := commitUnit{members: group}
-		for _, m := range group {
-			if m.tx != nil {
-				u.txns = append(u.txns, m.tx)
-			}
-		}
-		units = append(units, u)
-	}
-
-	// Validate up front so a single stale transaction (an engine-invariant
-	// violation, not a runtime condition) fails only its own unit rather
-	// than sinking the whole batch.
-	unitErr := make([]error, len(units))
-	var txnUnits [][]*txn.Txn
-	var batched []int // unit index per txnUnits entry
-	for i, u := range units {
-		if len(u.txns) == 0 {
-			continue
-		}
-		for _, t := range u.txns {
-			if t.State() != txn.Active {
-				unitErr[i] = errStaleCommit
-				break
-			}
-		}
-		if unitErr[i] == nil {
-			txnUnits = append(txnUnits, u.txns)
-			batched = append(batched, i)
-		}
-	}
-	commitStart := time.Now()
-	var commitDur time.Duration
-	if len(txnUnits) > 0 {
-		batchErr := e.txm.CommitUnits(txnUnits)
-		commitDur = time.Since(commitStart)
-		e.met.commitFlush.Observe(commitDur)
-		if batchErr == nil {
-			e.statsMu.Lock()
-			e.met.commitBatches.Add(1)
-			for _, u := range txnUnits {
-				if len(u) > 1 {
-					e.met.groupCommits.Add(1)
-				}
-			}
-			e.statsMu.Unlock()
-		} else {
-			// The batched WAL append failed (I/O error). Everything behind
-			// the flush fails, as in any group-commit DBMS, and we must not
-			// write more: retrying per unit could append valid records past
-			// a torn frame mid-log (unrecoverable, where a torn tail is
-			// not), and appending Abort records could contradict a commit
-			// record the failed batch already made durable. The log itself
-			// latches failed on the first write error, so all further
-			// durable work fails loudly (fail-stop); the failed units'
-			// transactions stay in limbo deliberately — whether their
-			// commit record reached disk is indeterminate, so neither
-			// undoing in memory nor releasing their locks is safe.
-			for _, i := range batched {
-				unitErr[i] = batchErr
-			}
-		}
-	}
-	for i, u := range units {
-		for _, m := range u.members {
-			if t := m.entry.prog.Trace; t != 0 && e.tracer != nil && len(u.txns) > 0 {
-				e.tracer.Span(t, t, "commit", commitStart, commitDur, "")
-			}
-			// A commit failure dooms only the failed unit; pure-autocommit
-			// groups had nothing to commit and always succeed.
-			if unitErr[i] != nil {
-				e.settle(m.entry, e.met.failures, Outcome{Status: StatusFailed, Err: unitErr[i], Attempts: m.entry.attempts})
-				continue
-			}
-			e.settle(m.entry, e.met.commits, Outcome{Status: StatusCommitted, Attempts: m.entry.attempts})
-		}
-	}
-
-	for _, group := range abortGroups {
-		// Group cannot commit: every member aborts. Ready members are the
-		// averted widows — they roll back because a partner could not
-		// commit.
-		for _, m := range group {
-			switch m.state {
-			case stateReady:
-				if m.tx != nil {
-					m.tx.Abort()
-				}
-				if m.tx != nil || !m.entry.prog.Autocommit {
-					e.bump(e.met.widowsAverted)
-				}
-				e.requeue(m.entry)
-			case stateAbortedRetry:
-				e.requeue(m.entry)
-			case stateRolledBack:
-				e.settle(m.entry, e.met.rollbacks, Outcome{Status: StatusRolledBack, Err: ErrRolledBack, Attempts: m.entry.attempts})
-			case stateAbortedFinal:
-				e.settle(m.entry, e.met.failures, Outcome{Status: StatusFailed, Err: m.finalErr, Attempts: m.entry.attempts})
-			}
-		}
-	}
 }

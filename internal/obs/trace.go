@@ -18,6 +18,7 @@ type Span struct {
 	Actor uint64  `json:"actor"`          // original trace id of the query this span belongs to
 	Start float64 `json:"start_ms"`       // offset from trace begin, milliseconds
 	DurMS float64 `json:"dur_ms"`         // span duration, milliseconds
+	Shard int     `json:"shard,omitempty"` // shard that recorded the span (sharded deployments)
 	Note  string  `json:"note,omitempty"` // free-form stage detail (round=2 rows=40 ...)
 }
 
@@ -60,6 +61,10 @@ type TracerOptions struct {
 	SlowSpan time.Duration
 	// Log receives slow-query/slow-span lines (default: discarded).
 	Log io.Writer
+	// Shard stamps every recorded span with the owning shard id, so a
+	// cross-shard trace shows which process did what. Zero (the
+	// single-process default) leaves spans unstamped.
+	Shard int
 }
 
 // Tracer holds live traces and a bounded ring of recently finished ones.
@@ -132,6 +137,7 @@ func (t *Tracer) Span(id, actor uint64, name string, start time.Time, d time.Dur
 		Actor: actor,
 		Start: float64(start.Sub(tr.Begin)) / 1e6,
 		DurMS: float64(d) / 1e6,
+		Shard: t.opts.Shard,
 		Note:  note,
 	}
 	tr.Spans = append(tr.Spans, sp)
@@ -185,6 +191,49 @@ func (t *Tracer) Merge(ids []uint64) uint64 {
 		return 0
 	}
 	return canon.ID
+}
+
+// Export returns a copy of a live trace's begin time and spans for
+// shipping to another process's tracer (the coordinator of a cross-shard
+// group). The trace stays live locally. ok is false for unknown ids.
+func (t *Tracer) Export(id uint64) (begin time.Time, spans []Span, ok bool) {
+	if t == nil || id == 0 {
+		return time.Time{}, nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	canon := id
+	for {
+		c, aliased := t.alias[canon]
+		if !aliased {
+			break
+		}
+		canon = c
+	}
+	tr := t.live[canon]
+	if tr == nil {
+		return time.Time{}, nil, false
+	}
+	return tr.Begin, append([]Span(nil), tr.Spans...), true
+}
+
+// Absorb folds spans exported from another process into the trace id
+// resolves to here, re-anchoring their offsets from the remote begin time
+// to the local trace's. Unknown ids create the trace (begin = remote
+// begin), so a coordinator can absorb a participant's lifecycle before
+// merging the group's traces into one.
+func (t *Tracer) Absorb(id uint64, begin time.Time, spans []Span) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := t.resolve(id, begin)
+	shift := float64(begin.Sub(tr.Begin)) / 1e6
+	for _, s := range spans {
+		s.Start += shift
+		tr.Spans = append(tr.Spans, s)
+	}
 }
 
 // Canonical resolves id through merges to the trace id it now lives

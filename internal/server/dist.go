@@ -1,0 +1,373 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/entangle"
+	"repro/entangle/client"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// The sharded-deployment layer: one logical database served by N
+// youtopia-serve processes, each owning the shard of users the placement
+// map assigns it. Every server is a participant (its engine offers
+// unmatched entangled queries, revalidates prepares, parks, votes); the
+// shard-0 server additionally hosts the matchmaker — the group
+// coordinator that pools offers from every shard, forms cross-shard
+// entanglement groups, and drives the two-phase group commit.
+//
+// Server-to-server traffic reuses the ordinary client protocol: each
+// process dials its peers with entangle/client and speaks the shard_*
+// ops, so cross-shard messages get the same codec negotiation, write
+// batching, and self-healing reconnects as user traffic. Submissions that
+// arrive at the wrong server are forwarded to their routing key's home
+// shard the same way — any node can serve any client.
+
+// ShardOptions tunes the sharded deployment member; zero values select
+// the protocol defaults.
+type ShardOptions struct {
+	// GroupTimeout bounds how long a formed cross-shard group waits for
+	// all votes before the coordinator presumes abort (shard 0 only;
+	// default 3s).
+	GroupTimeout time.Duration
+	// SweepInterval is the matchmaker janitor cadence (shard 0 only).
+	SweepInterval time.Duration
+	// StatusGrace / StatusTick tune the participant's in-doubt status
+	// polling (defaults 1s / 300ms).
+	StatusGrace time.Duration
+	StatusTick  time.Duration
+}
+
+// distState is one server's view of the sharded deployment. It implements
+// both halves of the cross-shard transport: core.DistTransport for its own
+// engine (participant -> coordinator) and dist.Sender for the matchmaker
+// it may host (coordinator -> participant), with loopback short-circuits
+// so self-addressed messages never touch a socket.
+type distState struct {
+	s         *Server
+	placement *shard.Map
+	shardID   int
+	self      string // this server's address in the placement map
+	coord     string // the coordinator's (shard 0's) address
+	mm        *dist.Matchmaker // non-nil on shard 0
+
+	// Failpoints: "dist.prepare" fails coordinator->participant prepares,
+	// "dist.vote" drops participant->coordinator votes. Nil without
+	// Options.Faults.
+	ptPrepare *fault.Point
+	ptVote    *fault.Point
+
+	mu    sync.Mutex
+	peers map[string]*client.Client // lazily dialed, self-healing
+}
+
+// EnableSharding makes this server one member of a sharded deployment:
+// shard shardID of the given placement map (Nodes[i] serves shard i).
+// Call after NewWithOptions and before Serve — the engine's commit path
+// swap is not synchronized against running traffic.
+func (s *Server) EnableSharding(m *shard.Map, shardID int, opts ShardOptions) error {
+	if m == nil || m.Shards < 1 || len(m.Nodes) != m.Shards {
+		return errors.New("server: placement map must name one node per shard")
+	}
+	if shardID < 0 || shardID >= m.Shards {
+		return fmt.Errorf("server: shard %d out of range [0,%d)", shardID, m.Shards)
+	}
+	if s.dist != nil {
+		return errors.New("server: sharding already enabled")
+	}
+	ds := &distState{
+		s:         s,
+		placement: m.Clone(),
+		shardID:   shardID,
+		self:      m.Nodes[shardID],
+		coord:     m.Nodes[0],
+		peers:     make(map[string]*client.Client),
+	}
+	if f := s.opts.Faults; f != nil {
+		ds.ptPrepare = f.Point("dist.prepare")
+		ds.ptVote = f.Point("dist.vote")
+	}
+	if shardID == 0 {
+		ds.mm = dist.New(dist.Options{
+			Send:          ds,
+			Log:           s.db.LogDecision,
+			GroupTimeout:  opts.GroupTimeout,
+			SweepInterval: opts.SweepInterval,
+			Tracer:        s.db.Tracer(),
+			Self:          ds.self,
+			Decisions:     s.db.RecoveredDecisions(),
+			Metrics:       s.db.Metrics(),
+		})
+	}
+	s.dist = ds
+	s.db.EnableDist(entangle.DistConfig{
+		Shard:       shardID,
+		Node:        ds.self,
+		Transport:   ds,
+		StatusGrace: opts.StatusGrace,
+		StatusTick:  opts.StatusTick,
+	})
+	return nil
+}
+
+// CloseSharding stops the hosted matchmaker and closes peer connections.
+// Call after the DB is drained and closed — the engine's drain may still
+// need the transport to resolve parked groups.
+func (s *Server) CloseSharding() {
+	ds := s.dist
+	if ds == nil {
+		return
+	}
+	if ds.mm != nil {
+		ds.mm.Close()
+	}
+	ds.mu.Lock()
+	peers := ds.peers
+	ds.peers = make(map[string]*client.Client)
+	ds.mu.Unlock()
+	for _, c := range peers {
+		c.Close()
+	}
+}
+
+// ResolveInDoubtGroups resolves the transactions recovery left in-doubt
+// (prepared, no local verdict) against the coordinator's logged decision:
+// Known commit redoes the withheld effects, Known abort (or no record at
+// all — presumed abort) discards them. Pending groups and an unreachable
+// coordinator are retried until the budget expires; unresolved groups
+// stay in-doubt (their effects stay withheld) and an error reports them.
+func (s *Server) ResolveInDoubtGroups(budget time.Duration) error {
+	ds := s.dist
+	if ds == nil {
+		return nil
+	}
+	groups := make(map[uint64]bool)
+	for _, g := range s.db.InDoubt() {
+		groups[g] = true
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	deadline := time.Now().Add(budget)
+	for g := range groups {
+		for {
+			st, err := ds.Status(g)
+			if err == nil && !st.Pending {
+				// Known verdict, or no record at all: under presumed
+				// abort, "unknown" IS the abort verdict.
+				commit := st.Known && st.Commit
+				if err := s.db.ResolveInDoubt(g, commit); err != nil {
+					return err
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("server: in-doubt group %d unresolved: coordinator unreachable", g)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// peer returns the self-healing client connection to a peer node, dialing
+// it on first use.
+func (ds *distState) peer(node string) (*client.Client, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if c := ds.peers[node]; c != nil {
+		return c, nil
+	}
+	c, err := client.DialOptions(node, client.Options{DialTimeout: 2 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	ds.peers[node] = c
+	return c, nil
+}
+
+// --- core.DistTransport (participant -> coordinator) ---------------------
+
+// Offer advertises an unmatched entangled query to the coordinator. A
+// lost offer is harmless: the scheduler's retry tick re-grounds and
+// re-offers the member while it waits.
+func (ds *distState) Offer(o dist.Offer) {
+	if ds.mm != nil {
+		ds.mm.AddOffer(&o)
+		return
+	}
+	c, err := ds.peer(ds.coord)
+	if err != nil {
+		return
+	}
+	_ = c.ShardOffer(o)
+}
+
+// Vote reports a prepare outcome to the coordinator. A lost vote resolves
+// through the group timeout (abort — all-or-nothing holds).
+func (ds *distState) Vote(v dist.Vote) {
+	if ds.ptVote.Fire() != nil {
+		return // injected lost vote
+	}
+	if ds.mm != nil {
+		ds.mm.HandleVote(v)
+		return
+	}
+	c, err := ds.peer(ds.coord)
+	if err != nil {
+		return
+	}
+	_ = c.ShardVote(v)
+}
+
+// Status is the synchronous in-doubt inquiry.
+func (ds *distState) Status(group uint64) (dist.Status, error) {
+	if ds.mm != nil {
+		return ds.mm.Decision(group), nil
+	}
+	c, err := ds.peer(ds.coord)
+	if err != nil {
+		return dist.Status{}, err
+	}
+	return c.ShardStatus(group)
+}
+
+// --- dist.Sender (coordinator -> participant) ----------------------------
+
+// Prepare delivers a matched answer to a participant. An error is a no
+// vote — the group aborts rather than hang.
+func (ds *distState) Prepare(node string, p dist.Prepare) error {
+	if err := ds.ptPrepare.Fire(); err != nil {
+		return err // injected lost prepare
+	}
+	if node == ds.self {
+		ds.s.db.DeliverPrepare(p)
+		return nil
+	}
+	c, err := ds.peer(node)
+	if err != nil {
+		return err
+	}
+	return c.ShardPrepare(p)
+}
+
+// Decide delivers the logged verdict. A lost decide is repaired by the
+// participant's status poll.
+func (ds *distState) Decide(node string, d dist.Decide) error {
+	if node == ds.self {
+		ds.s.db.ApplyDecision(d.Group, d.Commit)
+		return nil
+	}
+	c, err := ds.peer(node)
+	if err != nil {
+		return err
+	}
+	return c.ShardDecide(d)
+}
+
+// --- wire handlers -------------------------------------------------------
+
+var errNotCoordinator = errors.New("server: not the group coordinator")
+
+// handleShard executes the sharding ops (placement fetch and the
+// server-to-server 2PC messages).
+func (s *Server) handleShard(req wire.Request) wire.Response {
+	ds := s.dist
+	if ds == nil {
+		return fail(req.ID, errors.New("server: sharding not enabled"))
+	}
+	switch req.Op {
+	case wire.OpPlacement:
+		raw, err := ds.placement.Marshal()
+		if err != nil {
+			return fail(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, OK: true, Stats: raw}
+
+	case wire.OpShardOffer:
+		if ds.mm == nil {
+			return fail(req.ID, errNotCoordinator)
+		}
+		var o dist.Offer
+		if err := json.Unmarshal([]byte(req.SQL), &o); err != nil {
+			return fail(req.ID, fmt.Errorf("bad offer: %w", err))
+		}
+		ds.mm.AddOffer(&o)
+		return wire.Response{ID: req.ID, OK: true}
+
+	case wire.OpShardPrepare:
+		var p dist.Prepare
+		if err := json.Unmarshal([]byte(req.SQL), &p); err != nil {
+			return fail(req.ID, fmt.Errorf("bad prepare: %w", err))
+		}
+		s.db.DeliverPrepare(p)
+		return wire.Response{ID: req.ID, OK: true}
+
+	case wire.OpShardVote:
+		if ds.mm == nil {
+			return fail(req.ID, errNotCoordinator)
+		}
+		var v dist.Vote
+		if err := json.Unmarshal([]byte(req.SQL), &v); err != nil {
+			return fail(req.ID, fmt.Errorf("bad vote: %w", err))
+		}
+		ds.mm.HandleVote(v)
+		return wire.Response{ID: req.ID, OK: true}
+
+	case wire.OpShardDecide:
+		var d dist.Decide
+		if err := json.Unmarshal([]byte(req.SQL), &d); err != nil {
+			return fail(req.ID, fmt.Errorf("bad decide: %w", err))
+		}
+		s.db.ApplyDecision(d.Group, d.Commit)
+		return wire.Response{ID: req.ID, OK: true}
+
+	case wire.OpShardStatus:
+		if ds.mm == nil {
+			return fail(req.ID, errNotCoordinator)
+		}
+		raw, err := json.Marshal(ds.mm.Decision(req.Handle))
+		if err != nil {
+			return fail(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, OK: true, Stats: raw}
+	}
+	return fail(req.ID, fmt.Errorf("unknown shard op %q", req.Op))
+}
+
+// homeOf returns the shard owning a script's routing key, and whether the
+// script should be forwarded (it has a home that is not this server).
+func (ds *distState) homeOf(script string) (int, bool) {
+	home := ds.placement.Home(shard.RouteKey(script))
+	return home, home != ds.shardID
+}
+
+// forwardSubmit relays a submission to its home shard's server and parks
+// the remote handle under a local handle id — to the client, a forwarded
+// submission is indistinguishable from a local one. The client's trace id
+// rides along, so the program's spans land on the home shard's tracer
+// under the id the client knows.
+func (ds *distState) forwardSubmit(cs *clientState, req wire.Request) wire.Response {
+	home := ds.placement.Home(shard.RouteKey(req.SQL))
+	peer, err := ds.peer(ds.placement.Nodes[home])
+	if err != nil {
+		return fail(req.ID, fmt.Errorf("server: home shard %d unreachable: %w", home, err))
+	}
+	h, err := peer.SubmitScriptTraced(req.SQL, req.Trace)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	resp := wire.Response{ID: req.ID, OK: true, Handle: cs.putHandle(h)}
+	if t := h.TraceID(); t != 0 {
+		resp.Trace = t
+	}
+	return resp
+}
+

@@ -1,0 +1,375 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/entangle"
+	"repro/entangle/client"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// shardedPair is a two-shard deployment over loopback TCP: two servers,
+// two engines with disjoint storage, shard 0 hosting the matchmaker. The
+// placement map pins the test users explicitly so every test controls
+// which shard is home.
+type shardedPair struct {
+	addrs [2]string
+	dbs   [2]*entangle.DB
+	srvs  [2]*Server
+	place *shard.Map
+}
+
+func startShardedPair(t *testing.T, groupTimeout time.Duration,
+	dbOpts func(i int) entangle.Options, srvOpts func(i int) Options) *shardedPair {
+	t.Helper()
+	sp := &shardedPair{}
+	var lns [2]net.Listener
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		sp.addrs[i] = ln.Addr().String()
+	}
+	sp.place = shard.New(sp.addrs[:])
+	sp.place.Overrides = map[string]int{
+		"Mickey": 0, "Goofy": 0, "Daisy": 0,
+		"Minnie": 1, "Donald": 1, "Pluto": 1,
+	}
+	for i := range sp.srvs {
+		opts := entangle.Options{RetryInterval: 10 * time.Millisecond}
+		if dbOpts != nil {
+			opts = dbOpts(i)
+		}
+		db, err := entangle.Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var so Options
+		if srvOpts != nil {
+			so = srvOpts(i)
+		}
+		srv := NewWithOptions(db, so)
+		if err := srv.EnableSharding(sp.place, i, ShardOptions{
+			GroupTimeout:  groupTimeout,
+			SweepInterval: 20 * time.Millisecond,
+			StatusGrace:   200 * time.Millisecond,
+			StatusTick:    50 * time.Millisecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		served := make(chan error, 1)
+		go func(ln net.Listener) { served <- srv.Serve(ln) }(lns[i])
+		sp.dbs[i], sp.srvs[i] = db, srv
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			if err := <-served; err != nil && !errors.Is(err, ErrServerClosed) {
+				t.Errorf("serve: %v", err)
+			}
+			db.Close()
+			srv.CloseSharding()
+		})
+	}
+	return sp
+}
+
+// seed creates the flight schema and seed rows on every shard — each
+// engine owns its own catalog copy of the shared tables.
+func (sp *shardedPair) seed(t *testing.T, p *client.Pool) {
+	t.Helper()
+	if err := p.ExecDDL(`
+		CREATE TABLE Flights (fno INT, fdate DATE, dest VARCHAR);
+		CREATE TABLE Bookings (name VARCHAR, fno INT, fdate DATE);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := p.GetShard(i).Exec(`
+			INSERT INTO Flights VALUES (122, '2011-05-03', 'LA');
+			INSERT INTO Flights VALUES (123, '2011-05-04', 'LA');
+		`); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func bookingsOn(t *testing.T, c *client.Client, name string) []string {
+	t.Helper()
+	res, err := c.Query(fmt.Sprintf("SELECT fno FROM Bookings WHERE name='%s'", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, row := range res.Rows {
+		out = append(out, row[0].String())
+	}
+	return out
+}
+
+// TestShardedPairCommitsAcrossServers is the PR milestone: a giftmatch-
+// style flight pair whose members live on different serve processes is
+// answered atomically — both commit the same flight, each on its own
+// shard, through the two-phase cross-shard group commit.
+func TestShardedPairCommitsAcrossServers(t *testing.T) {
+	sp := startShardedPair(t, 3*time.Second, nil, nil)
+	pool, err := client.DialShardedPool(sp.addrs[0], client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if got := pool.Placement().Shards; got != 2 {
+		t.Fatalf("placement shards = %d, want 2", got)
+	}
+	sp.seed(t, pool)
+
+	h1, err := pool.SubmitScript(flightPair("Mickey", "Minnie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := pool.SubmitScript(flightPair("Minnie", "Mickey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := h1.Wait(); o.Status != entangle.StatusCommitted {
+		t.Fatalf("Mickey: %+v", o)
+	}
+	if o := h2.Wait(); o.Status != entangle.StatusCommitted {
+		t.Fatalf("Minnie: %+v", o)
+	}
+
+	// Each member's booking lives on its own shard, and both booked the
+	// same flight — the unified answer crossed processes.
+	bm := bookingsOn(t, pool.GetShard(0), "Mickey")
+	bn := bookingsOn(t, pool.GetShard(1), "Minnie")
+	if len(bm) != 1 || len(bn) != 1 {
+		t.Fatalf("bookings = %v / %v", bm, bn)
+	}
+	if bm[0] != bn[0] {
+		t.Fatalf("pair booked different flights: %v vs %v", bm, bn)
+	}
+	// And the off-home shards hold nothing: the data is partitioned.
+	if n := len(bookingsOn(t, pool.GetShard(1), "Mickey")); n != 0 {
+		t.Fatalf("Mickey's booking leaked to shard 1 (%d rows)", n)
+	}
+	for i, db := range sp.dbs {
+		if g := db.Engine().Stats().GroupCommits; g != 1 {
+			t.Errorf("shard %d GroupCommits = %d, want 1", i, g)
+		}
+	}
+}
+
+// TestSubmitForwardsToHomeShard: both clients talk to the shard-0 server
+// only; Minnie's submission must be forwarded to its home shard and still
+// coordinate with Mickey's. Any node serves any client.
+func TestSubmitForwardsToHomeShard(t *testing.T) {
+	sp := startShardedPair(t, 3*time.Second, nil, nil)
+	pool, err := client.DialShardedPool(sp.addrs[0], client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	sp.seed(t, pool)
+
+	front := dialTest(t, sp.addrs[0]) // wrong server for Minnie
+	h1, err := front.SubmitScript(flightPair("Mickey", "Minnie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := front.SubmitScript(flightPair("Minnie", "Mickey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := h1.Wait(); o.Status != entangle.StatusCommitted {
+		t.Fatalf("Mickey: %+v", o)
+	}
+	if o := h2.Wait(); o.Status != entangle.StatusCommitted {
+		t.Fatalf("Minnie (forwarded): %+v", o)
+	}
+	// The forwarded program ran on its home shard.
+	if n := len(bookingsOn(t, pool.GetShard(1), "Minnie")); n != 1 {
+		t.Fatalf("Minnie's booking on home shard: %d rows, want 1", n)
+	}
+	if n := len(bookingsOn(t, pool.GetShard(0), "Minnie")); n != 0 {
+		t.Fatalf("Minnie's booking on the forwarding shard: %d rows, want 0", n)
+	}
+}
+
+// TestShardedVoteLossAllOrNothing injects a dropped yes-vote on shard 1:
+// the first cross-shard group must abort as a unit (nobody commits on an
+// incomplete tally), then both members retry into a clean commit.
+func TestShardedVoteLossAllOrNothing(t *testing.T) {
+	regs := [2]*fault.Registry{fault.NewRegistry(1), fault.NewRegistry(2)}
+	regs[1].Enable("dist.vote", fault.Trigger{EveryNth: 1, OneShot: true}, fault.Action{Kind: fault.KindDrop})
+	sp := startShardedPair(t, 300*time.Millisecond, nil,
+		func(i int) Options { return Options{Faults: regs[i]} })
+	pool, err := client.DialShardedPool(sp.addrs[0], client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	sp.seed(t, pool)
+
+	h1, err := pool.SubmitScript(flightPair("Mickey", "Minnie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := pool.SubmitScript(flightPair("Minnie", "Mickey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := h1.Wait(); o.Status != entangle.StatusCommitted {
+		t.Fatalf("Mickey: %+v", o)
+	}
+	if o := h2.Wait(); o.Status != entangle.StatusCommitted {
+		t.Fatalf("Minnie: %+v", o)
+	}
+	if fired := regs[1].Fired(); fired != 1 {
+		t.Fatalf("vote failpoint fired %d times, want 1", fired)
+	}
+	bm := bookingsOn(t, pool.GetShard(0), "Mickey")
+	bn := bookingsOn(t, pool.GetShard(1), "Minnie")
+	if len(bm) != 1 || len(bn) != 1 {
+		t.Fatalf("all-or-nothing violated: bookings %v / %v", bm, bn)
+	}
+	if bm[0] != bn[0] {
+		t.Fatalf("pair split across flights: %v vs %v", bm, bn)
+	}
+	// The aborted first group rolled someone back as an averted widow.
+	if w := sp.dbs[0].Engine().Stats().WidowsAverted + sp.dbs[1].Engine().Stats().WidowsAverted; w == 0 {
+		t.Error("WidowsAverted = 0, want > 0 after the aborted group")
+	}
+}
+
+// TestShardedPrepareLossAborts injects a failed prepare delivery on the
+// coordinator: the group aborts immediately (a lost prepare is a no
+// vote), and the pair still converges on a later clean group.
+func TestShardedPrepareLossAborts(t *testing.T) {
+	regs := [2]*fault.Registry{fault.NewRegistry(3), fault.NewRegistry(4)}
+	regs[0].Enable("dist.prepare", fault.Trigger{EveryNth: 1, OneShot: true}, fault.Action{Kind: fault.KindError})
+	sp := startShardedPair(t, 2*time.Second, nil,
+		func(i int) Options { return Options{Faults: regs[i]} })
+	pool, err := client.DialShardedPool(sp.addrs[0], client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	sp.seed(t, pool)
+
+	h1, err := pool.SubmitScript(flightPair("Mickey", "Minnie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := pool.SubmitScript(flightPair("Minnie", "Mickey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := h1.Wait(); o.Status != entangle.StatusCommitted {
+		t.Fatalf("Mickey: %+v", o)
+	}
+	if o := h2.Wait(); o.Status != entangle.StatusCommitted {
+		t.Fatalf("Minnie: %+v", o)
+	}
+	bm := bookingsOn(t, pool.GetShard(0), "Mickey")
+	bn := bookingsOn(t, pool.GetShard(1), "Minnie")
+	if len(bm) != 1 || len(bn) != 1 || bm[0] != bn[0] {
+		t.Fatalf("bookings after prepare loss: %v / %v", bm, bn)
+	}
+}
+
+// TestTwoProcessTraceMergesIntoOneTrace is the sharded extension of the
+// PR 9 trace scenario: the pair's members run on DIFFERENT servers, each
+// stamping its spans with its own shard id, and the coordinator
+// assembles the one merged trace — remote spans arrive with the votes.
+func TestTwoProcessTraceMergesIntoOneTrace(t *testing.T) {
+	tracers := [2]*obs.Tracer{
+		obs.NewTracer(obs.TracerOptions{Shard: 0}),
+		obs.NewTracer(obs.TracerOptions{Shard: 1}),
+	}
+	sp := startShardedPair(t, 3*time.Second, func(i int) entangle.Options {
+		return entangle.Options{
+			RetryInterval: 10 * time.Millisecond,
+			Tracer:        tracers[i],
+			Metrics:       obs.NewRegistry(),
+		}
+	}, nil)
+	pool, err := client.DialShardedPool(sp.addrs[0], client.Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	sp.seed(t, pool)
+
+	h1, err := pool.SubmitScript(flightPair("Mickey", "Minnie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := pool.SubmitScript(flightPair("Minnie", "Mickey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mint1, mint2 := h1.TraceID(), h2.TraceID()
+	if mint1 == 0 || mint2 == 0 || mint1 == mint2 {
+		t.Fatalf("minted trace ids: %d / %d", mint1, mint2)
+	}
+	if o := h1.Wait(); o.Status != entangle.StatusCommitted {
+		t.Fatalf("Mickey: %+v", o)
+	}
+	if o := h2.Wait(); o.Status != entangle.StatusCommitted {
+		t.Fatalf("Minnie: %+v", o)
+	}
+
+	// The coordinator's tracer resolves BOTH minted ids to one merged
+	// trace: the remote member's spans crossed the wire with its vote.
+	tr1, ok1 := tracers[0].Get(mint1)
+	tr2, ok2 := tracers[0].Get(mint2)
+	if !ok1 || !ok2 {
+		t.Fatalf("coordinator tracer missing traces: %v / %v", ok1, ok2)
+	}
+	if tr1.ID != tr2.ID {
+		t.Fatalf("traces did not merge on the coordinator: %d vs %d", tr1.ID, tr2.ID)
+	}
+	matches := 0
+	for _, r := range tracers[0].Recent() {
+		if r.ID == tr1.ID {
+			matches++
+		}
+	}
+	if matches != 1 {
+		t.Fatalf("coordinator recent ring holds %d entries for the group, want 1", matches)
+	}
+
+	// Both lifecycles appear in the one span tree, each stamped with the
+	// shard that recorded it: the local member's spans carry shard 0, the
+	// absorbed remote member's carry shard 1.
+	shards := map[uint64]map[int]bool{mint1: {}, mint2: {}}
+	names := map[uint64]map[string]bool{mint1: {}, mint2: {}}
+	for _, s := range tr1.Spans {
+		if m := shards[s.Actor]; m != nil {
+			m[s.Shard] = true
+			names[s.Actor][s.Name] = true
+		}
+	}
+	if !shards[mint1][0] {
+		t.Errorf("local member has no shard-0 spans: %v", shards[mint1])
+	}
+	if !shards[mint2][1] {
+		t.Errorf("remote member has no shard-1 spans: %v", shards[mint2])
+	}
+	for _, member := range []uint64{mint1, mint2} {
+		for _, want := range []string{"submit", "ground", "commit"} {
+			if !names[member][want] {
+				t.Errorf("member %d missing %q span (has %v)", member, want, names[member])
+			}
+		}
+	}
+}

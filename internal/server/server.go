@@ -130,6 +130,11 @@ type Server struct {
 	// client's fallback path.
 	JSONOnly bool
 
+	// dist is non-nil once EnableSharding makes this server a member of a
+	// sharded deployment (see dist.go). Written before Serve, read-only
+	// after.
+	dist *distState
+
 	mu      sync.Mutex
 	lns     map[net.Listener]struct{}
 	conns   map[*conn]struct{}
@@ -348,6 +353,16 @@ type dedupEntry struct {
 	resp wire.Response
 }
 
+// waiter is the handle shape the server parks Waits on: the embedded
+// engine's handle for local submissions, the remote client's handle for
+// submissions forwarded to their routing key's home shard. Both report
+// the same Outcome type, so the Wait/Poll handlers cannot tell them
+// apart — which is the point.
+type waiter interface {
+	Wait() entangle.Outcome
+	Poll() (entangle.Outcome, bool)
+}
+
 // clientState is the per-client-identity state: submitted-program handles
 // and the idempotency dedup window. Named states (bound by hello) live in
 // Server.clients and survive reconnects until ClientTTL; anonymous
@@ -360,7 +375,7 @@ type clientState struct {
 	refs       int       // bound connections
 	idleSince  time.Time // valid while refs == 0
 	nextHandle uint64
-	handles    map[uint64]*entangle.Handle
+	handles    map[uint64]waiter
 	dedup      map[uint64]*dedupEntry
 	order      []uint64 // completed idem ids, oldest first (window pruning)
 }
@@ -368,7 +383,7 @@ type clientState struct {
 func newClientState(id string) *clientState {
 	return &clientState{
 		id:      id,
-		handles: make(map[uint64]*entangle.Handle),
+		handles: make(map[uint64]waiter),
 		dedup:   make(map[uint64]*dedupEntry),
 	}
 }
@@ -422,7 +437,7 @@ func (cs *clientState) abort(idem uint64, resp wire.Response) {
 	}
 }
 
-func (cs *clientState) putHandle(h *entangle.Handle) uint64 {
+func (cs *clientState) putHandle(h waiter) uint64 {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	cs.nextHandle++
@@ -430,7 +445,7 @@ func (cs *clientState) putHandle(h *entangle.Handle) uint64 {
 	return cs.nextHandle
 }
 
-func (cs *clientState) handle(id uint64) (*entangle.Handle, error) {
+func (cs *clientState) handle(id uint64) (waiter, error) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	if h := cs.handles[id]; h != nil {
@@ -868,6 +883,14 @@ func (c *conn) handle(req wire.Request) wire.Response {
 		return wire.Response{ID: req.ID, OK: true}
 
 	case wire.OpSubmit:
+		// Submissions run on the engine owning their routing key: a
+		// submission that arrived at the wrong server is forwarded to its
+		// home shard, and the remote handle parks under a local handle id.
+		if ds := c.srv.dist; ds != nil {
+			if _, away := ds.homeOf(req.SQL); away {
+				return ds.forwardSubmit(c.cs, req)
+			}
+		}
 		h, err := c.srv.db.SubmitScriptTraced(req.SQL, req.Trace)
 		if err != nil {
 			return fail(req.ID, err)
@@ -979,6 +1002,10 @@ func (c *conn) handle(req wire.Request) wire.Response {
 			return fail(req.ID, err)
 		}
 		return wire.Response{ID: req.ID, OK: true, Stats: raw, Trace: tr.ID}
+
+	case wire.OpPlacement, wire.OpShardOffer, wire.OpShardPrepare,
+		wire.OpShardVote, wire.OpShardDecide, wire.OpShardStatus:
+		return c.srv.handleShard(req)
 
 	default:
 		return fail(req.ID, fmt.Errorf("unknown op %q", req.Op))

@@ -1,0 +1,105 @@
+package txn
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Two-phase distributed group commit, participant and coordinator halves.
+//
+// A participant's writes are already in the log (records are appended at
+// operation time), so preparing needs exactly one flushed record: the
+// prepare mark that makes the transaction in-doubt at recovery instead of
+// a loser. The transaction stays Active — locks held, versions uncommitted
+// — until the group coordinator's decision arrives; commit then goes
+// through the ordinary CommitUnits path, abort through Abort.
+
+// Prepare parks t as an in-doubt participant of the distributed group: one
+// flushed prepare record, no state transition. The caller must hold the
+// transaction through to the decision.
+func (m *Manager) Prepare(t *Txn, group uint64) error {
+	if t.state != Active {
+		return fmt.Errorf("txn: prepare: transaction %d is %v", t.id, t.state)
+	}
+	if m.log == nil {
+		return nil
+	}
+	return m.log.Append(wal.Prepare(wal.TxID(t.id), group))
+}
+
+// LogDecision durably records the coordinator's verdict for a distributed
+// group. It MUST return before the decision fans out to any participant:
+// the log is what makes the decision survive a coordinator crash, and
+// recovery hands it back through RecoveryStats.Decisions.
+func (m *Manager) LogDecision(group uint64, commit bool) error {
+	if m.log == nil {
+		return nil
+	}
+	if commit {
+		return m.log.Append(wal.DecideCommit(group))
+	}
+	return m.log.Append(wal.DecideAbort(group))
+}
+
+// CommitRecovered applies a commit decision to an in-doubt transaction
+// after restart. Recovery withheld the transaction's effects; they are
+// redone here at a fresh CSN, with the commit record logged first and the
+// clock published last — the same order the live commit path uses. The
+// records must be the transaction's data records in log order
+// (RecoveryStats.InDoubtRecords).
+func (m *Manager) CommitRecovered(tx wal.TxID, recs []*wal.Record) error {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	csn := m.clock.Load() + 1
+	if m.log != nil {
+		if err := m.log.Append(wal.Commit(tx, csn)); err != nil {
+			return err
+		}
+	}
+	for _, r := range recs {
+		tbl, err := m.cat.Get(r.Table)
+		if err != nil {
+			return fmt.Errorf("txn: commit recovered: %w", err)
+		}
+		switch r.Type {
+		case wal.RecInsert:
+			if err := tbl.InsertAtCSN(storage.RowID(r.RowID), r.Row, csn); err != nil {
+				return fmt.Errorf("txn: commit recovered: %w", err)
+			}
+		case wal.RecDelete:
+			if _, err := tbl.DeleteCSN(storage.RowID(r.RowID), csn); err != nil {
+				return fmt.Errorf("txn: commit recovered: %w", err)
+			}
+		case wal.RecUpdate:
+			if _, err := tbl.UpdateCSN(storage.RowID(r.RowID), r.Row, csn); err != nil {
+				return fmt.Errorf("txn: commit recovered: %w", err)
+			}
+		}
+	}
+	m.clock.Store(csn)
+	return nil
+}
+
+// AbortRecovered resolves an in-doubt transaction to abort: the abort
+// record ends the in-doubt state (the effects were never applied, so
+// there is nothing to undo).
+func (m *Manager) AbortRecovered(tx wal.TxID) error {
+	if m.log == nil {
+		return nil
+	}
+	return m.log.Append(wal.Abort(tx))
+}
+
+// SeedTx advances the transaction-id counter past ids recovered from the
+// log, so a restarted process can never mint a transaction id that
+// collides with an in-doubt (or any logged) predecessor.
+func (m *Manager) SeedTx(max wal.TxID) {
+	for {
+		cur := m.nextTx.Load()
+		if uint64(max) <= cur || m.nextTx.CompareAndSwap(cur, uint64(max)) {
+			return
+		}
+	}
+}

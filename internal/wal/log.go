@@ -74,8 +74,15 @@ func frameInto(buf []byte, r *Record) []byte {
 }
 
 // flushClass reports whether a record type demands a durability flush.
+// Prepare and decision records are flush class too: a participant must not
+// vote yes on a prepare that could vanish in a crash, and a coordinator
+// must not fan out a decision its log has not made durable.
 func flushClass(t RecordType) bool {
-	return t == RecCommit || t == RecGroupCommit || t == RecAbort
+	switch t {
+	case RecCommit, RecGroupCommit, RecAbort, RecPrepare, RecDecideCommit, RecDecideAbort:
+		return true
+	}
+	return false
 }
 
 // Append writes one record to the log. Commit, GroupCommit, and Abort
@@ -281,6 +288,24 @@ func GroupCommit(group []TxID, csn uint64) *Record {
 // participated in entanglement operation op.
 func Entangle(op TxID, group []TxID) *Record {
 	return &Record{Type: RecEntangle, Tx: op, Group: group}
+}
+
+// Prepare returns a two-phase-commit participant prepare record: tx is
+// parked in-doubt as a member of the given distributed group.
+func Prepare(tx TxID, group uint64) *Record {
+	return &Record{Type: RecPrepare, Tx: tx, Group: []TxID{TxID(group)}}
+}
+
+// DecideCommit returns the coordinator's commit decision for a
+// distributed group — logged before any commit fan-out.
+func DecideCommit(group uint64) *Record {
+	return &Record{Type: RecDecideCommit, Group: []TxID{TxID(group)}}
+}
+
+// DecideAbort returns the coordinator's abort decision for a distributed
+// group.
+func DecideAbort(group uint64) *Record {
+	return &Record{Type: RecDecideAbort, Group: []TxID{TxID(group)}}
 }
 
 // CreateTable returns a DDL record for catalog replay.

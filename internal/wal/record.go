@@ -36,6 +36,14 @@ const (
 	RecEntangle
 	RecCreateTable
 	RecCreateIndex
+	// Two-phase distributed group commit (sharded deployments). A prepare
+	// record parks a participant transaction: its writes are already in the
+	// log (logged at operation time), so the prepare record alone marks it
+	// in-doubt at recovery until a decision record — written by the group
+	// coordinator before any commit/abort fan-out — resolves it.
+	RecPrepare      // Tx = participant, Group = [group id]
+	RecDecideCommit // Group = [group id]
+	RecDecideAbort  // Group = [group id]
 )
 
 func (rt RecordType) String() string {
@@ -60,6 +68,12 @@ func (rt RecordType) String() string {
 		return "CREATE-TABLE"
 	case RecCreateIndex:
 		return "CREATE-INDEX"
+	case RecPrepare:
+		return "PREPARE"
+	case RecDecideCommit:
+		return "DECIDE-COMMIT"
+	case RecDecideAbort:
+		return "DECIDE-ABORT"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(rt))
 	}

@@ -15,6 +15,18 @@ type RecoveryStats struct {
 	GroupsRolledBack int    // groups rolled back because a member lacked a commit
 	MaxCSN           uint64 // highest CSN seen (snapshot header or log); seeds the clock
 	SnapshotCSN      uint64 // commit clock recorded in the checkpoint snapshot (0 if none)
+	MaxTx            TxID   // highest transaction id seen; seeds the tx-id counter
+
+	// Two-phase commit residue. A transaction with a prepare record but no
+	// local commit/abort is in-doubt: its effects are NOT redone, its
+	// records are retained so a later coordinator decision can be applied
+	// (txn.Manager.CommitRecovered / AbortRecovered). Decisions carries the
+	// distributed-group verdicts this log itself recorded — on a
+	// coordinator node that is the authoritative answer for in-doubt
+	// participants asking.
+	InDoubt        map[TxID]uint64    // in-doubt participant tx -> distributed group id
+	InDoubtRecords map[TxID][]*Record // their data records, in log order
+	Decisions      map[uint64]bool    // group id -> committed (coordinator log)
 }
 
 // Recover rebuilds database state from the log at path into cat. Tables
@@ -47,8 +59,14 @@ func Recover(path string, cat *storage.Catalog) (*RecoveryStats, error) {
 	committed := make(map[TxID]bool)
 	commitCSN := make(map[TxID]uint64)
 	seen := make(map[TxID]bool)
+	prepared := make(map[TxID]uint64) // tx -> distributed group id
+	aborted := make(map[TxID]bool)
+	stats.Decisions = make(map[uint64]bool)
 	uf := newUnionFind()
 	for _, r := range records {
+		if r.Tx > stats.MaxTx {
+			stats.MaxTx = r.Tx
+		}
 		switch r.Type {
 		case RecBegin:
 			seen[r.Tx] = true
@@ -62,6 +80,9 @@ func Recover(path string, cat *storage.Catalog) (*RecoveryStats, error) {
 			for _, tx := range r.Group {
 				committed[tx] = true
 				commitCSN[tx] = r.CSN
+				if tx > stats.MaxTx {
+					stats.MaxTx = tx
+				}
 			}
 			if r.CSN > stats.MaxCSN {
 				stats.MaxCSN = r.CSN
@@ -70,9 +91,47 @@ func Recover(path string, cat *storage.Catalog) (*RecoveryStats, error) {
 			for _, tx := range r.Group {
 				seen[tx] = true
 				uf.union(r.Group[0], tx)
+				if tx > stats.MaxTx {
+					stats.MaxTx = tx
+				}
 			}
 		case RecInsert, RecDelete, RecUpdate:
 			seen[r.Tx] = true
+		case RecPrepare:
+			if len(r.Group) == 1 {
+				seen[r.Tx] = true
+				prepared[r.Tx] = uint64(r.Group[0])
+			}
+		case RecAbort:
+			aborted[r.Tx] = true
+		case RecDecideCommit:
+			if len(r.Group) == 1 {
+				stats.Decisions[uint64(r.Group[0])] = true
+			}
+		case RecDecideAbort:
+			if len(r.Group) == 1 {
+				stats.Decisions[uint64(r.Group[0])] = false
+			}
+		}
+	}
+
+	// In-doubt set: prepared, never resolved locally. Their effects are
+	// withheld from redo; the records are kept so the decision can be
+	// applied once known.
+	stats.InDoubt = make(map[TxID]uint64)
+	stats.InDoubtRecords = make(map[TxID][]*Record)
+	for tx, group := range prepared {
+		if !committed[tx] && !aborted[tx] {
+			stats.InDoubt[tx] = group
+		}
+	}
+	for _, r := range records {
+		if _, ok := stats.InDoubt[r.Tx]; !ok {
+			continue
+		}
+		switch r.Type {
+		case RecInsert, RecDelete, RecUpdate:
+			stats.InDoubtRecords[r.Tx] = append(stats.InDoubtRecords[r.Tx], r)
 		}
 	}
 
@@ -177,7 +236,7 @@ func Recover(path string, cat *storage.Catalog) (*RecoveryStats, error) {
 
 	stats.TxCommitted = len(winners)
 	for tx := range seen {
-		if !winners[tx] {
+		if _, inDoubt := stats.InDoubt[tx]; !winners[tx] && !inDoubt {
 			stats.TxRolledBack++
 		}
 	}

@@ -71,6 +71,12 @@ const (
 	opcodeHello        = 12
 	opcodeMetrics      = 13
 	opcodeTrace        = 14
+	opcodePlacement    = 15
+	opcodeShardOffer   = 16
+	opcodeShardPrepare = 17
+	opcodeShardVote    = 18
+	opcodeShardDecide  = 19
+	opcodeShardStatus  = 20
 )
 
 func opcodeOf(op string) (byte, bool) {
@@ -103,6 +109,18 @@ func opcodeOf(op string) (byte, bool) {
 		return opcodeMetrics, true
 	case OpTrace:
 		return opcodeTrace, true
+	case OpPlacement:
+		return opcodePlacement, true
+	case OpShardOffer:
+		return opcodeShardOffer, true
+	case OpShardPrepare:
+		return opcodeShardPrepare, true
+	case OpShardVote:
+		return opcodeShardVote, true
+	case OpShardDecide:
+		return opcodeShardDecide, true
+	case OpShardStatus:
+		return opcodeShardStatus, true
 	}
 	return 0, false
 }
@@ -137,6 +155,18 @@ func opOf(code byte) (string, bool) {
 		return OpMetrics, true
 	case opcodeTrace:
 		return OpTrace, true
+	case opcodePlacement:
+		return OpPlacement, true
+	case opcodeShardOffer:
+		return OpShardOffer, true
+	case opcodeShardPrepare:
+		return OpShardPrepare, true
+	case opcodeShardVote:
+		return OpShardVote, true
+	case opcodeShardDecide:
+		return OpShardDecide, true
+	case opcodeShardStatus:
+		return OpShardStatus, true
 	}
 	return "", false
 }

@@ -72,6 +72,34 @@ const (
 	// obs.Trace rides in Response.Stats as raw JSON; unknown ids answer
 	// OK=false.
 	OpTrace = "trace"
+
+	// Sharding ops (PR 10). Payloads are the internal/dist message structs
+	// rendered as JSON — requests carry theirs in Request.SQL, responses in
+	// Response.Stats — so the binary codec needs no new frame fields and a
+	// JSON peer sees ordinary requests. Server-to-server traffic (offer /
+	// prepare / vote / decide) reuses the same client protocol: each serve
+	// process dials its peers like any client would.
+
+	// OpPlacement: fetch the cluster's versioned shard placement map
+	// (shard.Map as JSON in Response.Stats). Clients call it once at pool
+	// dial time and re-fetch when a routed request misses.
+	OpPlacement = "placement"
+	// OpShardOffer: participant → coordinator. A dist.Offer for a query
+	// blocked with no local partner.
+	OpShardOffer = "shard_offer"
+	// OpShardPrepare: coordinator → participant. A dist.Prepare delivering
+	// a tentative cross-shard answer for revalidation.
+	OpShardPrepare = "shard_prepare"
+	// OpShardVote: participant → coordinator. A dist.Vote (yes = parked and
+	// prepared durably; no = validation failed).
+	OpShardVote = "shard_vote"
+	// OpShardDecide: coordinator → participant. A dist.Decide carrying the
+	// logged group verdict.
+	OpShardDecide = "shard_decide"
+	// OpShardStatus: participant → coordinator. Inquire a group's verdict
+	// (Request.Handle carries the group id; dist.Status returns in
+	// Response.Stats). Recovery uses it to resolve in-doubt groups.
+	OpShardStatus = "shard_status"
 )
 
 // Request is the client→server frame payload.

@@ -1,0 +1,173 @@
+package repro
+
+// Shard smoke: the full partitioned deployment. Two real youtopia-serve
+// processes join a 2-shard placement (-shard/-peers), the sharded
+// quickstart runs against them as a third OS process and books a
+// cross-shard gift-match pair atomically, then SIGTERM must drain both
+// shards gracefully. `make shard-smoke` runs exactly this test; it is
+// also part of `make test` so drift fails CI twice over.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freePorts reserves n distinct loopback ports and releases them for the
+// serve processes to rebind. The tiny rebind race is acceptable in a
+// smoke test; -peers needs every address known before either process
+// starts.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+type shardProc struct {
+	cmd   *exec.Cmd
+	lines chan string
+	done  chan error
+}
+
+func startShardProc(t *testing.T, ctx context.Context, bin string, shardID int, addrs []string) *shardProc {
+	t.Helper()
+	cmd := exec.CommandContext(ctx, bin,
+		"-addr", addrs[shardID],
+		"-shard", fmt.Sprint(shardID),
+		"-peers", strings.Join(addrs, ","))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &shardProc{cmd: cmd, lines: make(chan string, 64), done: make(chan error, 1)}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			p.lines <- sc.Text()
+		}
+		close(p.lines)
+		p.done <- cmd.Wait()
+	}()
+	t.Cleanup(func() { cmd.Process.Kill() })
+	return p
+}
+
+// waitBanner consumes lines until the listening banner, failing if the
+// process exits first.
+func (p *shardProc) waitBanner(t *testing.T, shardID int) {
+	t.Helper()
+	for line := range p.lines {
+		if strings.Contains(line, "listening on ") {
+			return
+		}
+	}
+	t.Fatalf("shard %d exited before its listening banner: %v", shardID, <-p.done)
+}
+
+func TestShardSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard smoke skipped in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	bin := filepath.Join(t.TempDir(), "youtopia-serve")
+	build := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/youtopia-serve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build youtopia-serve: %v\n%s", err, out)
+	}
+
+	addrs := freePorts(t, 2)
+	procs := make([]*shardProc, 2)
+	for i := range procs {
+		procs[i] = startShardProc(t, ctx, bin, i, addrs)
+	}
+	for i, p := range procs {
+		p.waitBanner(t, i)
+	}
+
+	// The sharded quickstart runs as a third OS process against the two
+	// shard servers: Alice (shard 1) and Bob (shard 0) book a flight pair
+	// that can only resolve through the cross-shard two-phase commit.
+	quick := exec.CommandContext(ctx, "go", "run", "./examples/sharded", "-connect", strings.Join(addrs, ","))
+	out, err := quick.CombinedOutput()
+	if err != nil {
+		t.Fatalf("sharded quickstart: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"placement v1: 2 shards",
+		"Alice: COMMITTED",
+		"Bob: COMMITTED",
+		"shard 0: ",
+		"shard 1: ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("quickstart output missing %q:\n%s", want, text)
+		}
+	}
+	// All-or-nothing across processes: both bookings exist and name the
+	// same flight, one per shard.
+	var flights []string
+	for _, line := range strings.Split(text, "\n") {
+		if i := strings.Index(line, "booked flight "); i >= 0 {
+			flights = append(flights, strings.Fields(line[i:])[2])
+		}
+	}
+	if len(flights) != 2 || flights[0] != flights[1] {
+		t.Errorf("expected two bookings on one flight, got %v:\n%s", flights, text)
+	}
+	// Both engines stamped exactly one group commit.
+	groups := 0
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "1 group commits") {
+			groups++
+		}
+	}
+	if groups != 2 {
+		t.Errorf("expected both shards to report 1 group commit:\n%s", text)
+	}
+
+	// SIGTERM drains both shards gracefully.
+	for _, p := range procs {
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range procs {
+		var tail []string
+		for line := range p.lines {
+			tail = append(tail, line)
+		}
+		if err := <-p.done; err != nil {
+			t.Fatalf("shard %d exit: %v (output: %s)", i, err, strings.Join(tail, " / "))
+		}
+		joined := strings.Join(tail, "\n")
+		if !strings.Contains(joined, "draining") || !strings.Contains(joined, "bye") {
+			t.Errorf("shard %d graceful shutdown banner missing:\n%s", i, joined)
+		}
+	}
+}
